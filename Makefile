@@ -1,0 +1,36 @@
+# Convenience targets for the o1mem reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments results clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per paper table/figure (repository root).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every experiment as terminal tables.
+experiments:
+	$(GO) run ./cmd/o1bench
+
+# Regenerate RESULTS.md (markdown version of every experiment).
+results:
+	$(GO) run ./cmd/o1bench -format md > RESULTS.md
+
+# Full verification artifacts (test_output.txt, bench_output.txt).
+verify:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...

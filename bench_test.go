@@ -1,0 +1,126 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation: one testing.B benchmark per experiment (see DESIGN.md §4
+// for the experiment index). Host nanoseconds measure simulator
+// throughput; the reproduced quantities are the *simulated* times the
+// experiments print, which are deterministic. Run cmd/o1bench for the
+// full tables.
+package o1mem
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Tables) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkFig6aMmapPopulateVsDemand regenerates Figure 1a/6a: mmap()
+// latency on tmpfs with MAP_POPULATE vs demand paging across file
+// sizes.
+func BenchmarkFig6aMmapPopulateVsDemand(b *testing.B) { benchmarkExperiment(b, "fig6a") }
+
+// BenchmarkFig6bTouchPopulatedVsDemand regenerates Figure 1b/6b: time
+// to touch one byte of each page, pre-populated vs demand faulting.
+func BenchmarkFig6bTouchPopulatedVsDemand(b *testing.B) { benchmarkExperiment(b, "fig6b") }
+
+// BenchmarkFig7MallocVsPMFS regenerates Figure 2/7: allocating and
+// writing N pages via anonymous memory vs a PMFS file.
+func BenchmarkFig7MallocVsPMFS(b *testing.B) { benchmarkExperiment(b, "fig7") }
+
+// BenchmarkFaultCounts regenerates the companion report's Figure 3:
+// minor-fault counts while touching pages, malloc vs PMFS.
+func BenchmarkFaultCounts(b *testing.B) { benchmarkExperiment(b, "faults") }
+
+// BenchmarkFig8SharedMappings regenerates Figure 3/8: the cost for the
+// Nth process to map a shared file with private page tables vs shared
+// subtrees (PBM) vs range translations.
+func BenchmarkFig8SharedMappings(b *testing.B) { benchmarkExperiment(b, "fig8") }
+
+// BenchmarkFig9RangeTranslations regenerates Figures 4/5/9: range
+// table + range TLB vs page-based translation for map, unmap and
+// sparse access.
+func BenchmarkFig9RangeTranslations(b *testing.B) { benchmarkExperiment(b, "fig9") }
+
+// BenchmarkReadVsMap regenerates the §3.2/§4.3 observation that a
+// read() of 16 KB beats TLB-missing mapped access.
+func BenchmarkReadVsMap(b *testing.B) { benchmarkExperiment(b, "readvsmap") }
+
+// BenchmarkO1EndToEnd regenerates the §3.1/§4.1 headline claim:
+// allocate+map+first-touch cost must be independent of size for
+// file-only memory while the baseline grows linearly.
+func BenchmarkO1EndToEnd(b *testing.B) { benchmarkExperiment(b, "o1") }
+
+// BenchmarkReclaim regenerates the §3.1 reclamation comparison:
+// page-scanning (clock/second-chance + swap) vs whole-file discard.
+func BenchmarkReclaim(b *testing.B) { benchmarkExperiment(b, "reclaim") }
+
+// BenchmarkZeroing regenerates the §3.1 erase comparison: linear
+// per-page zeroing vs the O(1) epoch erase.
+func BenchmarkZeroing(b *testing.B) { benchmarkExperiment(b, "zero") }
+
+// BenchmarkMetadata regenerates the §2 motivation: per-page struct
+// page footprint vs per-file inode+extent records.
+func BenchmarkMetadata(b *testing.B) { benchmarkExperiment(b, "metadata") }
+
+// BenchmarkAblatePrecreatedPageTables measures the §3.1 pre-created
+// page-table optimization: first map builds chunks, later maps link.
+func BenchmarkAblatePrecreatedPageTables(b *testing.B) { benchmarkExperiment(b, "ablate-pt") }
+
+// BenchmarkAblateHugePages measures the §3 page-size discussion:
+// 4K/2M/1G mapping and TLB behaviour for a 256 MiB region.
+func BenchmarkAblateHugePages(b *testing.B) { benchmarkExperiment(b, "ablate-huge") }
+
+// BenchmarkAblateSlab measures the §3.1 suggestion to manage physical
+// memory with slab techniques: slab cache vs raw buddy.
+func BenchmarkAblateSlab(b *testing.B) { benchmarkExperiment(b, "ablate-slab") }
+
+// BenchmarkAblateExtent measures per-page (tmpfs) vs extent (PMFS)
+// vs single-extent + epoch-zero (file-only memory) allocation.
+func BenchmarkAblateExtent(b *testing.B) { benchmarkExperiment(b, "ablate-extent") }
+
+// BenchmarkWalkDepth regenerates the §2 depth comparison: 4/5-level
+// native and virtualized (2D) walks vs a single range-table step,
+// including the paper's 35-reference 5-on-5 figure.
+func BenchmarkWalkDepth(b *testing.B) { benchmarkExperiment(b, "walkdepth") }
+
+// BenchmarkPinning regenerates the §3.1/§4.1 memory-locking
+// comparison: per-page mlock vs implicit file-grain pinning.
+func BenchmarkPinning(b *testing.B) { benchmarkExperiment(b, "pinning") }
+
+// BenchmarkFragmentation measures the §4.1 contiguity concern: whether
+// gigabyte extents stay allocatable through malloc-style churn.
+func BenchmarkFragmentation(b *testing.B) { benchmarkExperiment(b, "fragmentation") }
+
+// BenchmarkShootdown regenerates the §3.2/§4.3 unmap claim: tearing a
+// shared mapping out of many processes is per-page in the baseline and
+// single-entry with ranges or shared subtrees.
+func BenchmarkShootdown(b *testing.B) { benchmarkExperiment(b, "shootdown") }
+
+// BenchmarkHeadroom regenerates the §2 memory-as-storage scenario:
+// spare file-system capacity backs volatile caches until persistent
+// data needs it.
+func BenchmarkHeadroom(b *testing.B) { benchmarkExperiment(b, "headroom") }
+
+// BenchmarkScale regenerates the §1/§2 capacity premise: alloc+map+
+// touch stays in microseconds as the allocation grows to 1 TiB.
+func BenchmarkScale(b *testing.B) { benchmarkExperiment(b, "scale") }
+
+// BenchmarkHeapChurn regenerates the §1/§3.1 language-runtime claim:
+// an arena allocator over O(1) files vs a mapping per object.
+func BenchmarkHeapChurn(b *testing.B) { benchmarkExperiment(b, "heapchurn") }

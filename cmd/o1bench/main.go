@@ -1,0 +1,96 @@
+// Command o1bench regenerates every table and figure of the paper's
+// evaluation from the simulator. Each experiment builds a fresh
+// machine, runs the paper's workload on both the baseline VM and
+// file-only memory, and prints the rows the paper reports.
+//
+// Usage:
+//
+//	o1bench -list             # show available experiments
+//	o1bench                   # run everything
+//	o1bench -e fig6a,fig9     # run selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	exps := flag.String("e", "all", "comma-separated experiment IDs, or 'all'")
+	format := flag.String("format", "text", "output format: text | md")
+	paramsFile := flag.String("params", "", "JSON cost-table file overriding the calibrated defaults")
+	dumpParams := flag.Bool("dump-params", false, "print the default cost table as JSON and exit")
+	flag.Parse()
+
+	if *dumpParams {
+		def := sim.DefaultParams()
+		data, err := sim.MarshalParams(&def)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "o1bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	if *paramsFile != "" {
+		f, err := os.Open(*paramsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "o1bench:", err)
+			os.Exit(1)
+		}
+		p, err := sim.LoadParams(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "o1bench:", err)
+			os.Exit(1)
+		}
+		bench.SetParams(&p)
+	}
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-14s %s\n                 reproduces: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *exps == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "o1bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		r, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "o1bench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *format == "md" {
+			fmt.Println(r.Markdown())
+		} else {
+			fmt.Println(r.String())
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

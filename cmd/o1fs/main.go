@@ -1,0 +1,77 @@
+// Command o1fs is a scriptable shell for the simulated memory file
+// systems: create files and directories, write and read data, set
+// quotas, crash the machine and remount — watching virtual time and
+// allocator state as you go.
+//
+// Commands come from stdin (one per line) or from -e "cmd; cmd; ...":
+//
+//	o1fs -e "mkdir /data; create /data/f persistent; write /data/f hello; crash; remount; read /data/f 5"
+//
+// Commands:
+//
+//	mkdir PATH                 create a directory
+//	create PATH [persistent|volatile] [discardable]
+//	write PATH TEXT            write TEXT at offset 0
+//	append PATH TEXT           write TEXT at EOF
+//	read PATH N                read and print N bytes from offset 0
+//	truncate PATH PAGES        set size (extent policy preallocates)
+//	ls [PATH]                  list a directory
+//	stat PATH                  show inode details
+//	rm PATH                    unlink
+//	mv OLD NEW                 rename
+//	ln OLD NEW                 hard link
+//	quota PATH FRAMES          set a directory quota (0 clears)
+//	usage PATH                 show quota usage
+//	discard FRAMES             reclaim discardable files
+//	crash                      power failure (volatile data dies)
+//	remount                    recover after a crash
+//	df                         free/total frames
+//	time                       show virtual time
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/fsshell"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+)
+
+func main() {
+	script := flag.String("e", "", "semicolon-separated commands (default: read stdin)")
+	policy := flag.String("policy", "extent", "allocation policy: extent | per-page")
+	frames := flag.Uint64("frames", 1<<30>>mem.FrameShift, "file-system size in frames")
+	flag.Parse()
+
+	var pol memfs.AllocPolicy
+	switch *policy {
+	case "extent":
+		pol = memfs.Extent
+	case "per-page":
+		pol = memfs.PerPage
+	default:
+		fmt.Fprintf(os.Stderr, "o1fs: unknown policy %q\n", *policy)
+		os.Exit(1)
+	}
+
+	sh, err := fsshell.New(pol, *frames, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "o1fs:", err)
+		os.Exit(1)
+	}
+
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			sh.ExecLine(strings.TrimSpace(line))
+		}
+		return
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	for scanner.Scan() {
+		sh.ExecLine(strings.TrimSpace(scanner.Text()))
+	}
+}

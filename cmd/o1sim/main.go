@@ -1,0 +1,146 @@
+// Command o1sim runs a configurable workload on a chosen memory
+// backend and prints timing and event statistics — an interactive way
+// to explore the simulator beyond the fixed paper experiments.
+//
+// Usage examples:
+//
+//	o1sim -backend baseline -pages 4096 -pattern random -touches 100000
+//	o1sim -backend fom-ranges -pages 262144 -pattern sequential
+//	o1sim -backend fom-sharedpt -pages 8192 -pattern hot-cold -writes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+var patterns = map[string]workload.Pattern{
+	"sequential": workload.Sequential,
+	"strided":    workload.Strided,
+	"random":     workload.Random,
+	"hot-cold":   workload.HotCold,
+}
+
+func main() {
+	backend := flag.String("backend", "baseline", "baseline | baseline-populate | fom-ranges | fom-sharedpt | all")
+	pages := flag.Uint64("pages", 4096, "region size in 4 KiB pages")
+	patName := flag.String("pattern", "sequential", "sequential | strided | random | hot-cold")
+	touches := flag.Int("touches", 0, "number of touches (default: one per page)")
+	stride := flag.Uint64("stride", 8, "stride for the strided pattern")
+	writes := flag.Bool("writes", false, "touch with writes instead of reads")
+	seed := flag.Uint64("seed", 42, "workload RNG seed")
+	flag.Parse()
+
+	backends := []string{*backend}
+	if *backend == "all" {
+		backends = []string{"baseline", "baseline-populate", "fom-ranges", "fom-sharedpt"}
+	}
+	for i, b := range backends {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(b, *pages, *patName, *touches, *stride, *writes, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "o1sim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(backend string, pages uint64, patName string, touches int, stride uint64, writes bool, seed uint64) error {
+	pattern, ok := patterns[patName]
+	if !ok {
+		return fmt.Errorf("unknown pattern %q", patName)
+	}
+	if touches == 0 {
+		touches = int(pages)
+	}
+	idx, err := workload.Touches(pattern, pages, touches, stride, seed)
+	if err != nil {
+		return err
+	}
+	m, err := bench.NewMachine()
+	if err != nil {
+		return err
+	}
+	const prot = pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
+
+	var touch func(page uint64) error
+	var report func()
+
+	allocStart := m.Clock.Now()
+	switch backend {
+	case "baseline", "baseline-populate":
+		as, err := m.Kernel.NewAddressSpace()
+		if err != nil {
+			return err
+		}
+		va, err := as.Mmap(vm.MmapRequest{
+			Pages: pages, Prot: prot, Anon: true, Private: true,
+			Populate: backend == "baseline-populate",
+		})
+		if err != nil {
+			return err
+		}
+		touch = func(p uint64) error { return as.Touch(va+mem.VirtAddr(p*mem.FrameSize), writes) }
+		report = func() {
+			fmt.Println("kernel:", m.Kernel.Stats())
+			fmt.Println("tlb:   ", as.TLB().Stats())
+			fmt.Printf("mapped pages: %d, tracked struct pages: %d (%d bytes)\n",
+				as.MappedPages(), m.Kernel.TrackedPages(), m.Kernel.MetadataBytes())
+		}
+	case "fom-ranges", "fom-sharedpt":
+		mode := core.Ranges
+		if backend == "fom-sharedpt" {
+			mode = core.SharedPT
+		}
+		p, err := m.FOM.NewProcess(mode)
+		if err != nil {
+			return err
+		}
+		mp, err := p.AllocVolatile(pages, prot)
+		if err != nil {
+			return err
+		}
+		touch = func(pg uint64) error { return p.Touch(mp.Base()+mem.VirtAddr(pg*mem.FrameSize), writes) }
+		report = func() {
+			fmt.Println("system:", m.FOM.Stats())
+			fmt.Println("proc:  ", p.Stats())
+			if mode == core.Ranges {
+				fmt.Println("rtlb:  ", p.RTLB().Stats())
+				fmt.Printf("range-table entries: %d\n", p.RangeTable().Len())
+			} else {
+				fmt.Println("tlb:   ", p.TLB().Stats())
+			}
+			fmt.Printf("file extents: %d\n", len(mp.File().Inode().Extents()))
+		}
+	default:
+		return fmt.Errorf("unknown backend %q", backend)
+	}
+	allocCost := m.Clock.Since(allocStart)
+
+	touchStart := m.Clock.Now()
+	for _, p := range idx {
+		if err := touch(p); err != nil {
+			return err
+		}
+	}
+	touchCost := m.Clock.Since(touchStart)
+
+	fmt.Printf("backend=%s pages=%d (%d KB) pattern=%s touches=%d writes=%v\n",
+		backend, pages, pages*4, patName, touches, writes)
+	fmt.Printf("alloc+map: %v\n", allocCost)
+	fmt.Printf("touch:     %v total, %.1f ns/touch\n", touchCost,
+		float64(touchCost)/float64(touches))
+	fmt.Printf("virtual time elapsed: %v\n", sim.Time(m.Clock.Now()))
+	report()
+	return nil
+}

@@ -1,0 +1,178 @@
+// Command o1trace generates and replays memory-operation traces.
+//
+// Generate a synthetic malloc-style trace:
+//
+//	o1trace gen -ops 5000 -dist small-heavy -out /tmp/heap.trace
+//
+// Replay it on every backend and compare:
+//
+//	o1trace replay -in /tmp/heap.trace
+//	o1trace replay -in /tmp/heap.trace -backend fom-ranges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+var dists = map[string]workload.SizeDist{
+	"fixed":       workload.Fixed,
+	"uniform":     workload.Uniform,
+	"small-heavy": workload.SmallHeavy,
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "replay":
+		err = runReplay(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "o1trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: o1trace gen|replay [flags] (-h for flags)")
+	os.Exit(2)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	ops := fs.Int("ops", 2000, "number of operations")
+	dist := fs.String("dist", "small-heavy", "size distribution: fixed | uniform | small-heavy")
+	minP := fs.Uint64("min", 1, "minimum allocation pages")
+	maxP := fs.Uint64("max", 512, "maximum allocation pages")
+	touch := fs.Float64("touch", 0.6, "fraction of ops that touch memory")
+	write := fs.Float64("write", 0.5, "fraction of touches that write")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, ok := dists[*dist]
+	if !ok {
+		return fmt.Errorf("unknown distribution %q", *dist)
+	}
+	tr, err := trace.Generate(trace.GenSpec{
+		Name:      fmt.Sprintf("%s-%dops", *dist, *ops),
+		Ops:       *ops,
+		SizeDist:  d,
+		MinPages:  *minP,
+		MaxPages:  *maxP,
+		TouchFrac: *touch,
+		WriteFrac: *write,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d ops\n", len(tr.Ops))
+	return nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "", "trace file (required)")
+	backend := fs.String("backend", "all", "baseline-demand | baseline-populate | fom-ranges | fom-sharedpt | all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("replay needs -in")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %q: %d ops\n\n", tr.Name, len(tr.Ops))
+
+	backends := []string{*backend}
+	if *backend == "all" {
+		backends = []string{"baseline-demand", "baseline-populate", "fom-ranges", "fom-sharedpt"}
+	}
+	for _, b := range backends {
+		rep, err := replayOn(tr, b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b, err)
+		}
+		fmt.Println(rep)
+		fmt.Println()
+	}
+	return nil
+}
+
+func replayOn(tr *trace.Trace, backend string) (trace.Report, error) {
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	memory, err := mem.New(clock, &params, mem.Config{
+		DRAMFrames: 1 << 19, // 2 GiB
+		NVMFrames:  1 << 20, // 4 GiB
+	})
+	if err != nil {
+		return trace.Report{}, err
+	}
+	var target trace.Target
+	switch backend {
+	case "baseline-demand", "baseline-populate":
+		kernel, err := vm.NewKernel(clock, &params, memory, vm.Config{PoolBase: 0, PoolFrames: 1 << 19})
+		if err != nil {
+			return trace.Report{}, err
+		}
+		as, err := kernel.NewAddressSpace()
+		if err != nil {
+			return trace.Report{}, err
+		}
+		target = trace.NewVMTarget(as, backend == "baseline-populate")
+	case "fom-ranges", "fom-sharedpt":
+		sys, err := core.NewSystem(clock, &params, memory, core.Options{})
+		if err != nil {
+			return trace.Report{}, err
+		}
+		mode := core.Ranges
+		if backend == "fom-sharedpt" {
+			mode = core.SharedPT
+		}
+		p, err := sys.NewProcess(mode)
+		if err != nil {
+			return trace.Report{}, err
+		}
+		target = trace.NewFOMTarget(p)
+	default:
+		return trace.Report{}, fmt.Errorf("unknown backend %q", backend)
+	}
+	return trace.Replay(tr, target, clock)
+}

@@ -1,0 +1,339 @@
+// kvstore: a persistent hash-indexed key-value store built directly on
+// file-only memory. The entire data structure — header, bucket array,
+// and chained records — lives inside one persistent, contiguously
+// allocated file mapped into the process. There is no serialization
+// layer and no page cache; "opening the database" after a power
+// failure is just re-mapping the file (O(1)), because the in-memory
+// format *is* the durable format.
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+)
+
+const prot = pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
+
+// File layout (all offsets are file-relative u64, little endian):
+//
+//	[0,8)    magic "o1kv0001"
+//	[8,16)   record count
+//	[16,24)  tail offset (next free byte)
+//	[24,32)  bucket count B
+//	[32,32+8B)  bucket heads (offset of first record, 0 = empty)
+//	records: next u64 | keyLen u32 | valLen u32 | key | val
+const (
+	magic       = 0x3130766b316f3031 // arbitrary tag
+	offMagic    = 0
+	offCount    = 8
+	offTail     = 16
+	offBuckets  = 24
+	bucketBase  = 32
+	recordAlign = 8
+)
+
+// Store is an open handle: a process plus a mapping of the store file.
+type Store struct {
+	proc *core.Process
+	m    *core.Mapping
+}
+
+// Create initializes a new store in f with the given bucket count.
+func Create(p *core.Process, f *memfs.File, buckets uint64) (*Store, error) {
+	s, err := Open(p, f)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.putU64(offMagic, magic); err != nil {
+		return nil, err
+	}
+	if err := s.putU64(offCount, 0); err != nil {
+		return nil, err
+	}
+	if err := s.putU64(offBuckets, buckets); err != nil {
+		return nil, err
+	}
+	tail := uint64(bucketBase + 8*buckets)
+	if err := s.putU64(offTail, align(tail)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open maps an existing store file. It validates the magic, which is
+// the entire recovery procedure.
+func Open(p *core.Process, f *memfs.File) (*Store, error) {
+	m, err := p.MapFile(f, prot)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{proc: p, m: m}, nil
+}
+
+// Validate checks the store header (call after Open on existing data).
+func (s *Store) Validate() error {
+	got, err := s.u64(offMagic)
+	if err != nil {
+		return err
+	}
+	if got != magic {
+		return fmt.Errorf("kv: bad magic %#x", got)
+	}
+	return nil
+}
+
+func align(off uint64) uint64 {
+	return (off + recordAlign - 1) &^ (recordAlign - 1)
+}
+
+func (s *Store) u64(off uint64) (uint64, error) {
+	va, err := s.m.VAForOffset(off)
+	if err != nil {
+		return 0, err
+	}
+	var b [8]byte
+	if err := s.proc.ReadBuf(va, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func (s *Store) putU64(off, v uint64) error {
+	va, err := s.m.VAForOffset(off)
+	if err != nil {
+		return err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.proc.WriteBuf(va, b[:])
+}
+
+func (s *Store) bucketOff(key string) (uint64, error) {
+	buckets, err := s.u64(offBuckets)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return bucketBase + 8*(h.Sum64()%buckets), nil
+}
+
+// Put inserts or updates a key. Updates overwrite in place when the
+// new value fits; otherwise a fresh record is prepended to the chain
+// (the old one becomes garbage, as in a log-structured store).
+func (s *Store) Put(key, val string) error {
+	bOff, err := s.bucketOff(key)
+	if err != nil {
+		return err
+	}
+	// In-place update if the key exists and the value fits.
+	rec, _, err := s.find(key)
+	if err != nil {
+		return err
+	}
+	if rec != 0 {
+		vl, err := s.u64(rec + 8) // keyLen u32 | valLen u32 packed
+		if err != nil {
+			return err
+		}
+		oldValLen := uint64(uint32(vl >> 32))
+		keyLen := uint64(uint32(vl))
+		if uint64(len(val)) <= oldValLen {
+			va, err := s.m.VAForOffset(rec + 16 + keyLen)
+			if err != nil {
+				return err
+			}
+			if err := s.proc.WriteBuf(va, []byte(val)); err != nil {
+				return err
+			}
+			// Shrink the stored length (packed field rewrite).
+			packed := keyLen | uint64(len(val))<<32
+			return s.putU64(rec+8, packed)
+		}
+	}
+	// Append a new record at the tail and prepend to the chain.
+	tail, err := s.u64(offTail)
+	if err != nil {
+		return err
+	}
+	head, err := s.u64(bOff)
+	if err != nil {
+		return err
+	}
+	recLen := 16 + uint64(len(key)) + uint64(len(val))
+	if tail+recLen > s.m.Bytes() {
+		return fmt.Errorf("kv: store full (tail %d + %d > %d)", tail, recLen, s.m.Bytes())
+	}
+	if err := s.putU64(tail, head); err != nil {
+		return err
+	}
+	packed := uint64(len(key)) | uint64(len(val))<<32
+	if err := s.putU64(tail+8, packed); err != nil {
+		return err
+	}
+	va, err := s.m.VAForOffset(tail + 16)
+	if err != nil {
+		return err
+	}
+	if err := s.proc.WriteBuf(va, []byte(key+val)); err != nil {
+		return err
+	}
+	if err := s.putU64(bOff, tail); err != nil {
+		return err
+	}
+	if err := s.putU64(offTail, align(tail+recLen)); err != nil {
+		return err
+	}
+	if rec == 0 { // genuinely new key
+		n, err := s.u64(offCount)
+		if err != nil {
+			return err
+		}
+		return s.putU64(offCount, n+1)
+	}
+	return nil
+}
+
+// find walks the chain for key, returning the record offset (0 if
+// absent) and its value.
+func (s *Store) find(key string) (uint64, string, error) {
+	bOff, err := s.bucketOff(key)
+	if err != nil {
+		return 0, "", err
+	}
+	rec, err := s.u64(bOff)
+	if err != nil {
+		return 0, "", err
+	}
+	for rec != 0 {
+		packed, err := s.u64(rec + 8)
+		if err != nil {
+			return 0, "", err
+		}
+		keyLen := uint64(uint32(packed))
+		valLen := uint64(uint32(packed >> 32))
+		buf := make([]byte, keyLen+valLen)
+		va, err := s.m.VAForOffset(rec + 16)
+		if err != nil {
+			return 0, "", err
+		}
+		if err := s.proc.ReadBuf(va, buf); err != nil {
+			return 0, "", err
+		}
+		if string(buf[:keyLen]) == key {
+			return rec, string(buf[keyLen:]), nil
+		}
+		rec, err = s.u64(rec)
+		if err != nil {
+			return 0, "", err
+		}
+	}
+	return 0, "", nil
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) (string, bool, error) {
+	rec, val, err := s.find(key)
+	return val, rec != 0, err
+}
+
+// Count returns the number of distinct keys.
+func (s *Store) Count() (uint64, error) { return s.u64(offCount) }
+
+func main() {
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	memory, err := mem.New(clock, &params, mem.Config{
+		DRAMFrames: 256 << 20 >> mem.FrameShift,
+		NVMFrames:  2 << 30 >> mem.FrameShift,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(clock, &params, memory, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One persistent 16 MiB extent holds the whole store.
+	f, err := sys.CreateContiguousFile("/kv.db", 16<<20>>mem.FrameShift,
+		memfs.CreateOptions{Durability: memfs.Persistent}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p1, err := sys.NewProcess(core.Ranges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := Create(p1, f, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := st.Put(fmt.Sprintf("user:%d", i), fmt.Sprintf("value-%d", i*i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := st.Put("user:7", "updated"); err != nil {
+		log.Fatal(err)
+	}
+	n, _ := st.Count()
+	fmt.Printf("wrote %d keys (hash-indexed, chained buckets); virtual time %v\n", n, clock.Now())
+	f.Close()
+
+	// --- power failure ---------------------------------------------
+	fmt.Println("simulating crash...")
+	memory.Crash()
+	if _, err := sys.Remount(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Recovery: open and map the file again. No log replay, no
+	// deserialization — the hash table is already there.
+	g, err := sys.FS().Open("/kv.db")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2, err := sys.NewProcess(core.Ranges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := clock.Now()
+	st2, err := Open(p2, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st2.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered by re-mapping + magic check in %v (simulated)\n", clock.Since(t0))
+
+	n2, err := st2.Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, ok, err := st2.Get("user:7")
+	if err != nil || !ok {
+		log.Fatalf("lost key after crash: %v", err)
+	}
+	v999, ok999, _ := st2.Get("user:999")
+	fmt.Printf("after crash: %d keys, user:7 = %q, user:999 = %q (found=%v)\n", n2, v, v999, ok999)
+	if v != "updated" {
+		log.Fatal("recovered stale value")
+	}
+	if _, miss, _ := st2.Get("no-such-key"); miss {
+		log.Fatal("phantom key")
+	}
+	fmt.Println("OK: all data survived the crash")
+}

@@ -1,0 +1,98 @@
+// Quickstart: build a simulated machine, allocate memory as a file,
+// map it in O(1), use it, and watch the costs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+)
+
+func main() {
+	// A machine with 1 GiB of DRAM and 4 GiB of persistent memory.
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	memory, err := mem.New(clock, &params, mem.Config{
+		DRAMFrames: 1 << 30 >> mem.FrameShift,
+		NVMFrames:  4 << 30 >> mem.FrameShift,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// File-only memory: all user memory is files in an extent-based
+	// memory file system on NVM.
+	sys, err := core.NewSystem(clock, &params, memory, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A process using the proposed range-translation hardware.
+	p, err := sys.NewProcess(core.Ranges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const prot = pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
+
+	// Allocate 256 MiB. This is ONE extent allocation + ONE O(1)
+	// epoch erase + ONE range-table insert — no per-page work.
+	t0 := clock.Now()
+	big, err := p.AllocVolatile(256<<20>>mem.FrameShift, prot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocated+mapped 256 MiB in %v (simulated)\n", clock.Since(t0))
+
+	// Allocate 4 KiB. Same cost — that is the point.
+	t1 := clock.Now()
+	small, err := p.AllocVolatile(1, prot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocated+mapped   4 KiB in %v (simulated)\n", clock.Since(t1))
+
+	// Use the memory: every byte is usable immediately, no faults.
+	if err := p.WriteBuf(big.Base(), []byte("hello, O(1) memory")); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 18)
+	if err := p.ReadBuf(big.Base(), buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back: %q\n", buf)
+
+	// Named, persistent files work the same way and survive crashes.
+	state, err := sys.CreateContiguousFile("/state", 512,
+		memfs.CreateOptions{Durability: memfs.Persistent}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stateMap, err := p.MapFile(state, prot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.WriteBuf(stateMap.Base(), []byte("durable state")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote durable state to /state (survives Crash + Remount)")
+
+	// Tear down: reclamation is per *file*, not per page.
+	t2 := clock.Now()
+	if err := p.Unmap(big); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Unmap(small); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unmapped both in %v (simulated); free frames: %d\n",
+		clock.Since(t2), sys.FreeFrames())
+	fmt.Printf("total virtual time: %v\n", clock.Now())
+}

@@ -1,0 +1,125 @@
+// sparsegraph: the paper's motivating workload — sparse access to a
+// large data set ("for sparse access to large data sets, the
+// fundamental linear operation cost remains", §3).
+//
+// A 1 GiB adjacency array is visited by a random graph walk that
+// touches a few thousand pages out of 256 Ki. The example runs the
+// identical walk on three designs and prints where the time goes:
+//
+//   - baseline demand paging: cheap map, every first touch faults;
+//   - baseline MAP_POPULATE:  linear map cost up front;
+//   - file-only memory + range translations: O(1) map, no faults.
+//
+// go run ./examples/sparsegraph
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+const (
+	regionPages = uint64(1) << 30 >> mem.FrameShift // 1 GiB
+	walkSteps   = 8000
+	prot        = pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
+)
+
+type result struct {
+	design    string
+	mapCost   sim.Time
+	walkCost  sim.Time
+	faults    uint64
+	totalCost sim.Time
+}
+
+func main() {
+	steps, err := workload.Touches(workload.Random, regionPages, walkSteps, 0, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var results []result
+	for _, design := range []string{"baseline demand", "baseline populate", "fom ranges"} {
+		r, err := run(design, steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, r)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "design\tmap\twalk\tfaults\ttotal")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%v\t%v\t%d\t%v\n", r.design, r.mapCost, r.walkCost, r.faults, r.totalCost)
+	}
+	w.Flush()
+	fmt.Println("\nsparse walks neither amortize populate's linear map cost nor escape")
+	fmt.Println("demand paging's per-touch faults; O(1) mapping wins on both ends.")
+}
+
+func run(design string, steps []uint64) (result, error) {
+	m, err := bench.NewMachine()
+	if err != nil {
+		return result{}, err
+	}
+	var touch func(p uint64) error
+	var faults func() uint64
+
+	t0 := m.Clock.Now()
+	switch design {
+	case "baseline demand", "baseline populate":
+		as, err := m.Kernel.NewAddressSpace()
+		if err != nil {
+			return result{}, err
+		}
+		va, err := as.Mmap(vm.MmapRequest{
+			Pages: regionPages, Prot: prot, Anon: true, Private: true,
+			Populate: design == "baseline populate",
+		})
+		if err != nil {
+			return result{}, err
+		}
+		touch = func(p uint64) error { return as.Touch(va+mem.VirtAddr(p*mem.FrameSize), true) }
+		faults = func() uint64 { return m.Kernel.Stats().Value("minor_faults") }
+	case "fom ranges":
+		p, err := m.FOM.NewProcess(core.Ranges)
+		if err != nil {
+			return result{}, err
+		}
+		mp, err := p.AllocVolatile(regionPages, prot)
+		if err != nil {
+			return result{}, err
+		}
+		touch = func(pg uint64) error { return p.Touch(mp.Base()+mem.VirtAddr(pg*mem.FrameSize), true) }
+		faults = func() uint64 { return 0 } // file-only memory has no fault path
+	default:
+		return result{}, fmt.Errorf("unknown design %q", design)
+	}
+	mapCost := m.Clock.Since(t0)
+
+	t1 := m.Clock.Now()
+	for _, p := range steps {
+		if err := touch(p); err != nil {
+			return result{}, err
+		}
+	}
+	walkCost := m.Clock.Since(t1)
+
+	return result{
+		design:    design,
+		mapCost:   mapCost,
+		walkCost:  walkCost,
+		faults:    faults(),
+		totalCost: mapCost + walkCost,
+	}, nil
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/metrics"
+	"repro/internal/vm"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "reclaim",
+		Title: "reclaim under memory pressure: page scanning vs whole-file discard",
+		Paper: "§3.1 reclamation / transcendent memory",
+		Run:   reclaimExp,
+	})
+	register(Experiment{
+		ID:    "zero",
+		Title: "erasing memory before reuse: eager per-page zeroing vs O(1) epoch erase",
+		Paper: "§3.1 persistence management (constant-time erase)",
+		Run:   zeroExp,
+	})
+	register(Experiment{
+		ID:    "metadata",
+		Title: "memory-management metadata footprint: per-page vs per-file",
+		Paper: "§2 motivation (Linux struct page: 25 flags, 38 fields)",
+		Run:   metadataExp,
+	})
+}
+
+func reclaimExp() (*Result, error) {
+	table := metrics.NewTable(
+		"reclaim 64 MiB under pressure (simulated)",
+		"design", "time_us", "pages_scanned_or_files_deleted")
+
+	// Baseline: fill the pool with anonymous pages, then reclaim.
+	mb, err := NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	as, err := mb.Kernel.NewAddressSpace()
+	if err != nil {
+		return nil, err
+	}
+	fill := uint64(128) << 20 >> mem.FrameShift // 128 MiB resident
+	va, err := as.Mmap(vm.MmapRequest{Pages: fill, Prot: rw, Anon: true, Populate: true})
+	if err != nil {
+		return nil, err
+	}
+	_ = va
+	want := uint64(64) << 20 >> mem.FrameShift
+	mb.Kernel.Stats().Reset()
+	baseT, err := timeOp(mb.Clock, func() error {
+		freed, e := mb.Kernel.ReclaimPages(want)
+		if e != nil {
+			return e
+		}
+		if freed < want {
+			return fmt.Errorf("bench: baseline reclaimed only %d of %d pages", freed, want)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	scans := mb.Kernel.Stats().Value("reclaim_scans")
+	table.AddRow("baseline page scan + swap", us(baseT), fmt.Sprintf("%d pages scanned", scans))
+
+	// File-only memory: the same 128 MiB resident as discardable cache
+	// files; reclaim deletes whole files.
+	mf, err := NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	const fileMB = 8
+	for i := 0; i < 16; i++ {
+		f, err := mf.FOM.CreateContiguousFile(fmt.Sprintf("/cache-%d", i),
+			uint64(fileMB)<<20>>mem.FrameShift, memfs.CreateOptions{Discardable: true}, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	fomT, err := timeOp(mf.Clock, func() error {
+		freed, e := mf.FOM.DiscardUnderPressure(want)
+		if e != nil {
+			return e
+		}
+		if freed < want {
+			return fmt.Errorf("bench: FOM discarded only %d of %d pages", freed, want)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	discards := mf.FOM.FS().Stats().Value("discards")
+	table.AddRow("file-only memory discard", us(fomT), fmt.Sprintf("%d files deleted", discards))
+
+	return &Result{
+		ID:     "reclaim",
+		Title:  "reclamation under pressure",
+		Paper:  "§3.1",
+		Tables: []*metrics.Table{table},
+		Notes: []string{
+			"the baseline examines pages one at a time (clock/second-chance) and swaps them; file-only memory deletes whole discardable files — work per byte reclaimed drops by orders of magnitude",
+		},
+	}, nil
+}
+
+func zeroExp() (*Result, error) {
+	m, err := NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	table := metrics.NewTable(
+		"erase a region before reuse (µs, simulated)",
+		"size_MB", "eager_zero_us", "epoch_erase_us")
+	nvm, _ := m.Memory.Region(mem.NVM)
+	for _, mb := range []uint64{1, 16, 256, 1024} {
+		frames := mb << 20 >> mem.FrameShift
+		eager, err := timeOp(m.Clock, func() error {
+			m.Memory.ZeroFrames(nvm.Start, frames)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		epoch, err := timeOp(m.Clock, func() error {
+			m.Memory.EraseRangeEpoch(nvm.Start, frames)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(fmt.Sprint(mb), us(eager), us(epoch))
+	}
+	return &Result{
+		ID:     "zero",
+		Title:  "constant-time erase",
+		Paper:  "§3.1 persistence management",
+		Tables: []*metrics.Table{table},
+		Notes: []string{
+			"eager zeroing is linear; the epoch mechanism (frames tagged stale read as zero) is flat — the 'new techniques to efficiently erase memory in constant time' the paper calls for",
+		},
+	}, nil
+}
+
+func metadataExp() (*Result, error) {
+	table := metrics.NewTable(
+		"metadata to manage a resident set",
+		"resident_MB", "baseline_struct_pages", "baseline_bytes", "fom_extents", "fom_metadata_bytes")
+	for _, mb := range []uint64{16, 64, 256, 1024} {
+		pages := mb << 20 >> mem.FrameShift
+
+		mach, err := NewMachine()
+		if err != nil {
+			return nil, err
+		}
+		as, err := mach.Kernel.NewAddressSpace()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := as.Mmap(vm.MmapRequest{Pages: pages, Prot: rw, Anon: true, Populate: true}); err != nil {
+			return nil, err
+		}
+		basePages := mach.Kernel.TrackedPages()
+		baseBytes := mach.Kernel.MetadataBytes()
+
+		p, err := mach.FOM.NewProcess(core.Ranges)
+		if err != nil {
+			return nil, err
+		}
+		mp, err := p.AllocVolatile(pages, rw)
+		if err != nil {
+			return nil, err
+		}
+		extents := len(mp.File().Inode().Extents())
+		// Inode (~256 B) plus extents (~32 B each): file-grain records.
+		fomBytes := 256 + 32*extents
+		table.AddRow(fmt.Sprint(mb), fmt.Sprint(basePages), fmt.Sprint(baseBytes),
+			fmt.Sprint(extents), fmt.Sprint(fomBytes))
+	}
+	return &Result{
+		ID:     "metadata",
+		Title:  "metadata footprint",
+		Paper:  "§2 motivation",
+		Tables: []*metrics.Table{table},
+		Notes: []string{
+			"the baseline keeps a struct page (64 B here; 25 flags/38 fields in Linux) per 4 KiB frame; file-only memory keeps one inode and one extent record per file, independent of size",
+		},
+	}, nil
+}

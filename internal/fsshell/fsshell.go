@@ -1,0 +1,252 @@
+// Package fsshell implements the command interpreter behind cmd/o1fs:
+// a small scriptable shell over the simulated memory file systems,
+// with crash/remount, quotas and pressure-discard built in. It is a
+// separate package so the command set is unit-testable.
+package fsshell
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/sim"
+)
+
+// New builds a shell over a fresh machine with one file system of the
+// given policy and size; output goes to out.
+func New(policy memfs.AllocPolicy, frames uint64, out io.Writer) (*Shell, error) {
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: 4096, NVMFrames: frames})
+	if err != nil {
+		return nil, err
+	}
+	nvm, _ := memory.Region(mem.NVM)
+	fs, err := memfs.New("o1fs", policy, clock, &params, memory, nvm.Start, nvm.Count)
+	if err != nil {
+		return nil, err
+	}
+	return &Shell{clock: clock, memory: memory, fs: fs, out: out}, nil
+}
+
+// Shell interprets o1fs commands against one simulated machine.
+type Shell struct {
+	clock  *sim.Clock
+	memory *mem.Memory
+	fs     *memfs.FS
+	out    io.Writer
+}
+
+func (sh *Shell) ExecLine(line string) {
+	if line == "" || strings.HasPrefix(line, "#") {
+		return
+	}
+	fields := strings.Fields(line)
+	if err := sh.exec(fields[0], fields[1:]); err != nil {
+		fmt.Fprintf(sh.out, "error: %v\n", err)
+	}
+}
+
+func (sh *Shell) exec(cmd string, args []string) error {
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return sh.fs.Mkdir(args[0])
+	case "create":
+		if err := need(1); err != nil {
+			return err
+		}
+		opts := memfs.CreateOptions{}
+		for _, a := range args[1:] {
+			switch a {
+			case "persistent":
+				opts.Durability = memfs.Persistent
+			case "volatile":
+				opts.Durability = memfs.Volatile
+			case "discardable":
+				opts.Discardable = true
+			default:
+				return fmt.Errorf("unknown create option %q", a)
+			}
+		}
+		f, err := sh.fs.Create(args[0], opts)
+		if err != nil {
+			return err
+		}
+		return f.Close()
+	case "write", "append":
+		if err := need(2); err != nil {
+			return err
+		}
+		f, err := sh.fs.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		off := uint64(0)
+		if cmd == "append" {
+			off = f.Inode().Size()
+		}
+		text := strings.Join(args[1:], " ")
+		n, err := f.WriteAt([]byte(text), off)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "wrote %d bytes at %d\n", n, off)
+		return nil
+	case "read":
+		if err := need(2); err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		f, err := sh.fs.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		buf := make([]byte, n)
+		got, err := f.ReadAt(buf, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "%q\n", buf[:got])
+		return nil
+	case "truncate":
+		if err := need(2); err != nil {
+			return err
+		}
+		pages, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		f, err := sh.fs.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return f.Truncate(pages * mem.FrameSize)
+	case "ls":
+		path := "/"
+		if len(args) > 0 {
+			path = args[0]
+		}
+		names, err := sh.fs.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			ino, err := sh.fs.Stat(path + "/" + name)
+			if err != nil {
+				ino, err = sh.fs.Stat(strings.TrimSuffix(path, "/") + "/" + name)
+				if err != nil {
+					continue
+				}
+			}
+			kind := "f"
+			if ino.IsDir() {
+				kind = "d"
+			}
+			fmt.Fprintf(sh.out, "%s %10d  %s (%s)\n", kind, ino.Size(), name, ino.Durability())
+		}
+		return nil
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		ino, err := sh.fs.Stat(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "ino=%d dir=%v size=%d pages=%d allocated=%d extents=%d mode=%v %s discardable=%v\n",
+			ino.Ino(), ino.IsDir(), ino.Size(), ino.Pages(), ino.AllocatedPages(),
+			len(ino.Extents()), ino.Mode(), ino.Durability(), ino.Discardable())
+		return nil
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		return sh.fs.Unlink(args[0])
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		return sh.fs.Rename(args[0], args[1])
+	case "ln":
+		if err := need(2); err != nil {
+			return err
+		}
+		return sh.fs.Link(args[0], args[1])
+	case "quota":
+		if err := need(2); err != nil {
+			return err
+		}
+		frames, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		return sh.fs.SetQuota(args[0], frames)
+	case "usage":
+		if err := need(1); err != nil {
+			return err
+		}
+		used, quota, err := sh.fs.QuotaUsage(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "%d/%d frames\n", used, quota)
+		return nil
+	case "discard":
+		if err := need(1); err != nil {
+			return err
+		}
+		want, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		freed, err := sh.fs.DiscardForPressure(want)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "discarded %d frames\n", freed)
+		return nil
+	case "crash":
+		sh.memory.Crash()
+		fmt.Fprintln(sh.out, "power failure")
+		return nil
+	case "remount":
+		dropped, err := sh.fs.Remount()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "remounted, %d volatile file(s) dropped\n", dropped)
+		return nil
+	case "check":
+		if err := sh.fs.CheckInvariants(); err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, "fsck: clean")
+		return nil
+	case "df":
+		fmt.Fprintf(sh.out, "%d free / %d total frames\n", sh.fs.FreeFrames(), sh.fs.TotalFrames())
+		return nil
+	case "time":
+		fmt.Fprintf(sh.out, "virtual time: %v\n", sh.clock.Now())
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

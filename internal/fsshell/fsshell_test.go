@@ -1,0 +1,147 @@
+package fsshell
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memfs"
+)
+
+// run executes a script line by line and returns the collected output.
+func run(t *testing.T, policy memfs.AllocPolicy, script string) string {
+	t.Helper()
+	var out strings.Builder
+	sh, err := New(policy, 65536, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(script, "\n") {
+		sh.ExecLine(strings.TrimSpace(line))
+	}
+	return out.String()
+}
+
+func TestScriptLifecycle(t *testing.T) {
+	out := run(t, memfs.Extent, `
+		mkdir /data
+		create /data/db persistent
+		write /data/db hello-world
+		read /data/db 11
+		ls /data
+		df
+	`)
+	for _, want := range []string{
+		"wrote 11 bytes at 0",
+		`"hello-world"`,
+		"db (persistent)",
+		"free /",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScriptCrashRecovery(t *testing.T) {
+	out := run(t, memfs.Extent, `
+		create /keep persistent
+		write /keep durable
+		create /lose volatile
+		write /lose gone
+		crash
+		remount
+		read /keep 7
+		read /lose 4
+	`)
+	if !strings.Contains(out, `"durable"`) {
+		t.Fatalf("persistent data lost:\n%s", out)
+	}
+	if !strings.Contains(out, "1 volatile file(s) dropped") {
+		t.Fatalf("volatile file not dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") || !strings.Contains(out, "not found") {
+		t.Fatalf("reading the dropped file should error:\n%s", out)
+	}
+}
+
+func TestScriptQuota(t *testing.T) {
+	out := run(t, memfs.Extent, `
+		mkdir /q
+		quota /q 4
+		create /q/f
+		truncate /q/f 8
+		usage /q
+		truncate /q/f 2
+		usage /q
+	`)
+	if !strings.Contains(out, "quota exceeded") {
+		t.Fatalf("over-quota truncate not rejected:\n%s", out)
+	}
+	if !strings.Contains(out, "2/4 frames") {
+		t.Fatalf("usage not reported:\n%s", out)
+	}
+}
+
+func TestScriptRenameLinkDiscard(t *testing.T) {
+	out := run(t, memfs.Extent, `
+		create /a discardable
+		truncate /a 8
+		create /b
+		write /b data
+		mv /b /c
+		ln /c /d
+		rm /c
+		read /d 4
+		discard 8
+		stat /a
+	`)
+	if !strings.Contains(out, `"data"`) {
+		t.Fatalf("link lost data:\n%s", out)
+	}
+	if !strings.Contains(out, "discarded 8 frames") {
+		t.Fatalf("discard failed:\n%s", out)
+	}
+	if !strings.Contains(out, "not found") {
+		t.Fatalf("discarded file should be gone:\n%s", out)
+	}
+}
+
+func TestScriptErrorsAndComments(t *testing.T) {
+	out := run(t, memfs.PerPage, `
+		# this is a comment
+
+		bogus-command
+		read /missing 4
+		mkdir
+	`)
+	if got := strings.Count(out, "error:"); got != 3 {
+		t.Fatalf("want 3 errors, got %d:\n%s", got, out)
+	}
+}
+
+func TestScriptCheck(t *testing.T) {
+	out := run(t, memfs.Extent, `
+		create /f
+		write /f data
+		check
+	`)
+	if !strings.Contains(out, "fsck: clean") {
+		t.Fatalf("check missing:\n%s", out)
+	}
+}
+
+func TestScriptAppendAndTime(t *testing.T) {
+	out := run(t, memfs.Extent, `
+		create /log
+		write /log aaa
+		append /log bbb
+		read /log 6
+		time
+	`)
+	if !strings.Contains(out, `"aaabbb"`) {
+		t.Fatalf("append failed:\n%s", out)
+	}
+	if !strings.Contains(out, "virtual time") {
+		t.Fatalf("time missing:\n%s", out)
+	}
+}

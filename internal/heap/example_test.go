@@ -1,0 +1,58 @@
+package heap_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Example allocates user objects from the file-only-memory heap,
+// demonstrating the malloc-style interface over O(1) arenas.
+func Example() {
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	memory, err := mem.New(clock, &params, mem.Config{
+		DRAMFrames: 16 << 20 >> mem.FrameShift,
+		NVMFrames:  256 << 20 >> mem.FrameShift,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(clock, &params, memory, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := sys.NewProcess(core.Ranges)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := heap.New(p)
+
+	obj, err := h.Alloc(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := h.Write(obj, []byte("boxed value")); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	if err := h.Read(obj, buf); err != nil {
+		log.Fatal(err)
+	}
+	size, _ := h.UsableSize(obj)
+	fmt.Printf("%s (usable %d B, %d arena)\n", buf, size, h.Stats().Arenas)
+	if err := h.Free(obj); err != nil {
+		log.Fatal(err)
+	}
+	if err := h.TrimReserves(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after free+trim: %d arenas\n", h.Stats().Arenas)
+	// Output:
+	// boxed value (usable 120 B, 1 arena)
+	// after free+trim: 0 arenas
+}

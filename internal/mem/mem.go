@@ -1,0 +1,351 @@
+// Package mem models the physical address space of the simulated
+// machine: a set of 4 KiB frames grouped into DRAM and NVM regions.
+//
+// Frames hold real byte contents (materialized lazily, so terabyte-scale
+// address spaces are cheap to simulate as long as they are sparsely
+// written). Absent contents read as zero, which also gives the
+// simulator its constant-time bulk-erase primitive: dropping a frame's
+// backing returns it to the all-zero state.
+//
+// The package charges virtual time only for explicitly priced
+// operations (eager zeroing, epoch erases). Plain data reads and writes
+// are free here; the translation layers (vm, core) charge access costs
+// because they depend on TLB and page-table state.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Frame geometry. The simulator uses the x86-64 base page size.
+const (
+	FrameShift = 12
+	FrameSize  = 1 << FrameShift // 4096 bytes
+
+	// HugeFrames2M and HugeFrames1G are the frame counts of the two
+	// x86-64 huge page sizes.
+	HugeFrames2M = 512
+	HugeFrames1G = 512 * 512
+)
+
+// Frame is a physical frame number. Frame f covers physical addresses
+// [f*FrameSize, (f+1)*FrameSize).
+type Frame uint64
+
+// Addr returns the first physical address of the frame.
+func (f Frame) Addr() PhysAddr { return PhysAddr(f) << FrameShift }
+
+// PhysAddr is a byte address in the physical address space.
+type PhysAddr uint64
+
+// VirtAddr is a byte address in a process's virtual address space. It
+// lives here (rather than in the page-table package) because every
+// translation structure — page tables, TLBs, range tables — shares it.
+type VirtAddr uint64
+
+// VPN returns the virtual page number of the address.
+func (a VirtAddr) VPN() uint64 { return uint64(a) >> FrameShift }
+
+// PageOffset returns the byte offset within the 4 KiB page.
+func (a VirtAddr) PageOffset() uint64 { return uint64(a) & (FrameSize - 1) }
+
+// PageBase returns the address rounded down to its page boundary.
+func (a VirtAddr) PageBase() VirtAddr { return a &^ (FrameSize - 1) }
+
+// Frame returns the frame containing the address.
+func (a PhysAddr) Frame() Frame { return Frame(a >> FrameShift) }
+
+// Offset returns the byte offset of the address within its frame.
+func (a PhysAddr) Offset() uint64 { return uint64(a) & (FrameSize - 1) }
+
+// RegionKind distinguishes memory technologies.
+type RegionKind int
+
+const (
+	// DRAM is conventional volatile memory.
+	DRAM RegionKind = iota
+	// NVM is byte-addressable persistent memory (3D XPoint/PCM class):
+	// contents survive Crash, and references pay the NVM penalties.
+	NVM
+)
+
+// String returns the kind's name.
+func (k RegionKind) String() string {
+	switch k {
+	case DRAM:
+		return "DRAM"
+	case NVM:
+		return "NVM"
+	default:
+		return fmt.Sprintf("RegionKind(%d)", int(k))
+	}
+}
+
+// Region is a contiguous run of frames of one kind.
+type Region struct {
+	Start Frame
+	Count uint64
+	Kind  RegionKind
+}
+
+// End returns the first frame past the region.
+func (r Region) End() Frame { return r.Start + Frame(r.Count) }
+
+// Config describes the simulated machine's memory.
+type Config struct {
+	// DRAMFrames and NVMFrames are the sizes of the two regions. The
+	// DRAM region starts at frame 0; the NVM region follows it.
+	DRAMFrames uint64
+	NVMFrames  uint64
+}
+
+// DefaultConfig returns a machine with 512 MiB of DRAM and 4 GiB of
+// NVM — small enough to simulate instantly, large enough for every
+// experiment in the paper's sweeps.
+func DefaultConfig() Config {
+	return Config{
+		DRAMFrames: 512 << 20 >> FrameShift,
+		NVMFrames:  4 << 30 >> FrameShift,
+	}
+}
+
+// Memory is the physical address space of one simulated machine.
+type Memory struct {
+	clock   *sim.Clock
+	params  *sim.Params
+	regions []Region
+	total   uint64
+
+	// data holds materialized frame contents. Absent frames read as
+	// zero. The map is the persistence boundary: Crash discards frames
+	// in DRAM regions and keeps frames in NVM regions.
+	data map[Frame]*[FrameSize]byte
+
+	stats *metrics.Set
+}
+
+// New creates the physical memory described by cfg.
+func New(clock *sim.Clock, params *sim.Params, cfg Config) (*Memory, error) {
+	if cfg.DRAMFrames == 0 && cfg.NVMFrames == 0 {
+		return nil, fmt.Errorf("mem: machine has no memory")
+	}
+	m := &Memory{
+		clock:  clock,
+		params: params,
+		data:   make(map[Frame]*[FrameSize]byte),
+		stats:  metrics.NewSet(),
+	}
+	next := Frame(0)
+	if cfg.DRAMFrames > 0 {
+		m.regions = append(m.regions, Region{Start: next, Count: cfg.DRAMFrames, Kind: DRAM})
+		next += Frame(cfg.DRAMFrames)
+	}
+	if cfg.NVMFrames > 0 {
+		m.regions = append(m.regions, Region{Start: next, Count: cfg.NVMFrames, Kind: NVM})
+		next += Frame(cfg.NVMFrames)
+	}
+	m.total = uint64(next)
+	return m, nil
+}
+
+// TotalFrames returns the number of frames in the address space.
+func (m *Memory) TotalFrames() uint64 { return m.total }
+
+// Regions returns the memory regions in address order.
+func (m *Memory) Regions() []Region {
+	out := make([]Region, len(m.regions))
+	copy(out, m.regions)
+	return out
+}
+
+// Region returns the region of the given kind, and whether one exists.
+// If multiple regions share a kind, the first is returned.
+func (m *Memory) Region(kind RegionKind) (Region, bool) {
+	for _, r := range m.regions {
+		if r.Kind == kind {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Kind returns the technology backing the frame.
+func (m *Memory) Kind(f Frame) RegionKind {
+	for _, r := range m.regions {
+		if f >= r.Start && f < r.End() {
+			return r.Kind
+		}
+	}
+	return DRAM
+}
+
+// Valid reports whether every frame in [start, start+count) exists.
+func (m *Memory) Valid(start Frame, count uint64) bool {
+	return uint64(start) < m.total && uint64(start)+count <= m.total
+}
+
+// Stats exposes the memory's event counters: "zeroed_frames",
+// "epoch_erases", "materialized_frames".
+func (m *Memory) Stats() *metrics.Set { return m.stats }
+
+// frame returns the backing array for f, materializing it if write is
+// true. For reads of unmaterialized frames it returns nil (all-zero).
+func (m *Memory) frame(f Frame, write bool) *[FrameSize]byte {
+	if d, ok := m.data[f]; ok {
+		return d
+	}
+	if !write {
+		return nil
+	}
+	d := new([FrameSize]byte)
+	m.data[f] = d
+	m.stats.Counter("materialized_frames").Inc()
+	return d
+}
+
+// ReadAt copies len(buf) bytes starting at pa into buf. It panics if
+// the range leaves the address space; translation layers validate
+// addresses before the data plane is reached.
+func (m *Memory) ReadAt(pa PhysAddr, buf []byte) {
+	m.checkRange(pa, len(buf))
+	for len(buf) > 0 {
+		f := pa.Frame()
+		off := pa.Offset()
+		n := FrameSize - off
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		if d := m.frame(f, false); d != nil {
+			copy(buf[:n], d[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		pa += PhysAddr(n)
+	}
+}
+
+// WriteAt copies buf into physical memory starting at pa.
+func (m *Memory) WriteAt(pa PhysAddr, buf []byte) {
+	m.checkRange(pa, len(buf))
+	for len(buf) > 0 {
+		f := pa.Frame()
+		off := pa.Offset()
+		n := FrameSize - off
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		d := m.frame(f, true)
+		copy(d[off:off+n], buf[:n])
+		buf = buf[n:]
+		pa += PhysAddr(n)
+	}
+}
+
+// ReadByteAt returns the byte at pa.
+func (m *Memory) ReadByteAt(pa PhysAddr) byte {
+	var b [1]byte
+	m.ReadAt(pa, b[:])
+	return b[0]
+}
+
+// WriteByteAt stores v at pa.
+func (m *Memory) WriteByteAt(pa PhysAddr, v byte) {
+	m.WriteAt(pa, []byte{v})
+}
+
+// ReadUint64 loads a little-endian uint64 at pa.
+func (m *Memory) ReadUint64(pa PhysAddr) uint64 {
+	var b [8]byte
+	m.ReadAt(pa, b[:])
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// WriteUint64 stores v little-endian at pa.
+func (m *Memory) WriteUint64(pa PhysAddr, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	m.WriteAt(pa, b[:])
+}
+
+func (m *Memory) checkRange(pa PhysAddr, n int) {
+	if n < 0 || uint64(pa)+uint64(n) > m.total<<FrameShift {
+		panic(fmt.Sprintf("mem: access [%#x,+%d) outside physical address space (%d frames)", uint64(pa), n, m.total))
+	}
+}
+
+// ZeroFrames eagerly zeroes count frames starting at start, charging
+// the linear per-page zeroing cost. This is the conventional path the
+// paper identifies as a linear-time obstacle.
+func (m *Memory) ZeroFrames(start Frame, count uint64) {
+	if !m.Valid(start, count) {
+		panic(fmt.Sprintf("mem: ZeroFrames [%d,+%d) out of range", start, count))
+	}
+	for i := uint64(0); i < count; i++ {
+		delete(m.data, start+Frame(i))
+	}
+	m.clock.Advance(sim.Time(count) * m.params.ZeroPage)
+	m.stats.Counter("zeroed_frames").Add(count)
+}
+
+// EraseRangeEpoch performs the paper's proposed constant-time erase of
+// a frame range: the charged cost is a single O(1) epoch operation
+// regardless of the range size. Semantically the range reads as zero
+// afterwards. (The host-side map cleanup is not simulated time.)
+func (m *Memory) EraseRangeEpoch(start Frame, count uint64) {
+	if !m.Valid(start, count) {
+		panic(fmt.Sprintf("mem: EraseRangeEpoch [%d,+%d) out of range", start, count))
+	}
+	for i := uint64(0); i < count; i++ {
+		delete(m.data, start+Frame(i))
+	}
+	m.clock.Advance(m.params.ZeroEpoch)
+	m.stats.Counter("epoch_erases").Inc()
+}
+
+// Crash simulates power loss: contents of volatile (DRAM) regions are
+// discarded; NVM contents survive. The caller is responsible for
+// re-creating software state (file systems re-mount, processes die).
+func (m *Memory) Crash() {
+	for f := range m.data {
+		if m.Kind(f) == DRAM {
+			delete(m.data, f)
+		}
+	}
+	m.stats.Counter("crashes").Inc()
+}
+
+// CopyFrames copies count frames from src to dst (used by COW breaks
+// and page migration). Charges one eager-zero-equivalent copy cost per
+// frame, the same order as a 4 KiB memcpy.
+func (m *Memory) CopyFrames(dst, src Frame, count uint64) {
+	if !m.Valid(dst, count) || !m.Valid(src, count) {
+		panic("mem: CopyFrames out of range")
+	}
+	for i := uint64(0); i < count; i++ {
+		s := m.frame(src+Frame(i), false)
+		if s == nil {
+			delete(m.data, dst+Frame(i))
+			continue
+		}
+		d := m.frame(dst+Frame(i), true)
+		*d = *s
+	}
+	m.clock.Advance(sim.Time(count) * m.params.ZeroPage)
+	m.stats.Counter("copied_frames").Add(count)
+}
+
+// MaterializedFrames returns how many frames currently have backing
+// arrays (a host-memory footprint diagnostic).
+func (m *Memory) MaterializedFrames() int { return len(m.data) }

@@ -1,0 +1,204 @@
+package memfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestCrashInjectionProperty drives random file-system operations,
+// crashes at a random point, remounts, and verifies:
+//
+//  1. every persistent file that was fully written before the crash
+//     survives with exactly its last contents;
+//  2. no volatile or temp file survives;
+//  3. allocator and extent invariants hold after recovery;
+//  4. the recovered file system remains fully usable.
+func TestCrashInjectionProperty(t *testing.T) {
+	fn := func(seed uint64) bool {
+		clock := &sim.Clock{}
+		params := sim.DefaultParams()
+		m, err := mem.New(clock, &params, mem.Config{DRAMFrames: 512, NVMFrames: 16384})
+		if err != nil {
+			return false
+		}
+		nvm, _ := m.Region(mem.NVM)
+		fs, err := New("crash", Extent, clock, &params, m, nvm.Start, nvm.Count)
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(seed)
+
+		type fileState struct {
+			path    string
+			data    []byte
+			durable bool
+		}
+		var files []*fileState
+		nameCtr := 0
+
+		crashAt := 10 + rng.Intn(120)
+		for op := 0; op < crashAt; op++ {
+			switch rng.Intn(4) {
+			case 0: // create a file with content
+				nameCtr++
+				st := &fileState{
+					path:    fmt.Sprintf("/f%d", nameCtr),
+					durable: rng.Float64() < 0.5,
+				}
+				dur := Volatile
+				if st.durable {
+					dur = Persistent
+				}
+				f, err := fs.Create(st.path, CreateOptions{Durability: dur})
+				if err != nil {
+					t.Logf("create: %v", err)
+					return false
+				}
+				st.data = make([]byte, 1+rng.Intn(3*mem.FrameSize))
+				for i := range st.data {
+					st.data[i] = byte(rng.Uint64())
+				}
+				if _, err := f.WriteAt(st.data, 0); err != nil {
+					t.Logf("write: %v", err)
+					return false
+				}
+				if err := f.Close(); err != nil {
+					return false
+				}
+				files = append(files, st)
+			case 1: // overwrite an existing file
+				if len(files) == 0 {
+					continue
+				}
+				st := files[rng.Intn(len(files))]
+				f, err := fs.Open(st.path)
+				if err != nil {
+					return false
+				}
+				st.data = make([]byte, 1+rng.Intn(2*mem.FrameSize))
+				for i := range st.data {
+					st.data[i] = byte(rng.Uint64())
+				}
+				if err := f.Truncate(0); err != nil {
+					return false
+				}
+				if _, err := f.WriteAt(st.data, 0); err != nil {
+					return false
+				}
+				if err := f.Close(); err != nil {
+					return false
+				}
+			case 2: // unlink
+				if len(files) == 0 {
+					continue
+				}
+				i := rng.Intn(len(files))
+				if err := fs.Unlink(files[i].path); err != nil {
+					return false
+				}
+				files = append(files[:i], files[i+1:]...)
+			case 3: // temp-file churn (must never survive)
+				tf, err := fs.CreateTemp("scratch", CreateOptions{})
+				if err != nil {
+					return false
+				}
+				if err := tf.EnsureContiguous(uint64(1 + rng.Intn(32))); err != nil {
+					return false
+				}
+				if rng.Float64() < 0.7 {
+					if err := tf.Close(); err != nil {
+						return false
+					}
+				} // else: leaked open handle dies in the crash
+			}
+		}
+
+		// Power failure.
+		m.Crash()
+		if _, err := fs.Remount(); err != nil {
+			t.Logf("remount: %v", err)
+			return false
+		}
+		if err := fs.CheckInvariants(); err != nil {
+			t.Logf("post-crash invariants: %v", err)
+			return false
+		}
+
+		for _, st := range files {
+			f, err := fs.Open(st.path)
+			if st.durable {
+				if err != nil {
+					t.Logf("persistent file %s lost: %v", st.path, err)
+					return false
+				}
+				got := make([]byte, len(st.data))
+				if _, err := f.ReadAt(got, 0); err != nil {
+					return false
+				}
+				if !bytes.Equal(got, st.data) {
+					t.Logf("persistent file %s corrupted", st.path)
+					return false
+				}
+				if err := f.Close(); err != nil {
+					return false
+				}
+			} else if err == nil {
+				t.Logf("volatile file %s survived the crash", st.path)
+				return false
+			}
+		}
+
+		// The recovered file system still works.
+		f, err := fs.Create("/post-crash", CreateOptions{})
+		if err != nil {
+			return false
+		}
+		if _, err := f.WriteAt([]byte("alive"), 0); err != nil {
+			return false
+		}
+		return f.Close() == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoubleCrash exercises repeated crash/remount cycles.
+func TestDoubleCrash(t *testing.T) {
+	fs, m, _ := newFS(t, Extent)
+	f, err := fs.Create("/sturdy", CreateOptions{Durability: Persistent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("round0"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for round := 1; round <= 3; round++ {
+		m.Crash()
+		if _, err := fs.Remount(); err != nil {
+			t.Fatalf("round %d remount: %v", round, err)
+		}
+		g, err := fs.Open("/sturdy")
+		if err != nil {
+			t.Fatalf("round %d: file lost", round)
+		}
+		buf := make([]byte, 6)
+		if _, err := g.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("round%d", round-1)
+		if string(buf) != want {
+			t.Fatalf("round %d: read %q, want %q", round, buf, want)
+		}
+		if _, err := g.WriteAt([]byte(fmt.Sprintf("round%d", round)), 0); err != nil {
+			t.Fatal(err)
+		}
+		g.Close()
+	}
+}

@@ -1,0 +1,76 @@
+package memfs_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/sim"
+)
+
+// Example shows the persistent file system surviving a crash: the
+// volatile file disappears at remount, the persistent one keeps its
+// bytes.
+func Example() {
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: 1024, NVMFrames: 16384})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nvm, _ := memory.Region(mem.NVM)
+	fs, err := memfs.New("pm", memfs.Extent, clock, &params, memory, nvm.Start, nvm.Count)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	keep, _ := fs.Create("/keep", memfs.CreateOptions{Durability: memfs.Persistent})
+	if _, err := keep.WriteAt([]byte("survives"), 0); err != nil {
+		log.Fatal(err)
+	}
+	keep.Close()
+	lose, _ := fs.Create("/lose", memfs.CreateOptions{})
+	if _, err := lose.WriteAt([]byte("vanishes"), 0); err != nil {
+		log.Fatal(err)
+	}
+	lose.Close()
+
+	memory.Crash()
+	dropped, _ := fs.Remount()
+
+	f, err := fs.Open("/keep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	_, loseErr := fs.Open("/lose")
+	fmt.Printf("dropped=%d keep=%q lose-gone=%v\n", dropped, buf, loseErr != nil)
+	// Output: dropped=1 keep="survives" lose-gone=true
+}
+
+// ExampleFS_SetQuota demonstrates directory quotas — the paper's
+// "file-system controls over memory allocation".
+func ExampleFS_SetQuota() {
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	memory, _ := mem.New(clock, &params, mem.Config{DRAMFrames: 1024, NVMFrames: 8192})
+	nvm, _ := memory.Region(mem.NVM)
+	fs, _ := memfs.New("q", memfs.Extent, clock, &params, memory, nvm.Start, nvm.Count)
+
+	if err := fs.Mkdir("/jobs"); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.SetQuota("/jobs", 16); err != nil {
+		log.Fatal(err)
+	}
+	f, _ := fs.Create("/jobs/scratch", memfs.CreateOptions{})
+	okSmall := f.Truncate(16 * mem.FrameSize)
+	tooBig := f.Truncate(32 * mem.FrameSize)
+	used, quota, _ := fs.QuotaUsage("/jobs")
+	fmt.Printf("within=%v over=%v usage=%d/%d\n", okSmall == nil, tooBig != nil, used, quota)
+	// Output: within=true over=true usage=16/16
+}

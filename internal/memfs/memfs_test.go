@@ -1,0 +1,942 @@
+package memfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+)
+
+// newFS mounts a file system of the given policy over an NVM region.
+func newFS(t *testing.T, policy AllocPolicy) (*FS, *mem.Memory, *sim.Clock) {
+	t.Helper()
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	m, err := mem.New(clock, &params, mem.Config{DRAMFrames: 1024, NVMFrames: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvm, _ := m.Region(mem.NVM)
+	fs, err := New("test", policy, clock, &params, m, nvm.Start, nvm.Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, m, clock
+}
+
+func TestMkdirCreateOpenUnlink(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	if err := fs.Mkdir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/data/file1", CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Open("/data/file1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("/data")
+	if err != nil || len(names) != 1 || names[0] != "file1" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := fs.Unlink("/data/file1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/data/file1"); err == nil {
+		t.Fatal("open of unlinked file succeeded")
+	}
+	if err := fs.Unlink("/data"); err != nil {
+		t.Fatalf("rmdir empty dir: %v", err)
+	}
+}
+
+func TestPathValidation(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	if _, err := fs.Create("relative", CreateOptions{}); err == nil {
+		t.Fatal("relative path accepted")
+	}
+	if _, err := fs.Create("/a/../b", CreateOptions{}); err == nil {
+		t.Fatal(".. accepted")
+	}
+	if _, err := fs.Create("/missing/file", CreateOptions{}); err == nil {
+		t.Fatal("create under missing dir accepted")
+	}
+	if err := fs.Mkdir("/"); err == nil {
+		t.Fatal("mkdir / accepted")
+	}
+}
+
+func TestDuplicateCreateRejected(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	f, err := fs.Create("/x", CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := fs.Create("/x", CreateOptions{}); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+}
+
+func TestUnlinkNonEmptyDirRejected(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/d/f", CreateOptions{})
+	f.Close()
+	if err := fs.Unlink("/d"); err == nil {
+		t.Fatal("unlink of non-empty dir accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, policy := range []AllocPolicy{PerPage, Extent} {
+		fs, _, _ := newFS(t, policy)
+		f, err := fs.Create("/f", CreateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte("o1-memory!"), 2000) // ~20 KB, crosses pages
+		if n, err := f.WriteAt(data, 100); err != nil || n != len(data) {
+			t.Fatalf("[%v] WriteAt = %d, %v", policy, n, err)
+		}
+		got := make([]byte, len(data))
+		if n, err := f.ReadAt(got, 100); err != nil || n != len(data) {
+			t.Fatalf("[%v] ReadAt = %d, %v", policy, n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("[%v] data mismatch", policy)
+		}
+		// Leading hole reads as zeros.
+		head := make([]byte, 100)
+		if _, err := f.ReadAt(head, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range head {
+			if b != 0 {
+				t.Fatalf("[%v] hole byte %d = %#x", policy, i, b)
+			}
+		}
+		f.Close()
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	f, _ := fs.Create("/f", CreateOptions{})
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil || n != 3 {
+		t.Fatalf("short read = %d, %v", n, err)
+	}
+	n, err = f.ReadAt(buf, 100)
+	if err != nil || n != 0 {
+		t.Fatalf("read past EOF = %d, %v", n, err)
+	}
+}
+
+func TestTruncatePoliciesDiffer(t *testing.T) {
+	// Extent policy preallocates, PerPage does not.
+	fsE, _, _ := newFS(t, Extent)
+	fE, _ := fsE.Create("/f", CreateOptions{})
+	if err := fE.Truncate(100 * mem.FrameSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := fE.Inode().AllocatedPages(); got != 100 {
+		t.Fatalf("extent policy allocated %d pages on truncate, want 100", got)
+	}
+
+	fsP, _, _ := newFS(t, PerPage)
+	fP, _ := fsP.Create("/f", CreateOptions{})
+	if err := fP.Truncate(100 * mem.FrameSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := fP.Inode().AllocatedPages(); got != 0 {
+		t.Fatalf("per-page policy allocated %d pages on truncate, want 0", got)
+	}
+	// Demand-allocate one page.
+	if _, filled, err := fP.PageFrame(5, true); err != nil || !filled {
+		t.Fatalf("PageFrame: filled=%v err=%v", filled, err)
+	}
+	if got := fP.Inode().AllocatedPages(); got != 1 {
+		t.Fatalf("AllocatedPages = %d after one fault", got)
+	}
+}
+
+func TestTruncateShrinkFreesFrames(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	free0 := fs.FreeFrames()
+	f, _ := fs.Create("/f", CreateOptions{})
+	if err := f.Truncate(64 * mem.FrameSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(16 * mem.FrameSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Inode().AllocatedPages(); got != 16 {
+		t.Fatalf("AllocatedPages = %d after shrink, want 16", got)
+	}
+	if err := f.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreeFrames() != free0 {
+		t.Fatalf("frames leaked: %d -> %d", free0, fs.FreeFrames())
+	}
+}
+
+func TestPageFrameBounds(t *testing.T) {
+	fs, _, _ := newFS(t, PerPage)
+	f, _ := fs.Create("/f", CreateOptions{})
+	defer f.Close()
+	if _, _, err := f.PageFrame(0, true); err == nil {
+		t.Fatal("PageFrame beyond EOF accepted")
+	}
+	f.Truncate(2 * mem.FrameSize)
+	if _, _, err := f.PageFrame(1, false); err == nil {
+		t.Fatal("hole read without allocate succeeded")
+	}
+}
+
+func TestEnsureContiguousSingleExtent(t *testing.T) {
+	fs, _, clock := newFS(t, Extent)
+	f, _ := fs.Create("/big", CreateOptions{})
+	t0 := clock.Now()
+	if err := f.EnsureContiguous(2048); err != nil { // 8 MiB
+		t.Fatal(err)
+	}
+	bigCost := clock.Since(t0)
+	exts := f.Inode().Extents()
+	if len(exts) != 1 || exts[0].Count != 2048 {
+		t.Fatalf("extents = %+v, want single 2048-page run", exts)
+	}
+	// O(1): a small allocation must cost the same order (no per-page
+	// term). Compare against a 16-page allocation.
+	g, _ := fs.Create("/small", CreateOptions{})
+	t1 := clock.Now()
+	if err := g.EnsureContiguous(16); err != nil {
+		t.Fatal(err)
+	}
+	smallCost := clock.Since(t1)
+	if bigCost > smallCost*4 {
+		t.Fatalf("contiguous alloc not O(1): 2048 pages cost %v, 16 pages cost %v", bigCost, smallCost)
+	}
+	if err := f.EnsureContiguous(1); err == nil {
+		t.Fatal("EnsureContiguous on non-empty file accepted")
+	}
+}
+
+func TestTempFileFreedOnClose(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	free0 := fs.FreeFrames()
+	f, err := fs.CreateTemp("heap", CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EnsureContiguous(128); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreeFrames() != free0 {
+		t.Fatalf("temp file leaked frames: %d -> %d", free0, fs.FreeFrames())
+	}
+	if err := f.Close(); err == nil {
+		t.Fatal("double close accepted")
+	}
+}
+
+func TestRefUnrefPinning(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	f, _ := fs.Create("/f", CreateOptions{})
+	f.Truncate(4 * mem.FrameSize)
+	f.Ref() // simulate a mapping
+	f.Close()
+	if err := fs.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	// Still referenced by the mapping: pages must remain.
+	if got := f.Inode().AllocatedPages(); got != 4 {
+		t.Fatalf("pages freed while mapped: %d", got)
+	}
+	if err := f.Unref(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Inode().AllocatedPages(); got != 0 {
+		t.Fatalf("pages not freed after last unref: %d", got)
+	}
+}
+
+func TestFreedDataIsErased(t *testing.T) {
+	fs, m, _ := newFS(t, Extent)
+	f, _ := fs.Create("/secret", CreateOptions{})
+	if _, err := f.WriteAt([]byte("classified"), 0); err != nil {
+		t.Fatal(err)
+	}
+	frame, _, err := f.PageFrame(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.Unlink("/secret"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	m.ReadAt(frame.Addr(), buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("freed file data readable — security erase missing")
+		}
+	}
+}
+
+func TestDurabilityAcrossRemount(t *testing.T) {
+	fs, m, _ := newFS(t, Extent)
+	p, _ := fs.Create("/keep", CreateOptions{Durability: Persistent})
+	if _, err := p.WriteAt([]byte("durable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := fs.Create("/lose", CreateOptions{})
+	if _, err := v.WriteAt([]byte("ephemeral"), 0); err != nil {
+		t.Fatal(err)
+	}
+	tmp, _ := fs.CreateTemp("anon", CreateOptions{})
+	tmp.Truncate(mem.FrameSize)
+
+	m.Crash()
+	dropped, err := fs.Remount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped %d files, want 2 (volatile + temp)", dropped)
+	}
+	if _, err := fs.Open("/lose"); err == nil {
+		t.Fatal("volatile file survived remount")
+	}
+	g, err := fs.Open("/keep")
+	if err != nil {
+		t.Fatalf("persistent file lost: %v", err)
+	}
+	buf := make([]byte, 7)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "durable" {
+		t.Fatalf("persistent data corrupted: %q", buf)
+	}
+	if err := fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetDurabilityAtAnyTime(t *testing.T) {
+	fs, m, _ := newFS(t, Extent)
+	f, _ := fs.Create("/promote", CreateOptions{})
+	if _, err := f.WriteAt([]byte("now-durable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.SetDurability(Persistent)
+	m.Crash()
+	if _, err := fs.Remount(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/promote"); err != nil {
+		t.Fatal("promoted file did not survive")
+	}
+}
+
+func TestDiscardForPressure(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	for _, name := range []string{"/cache1", "/cache2"} {
+		f, err := fs.Create(name, CreateOptions{Discardable: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Truncate(64 * mem.FrameSize)
+		f.Close()
+	}
+	keep, _ := fs.Create("/important", CreateOptions{})
+	keep.Truncate(64 * mem.FrameSize)
+	keep.Close()
+
+	freed, err := fs.DiscardForPressure(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed < 64 {
+		t.Fatalf("freed %d frames, want >= 64", freed)
+	}
+	if _, err := fs.Open("/cache1"); err == nil {
+		t.Fatal("oldest discardable survived")
+	}
+	if _, err := fs.Open("/cache2"); err != nil {
+		t.Fatal("second discardable reclaimed unnecessarily")
+	}
+	if _, err := fs.Open("/important"); err != nil {
+		t.Fatal("non-discardable file reclaimed")
+	}
+}
+
+func TestDiscardSkipsBusyFiles(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	f, _ := fs.Create("/cache", CreateOptions{Discardable: true})
+	f.Truncate(16 * mem.FrameSize)
+	// Handle still open: must not be discarded.
+	freed, err := fs.DiscardForPressure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != 0 {
+		t.Fatal("discarded an open file")
+	}
+	f.Close()
+	freed, err = fs.DiscardForPressure(1)
+	if err != nil || freed == 0 {
+		t.Fatalf("discard after close: freed=%d err=%v", freed, err)
+	}
+}
+
+func TestModeIsFileGrain(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	f, _ := fs.Create("/ro", CreateOptions{Mode: pagetable.FlagRead | pagetable.FlagUser})
+	defer f.Close()
+	if f.Inode().Mode()&pagetable.FlagWrite != 0 {
+		t.Fatal("mode not applied")
+	}
+}
+
+func TestExtentMerging(t *testing.T) {
+	fs, _, _ := newFS(t, PerPage)
+	f, _ := fs.Create("/f", CreateOptions{})
+	defer f.Close()
+	f.Truncate(16 * mem.FrameSize)
+	// Touch pages in order: per-page allocations from an empty buddy
+	// region are contiguous, so extents must merge.
+	for p := uint64(0); p < 8; p++ {
+		if _, _, err := f.PageFrame(p, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(f.Inode().Extents()); got != 1 {
+		t.Fatalf("extents = %d, want 1 (merged)", got)
+	}
+}
+
+func TestStatAndInodeAccessors(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	f, _ := fs.Create("/f", CreateOptions{Durability: Persistent, Discardable: true})
+	defer f.Close()
+	f.Truncate(3*mem.FrameSize + 10)
+	ino, err := fs.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ino.IsDir() || ino.Size() != 3*mem.FrameSize+10 || ino.Pages() != 4 {
+		t.Fatalf("inode: dir=%v size=%d pages=%d", ino.IsDir(), ino.Size(), ino.Pages())
+	}
+	if ino.Durability() != Persistent || !ino.Discardable() {
+		t.Fatal("attributes wrong")
+	}
+	if ino.Ino() == 0 {
+		t.Fatal("ino zero")
+	}
+	root, err := fs.Stat("/")
+	if err != nil || !root.IsDir() {
+		t.Fatalf("root stat: %v", err)
+	}
+}
+
+func TestPolicyAndDurabilityStrings(t *testing.T) {
+	if PerPage.String() != "per-page" || Extent.String() != "extent" {
+		t.Fatal("policy strings")
+	}
+	if Volatile.String() != "volatile" || Persistent.String() != "persistent" {
+		t.Fatal("durability strings")
+	}
+}
+
+// Property test: random writes followed by reads always return the
+// written bytes, under both policies.
+func TestWriteReadQuickProperty(t *testing.T) {
+	for _, policy := range []AllocPolicy{PerPage, Extent} {
+		fs, _, _ := newFS(t, policy)
+		f, err := fs.Create("/q", CreateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := make(map[uint64]byte)
+		fn := func(off32 uint32, data []byte) bool {
+			if len(data) == 0 {
+				return true
+			}
+			if len(data) > 4096 {
+				data = data[:4096]
+			}
+			off := uint64(off32) % (1 << 22) // keep files <= 4 MiB
+			if _, err := f.WriteAt(data, off); err != nil {
+				t.Logf("WriteAt: %v", err)
+				return false
+			}
+			for i, b := range data {
+				shadow[off+uint64(i)] = b
+			}
+			got := make([]byte, len(data))
+			if _, err := f.ReadAt(got, off); err != nil {
+				return false
+			}
+			return bytes.Equal(got, data)
+		}
+		if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("[%v] %v", policy, err)
+		}
+		// Full shadow verification.
+		for off, want := range shadow {
+			var b [1]byte
+			if _, err := f.ReadAt(b[:], off); err != nil {
+				t.Fatal(err)
+			}
+			if b[0] != want {
+				t.Fatalf("[%v] byte at %d = %#x, want %#x", policy, off, b[0], want)
+			}
+		}
+		if err := fs.CheckInvariants(); err != nil {
+			t.Fatalf("[%v] %v", policy, err)
+		}
+		f.Close()
+	}
+}
+
+func TestQuotaEnforced(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	if err := fs.Mkdir("/limited"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetQuota("/limited", 10); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("/limited/a", CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Truncate(8 * mem.FrameSize); err != nil {
+		t.Fatalf("within-quota truncate failed: %v", err)
+	}
+	// 3 more pages would exceed the 10-frame quota.
+	err = f.Truncate(11 * mem.FrameSize)
+	var qe *QuotaError
+	if !errorsAs(err, &qe) {
+		t.Fatalf("over-quota truncate: err = %v, want QuotaError", err)
+	}
+	used, quota, err := fs.QuotaUsage("/limited")
+	if err != nil || used != 8 || quota != 10 {
+		t.Fatalf("usage = %d/%d, %v", used, quota, err)
+	}
+	// Shrinking releases quota; growth then succeeds.
+	if err := f.Truncate(2 * mem.FrameSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(10 * mem.FrameSize); err != nil {
+		t.Fatalf("grow after shrink failed: %v", err)
+	}
+}
+
+func TestQuotaNestedDirectories(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	if err := fs.Mkdir("/outer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/outer/inner"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetQuota("/outer", 20); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/outer/inner/f", CreateOptions{})
+	defer f.Close()
+	if err := f.Truncate(16 * mem.FrameSize); err != nil {
+		t.Fatal(err)
+	}
+	// The outer quota covers the inner subtree.
+	if err := f.Truncate(24 * mem.FrameSize); err == nil {
+		t.Fatal("nested allocation exceeded outer quota")
+	}
+	used, _, _ := fs.QuotaUsage("/outer")
+	if used != 16 {
+		t.Fatalf("outer usage = %d", used)
+	}
+	usedIn, quotaIn, _ := fs.QuotaUsage("/outer/inner")
+	if usedIn != 16 || quotaIn != 0 {
+		t.Fatalf("inner usage = %d/%d", usedIn, quotaIn)
+	}
+}
+
+func TestQuotaPerPagePolicy(t *testing.T) {
+	fs, _, _ := newFS(t, PerPage)
+	if err := fs.Mkdir("/q"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetQuota("/q", 2); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/q/f", CreateOptions{})
+	defer f.Close()
+	if err := f.Truncate(5 * mem.FrameSize); err != nil {
+		t.Fatal(err) // per-page: truncate reserves nothing
+	}
+	if _, _, err := f.PageFrame(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.PageFrame(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.PageFrame(2, true); err == nil {
+		t.Fatal("third page exceeded 2-frame quota")
+	}
+}
+
+func TestQuotaFreedOnUnlink(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetQuota("/d", 8); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/d/f", CreateOptions{})
+	f.Truncate(8 * mem.FrameSize)
+	f.Close()
+	if err := fs.Unlink("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	used, _, _ := fs.QuotaUsage("/d")
+	if used != 0 {
+		t.Fatalf("usage after unlink = %d", used)
+	}
+	g, _ := fs.Create("/d/g", CreateOptions{})
+	defer g.Close()
+	if err := g.Truncate(8 * mem.FrameSize); err != nil {
+		t.Fatalf("quota not released: %v", err)
+	}
+}
+
+func TestQuotaValidation(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	if err := fs.SetQuota("/missing", 1); err == nil {
+		t.Fatal("quota on missing path accepted")
+	}
+	f, _ := fs.Create("/file", CreateOptions{})
+	defer f.Close()
+	if err := fs.SetQuota("/file", 1); err == nil {
+		t.Fatal("quota on a file accepted")
+	}
+	if _, _, err := fs.QuotaUsage("/file"); err == nil {
+		t.Fatal("QuotaUsage on a file accepted")
+	}
+}
+
+func TestRootQuotaCapsTempFiles(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	if err := fs.SetQuota("/", 4); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.CreateTemp("anon", CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.EnsureContiguous(8); err == nil {
+		t.Fatal("temp file escaped the root quota")
+	}
+	if err := f.EnsureContiguous(4); err != nil {
+		t.Fatalf("within-quota temp alloc failed: %v", err)
+	}
+}
+
+// errorsAs avoids importing errors in many call sites above.
+func errorsAs(err error, target interface{}) bool {
+	return err != nil && errors.As(err, target)
+}
+
+func TestRenameBasic(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	f, _ := fs.Create("/old", CreateOptions{})
+	if _, err := f.WriteAt([]byte("payload"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/old", "/dir/new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/old"); err == nil {
+		t.Fatal("old name still resolves")
+	}
+	g, err := fs.Open("/dir/new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if _, err := g.ReadAt(buf, 0); err != nil || string(buf) != "payload" {
+		t.Fatalf("renamed file content: %q, %v", buf, err)
+	}
+	g.Close()
+}
+
+func TestRenameValidation(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	if err := fs.Rename("/missing", "/x"); err == nil {
+		t.Fatal("rename of missing file accepted")
+	}
+	a, _ := fs.Create("/a", CreateOptions{})
+	a.Close()
+	b, _ := fs.Create("/b", CreateOptions{})
+	b.Close()
+	if err := fs.Rename("/a", "/b"); err == nil {
+		t.Fatal("rename onto existing file accepted")
+	}
+	if err := fs.Rename("/a", "/a"); err != nil {
+		t.Fatalf("self-rename should be a no-op: %v", err)
+	}
+	// Directory cycle.
+	if err := fs.Mkdir("/p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/p/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/p", "/p/c/p2"); err == nil {
+		t.Fatal("directory moved into its own subtree")
+	}
+}
+
+func TestRenameRespectsQuota(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	if err := fs.Mkdir("/small"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetQuota("/small", 4); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/big", CreateOptions{})
+	f.Truncate(16 * mem.FrameSize)
+	f.Close()
+	if err := fs.Rename("/big", "/small/big"); err == nil {
+		t.Fatal("rename into over-quota directory accepted")
+	}
+	// Source must be intact after the failed move.
+	if _, err := fs.Open("/big"); err != nil {
+		t.Fatalf("source lost after failed rename: %v", err)
+	}
+	// Growing the quota lets the move through, accounted correctly.
+	if err := fs.SetQuota("/small", 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/big", "/small/big"); err != nil {
+		t.Fatal(err)
+	}
+	used, _, _ := fs.QuotaUsage("/small")
+	if used != 16 {
+		t.Fatalf("quota usage after rename = %d, want 16", used)
+	}
+}
+
+func TestHardLinks(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	f, _ := fs.Create("/orig", CreateOptions{})
+	if _, err := f.WriteAt([]byte("shared-bytes"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.Link("/orig", "/alias"); err != nil {
+		t.Fatal(err)
+	}
+	// Both names see the same inode.
+	a, _ := fs.Stat("/orig")
+	b, _ := fs.Stat("/alias")
+	if a.Ino() != b.Ino() {
+		t.Fatal("link created a different inode")
+	}
+	// Unlinking one name keeps the data alive.
+	if err := fs.Unlink("/orig"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Open("/alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 12)
+	if _, err := g.ReadAt(buf, 0); err != nil || string(buf) != "shared-bytes" {
+		t.Fatalf("data after first unlink: %q, %v", buf, err)
+	}
+	g.Close()
+	// Dropping the last name frees the storage.
+	free0 := fs.FreeFrames()
+	if err := fs.Unlink("/alias"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.FreeFrames() <= free0 {
+		t.Fatal("storage not freed after last unlink")
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/d", "/d2"); err == nil {
+		t.Fatal("hard link to directory accepted")
+	}
+	if err := fs.Link("/missing", "/x"); err == nil {
+		t.Fatal("link to missing file accepted")
+	}
+	f, _ := fs.Create("/f", CreateOptions{})
+	f.Close()
+	if err := fs.Link("/f", "/d"); err == nil {
+		t.Fatal("link onto existing name accepted")
+	}
+}
+
+func TestTruncateFailureIsAtomic(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	total := fs.TotalFrames()
+	hog, _ := fs.Create("/hog", CreateOptions{})
+	if err := hog.Truncate((total - 16) * mem.FrameSize); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := fs.Create("/f", CreateOptions{})
+	defer f.Close()
+	// This cannot fit; the failure must leave the file (and the
+	// allocator) exactly as before.
+	if err := f.Truncate(64 * mem.FrameSize); err == nil {
+		t.Fatal("over-capacity truncate succeeded")
+	}
+	if got := f.Inode().AllocatedPages(); got != 0 {
+		t.Fatalf("failed truncate leaked %d pages into the inode", got)
+	}
+	if fs.FreeFrames() != 16 {
+		t.Fatalf("failed truncate leaked allocator frames: free=%d", fs.FreeFrames())
+	}
+	// Relieve pressure and retry: must succeed cleanly.
+	if err := hog.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(64 * mem.FrameSize); err != nil {
+		t.Fatalf("retry after pressure relief failed: %v", err)
+	}
+	if err := fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnsureExtentsLargeFile(t *testing.T) {
+	fs, _, clock := newFS(t, Extent)
+	f, _ := fs.CreateTemp("big", CreateOptions{})
+	t0 := clock.Now()
+	// 8192 pages in a region whose max block is >= 4096: few extents.
+	if err := f.EnsureExtents(8000, 1); err != nil {
+		t.Fatal(err)
+	}
+	cost := clock.Since(t0)
+	if got := f.Inode().AllocatedPages(); got != 8000 {
+		t.Fatalf("allocated %d pages", got)
+	}
+	nExt := len(f.Inode().Extents())
+	if nExt > 8 {
+		t.Fatalf("%d extents for 8000 pages, want few", nExt)
+	}
+	// Cost must be O(extents), far below per-page zeroing.
+	params := sim.DefaultParams()
+	if cost >= sim.Time(8000)*params.ZeroPage {
+		t.Fatalf("EnsureExtents cost %v not sub-linear", cost)
+	}
+	// Logical coverage is gap-free.
+	next := uint64(0)
+	for _, e := range f.Inode().Extents() {
+		if e.Logical != next {
+			t.Fatalf("extent gap at page %d", next)
+		}
+		next = e.End()
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnsureExtentsValidation(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	f, _ := fs.CreateTemp("x", CreateOptions{})
+	defer f.Close()
+	if err := f.EnsureExtents(0, 1); err == nil {
+		t.Fatal("zero-page EnsureExtents accepted")
+	}
+	if err := f.EnsureExtents(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EnsureExtents(4, 1); err == nil {
+		t.Fatal("EnsureExtents on non-empty file accepted")
+	}
+}
+
+func TestEnsureExtentsAlignment(t *testing.T) {
+	fs, _, _ := newFS(t, Extent)
+	// Fragment free space into sub-128 pieces by pinning scattered runs.
+	var pins []*File
+	for i := 0; i < 20; i++ {
+		f, _ := fs.CreateTemp("pin", CreateOptions{})
+		if err := f.EnsureExtents(100, 1); err != nil {
+			t.Fatal(err)
+		}
+		pins = append(pins, f)
+	}
+	for i := 0; i < 20; i += 2 {
+		if err := pins[i].Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, _ := fs.CreateTemp("aligned", CreateOptions{})
+	if err := f.EnsureExtents(512, 128); err != nil {
+		t.Skipf("store too fragmented for aligned run: %v", err)
+	}
+	for _, e := range f.Inode().Extents() {
+		if e.Count%128 != 0 || uint64(e.Start)%128 != 0 {
+			t.Fatalf("extent [%d,+%d) violates 128-page alignment", e.Start, e.Count)
+		}
+	}
+	// Validation paths.
+	g, _ := fs.CreateTemp("bad", CreateOptions{})
+	if err := g.EnsureExtents(512, 3); err == nil {
+		t.Fatal("non-power-of-two alignment accepted")
+	}
+	if err := g.EnsureExtents(100, 64); err == nil {
+		t.Fatal("pages not multiple of alignment accepted")
+	}
+}

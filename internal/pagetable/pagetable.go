@@ -1,0 +1,721 @@
+// Package pagetable implements an x86-64-style radix page table with 4
+// (optionally 5) levels of 512-entry nodes, 4 KiB base pages and 2 MiB /
+// 1 GiB huge leaf entries.
+//
+// The package reproduces the costs the paper attributes to page-based
+// translation: creating a mapping writes one entry *per page* (plus
+// node allocations), and a hardware walk references one node per level.
+// It also implements the two O(1) mechanisms from the paper:
+//
+//   - subtree sharing (§3.1/§4.2, Figure 3/8): an aligned interior entry
+//     of one table can point at a node owned by another table, so a
+//     whole 2 MiB or 1 GiB mapping is installed with a single entry
+//     write; and
+//   - pre-created page tables (§3.1): a table can be built once for a
+//     file and later linked into any number of processes.
+//
+// Node frames are allocated from the buddy allocator so that page-table
+// memory is part of the machine's physical accounting.
+package pagetable
+
+import (
+	"fmt"
+
+	"repro/internal/buddy"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Geometry constants.
+const (
+	// EntriesPerNode is the fan-out of every node (512 = 4 KiB of
+	// 8-byte entries).
+	EntriesPerNode = 512
+	entryIndexBits = 9
+
+	// Levels4 and Levels5 select 48-bit or 57-bit virtual addressing.
+	Levels4 = 4
+	Levels5 = 5
+)
+
+// NestedWalkRefs returns the number of memory references a two-
+// dimensional (virtualized) page walk performs with the given guest
+// and host table depths: each of the guest's levels plus the final
+// guest physical address must itself be translated through the host
+// table. For 5-level-on-5-level this is 35 — the figure the paper
+// cites for Intel's 5-level EPT ("requires up to 35 memory references
+// in virtualized systems").
+func NestedWalkRefs(guestLevels, hostLevels int) int {
+	return (guestLevels+1)*(hostLevels+1) - 1
+}
+
+// Flags are the protection bits of a mapping.
+type Flags uint8
+
+const (
+	// FlagRead marks the page readable (present implies readable on
+	// x86; the simulator keeps it explicit).
+	FlagRead Flags = 1 << iota
+	// FlagWrite marks the page writable.
+	FlagWrite
+	// FlagExec marks the page executable.
+	FlagExec
+	// FlagUser marks the page accessible from user mode.
+	FlagUser
+	// FlagCOW marks a copy-on-write page: readable now, write faults.
+	FlagCOW
+)
+
+// String renders the flags as an "rwxuc" mask.
+func (f Flags) String() string {
+	b := []byte("-----")
+	if f&FlagRead != 0 {
+		b[0] = 'r'
+	}
+	if f&FlagWrite != 0 {
+		b[1] = 'w'
+	}
+	if f&FlagExec != 0 {
+		b[2] = 'x'
+	}
+	if f&FlagUser != 0 {
+		b[3] = 'u'
+	}
+	if f&FlagCOW != 0 {
+		b[4] = 'c'
+	}
+	return string(b)
+}
+
+// entry is one slot of a node. Leaf entries carry a frame; interior
+// entries carry a child node pointer.
+type entry struct {
+	present bool
+	huge    bool // leaf at level 2 (2 MiB) or level 3 (1 GiB)
+	frame   mem.Frame
+	flags   Flags
+	child   *node
+}
+
+// node is one 512-entry page-table page.
+type node struct {
+	level   int // 1 = leaf page table; root is at Table.levels
+	frame   mem.Frame
+	entries [EntriesPerNode]entry
+	present int // number of present entries
+	refs    int // owners: >1 when shared across tables
+}
+
+// span returns the number of 4 KiB pages covered by one entry at the
+// given level (level 1 entry covers 1 page).
+func span(level int) uint64 {
+	s := uint64(1)
+	for i := 1; i < level; i++ {
+		s *= EntriesPerNode
+	}
+	return s
+}
+
+// indexAt extracts the node index for va at the given level.
+func indexAt(va mem.VirtAddr, level int) int {
+	return int((va.VPN() >> (uint(level-1) * entryIndexBits)) & (EntriesPerNode - 1))
+}
+
+// Table is one address space's page table.
+type Table struct {
+	clock  *sim.Clock
+	params *sim.Params
+	bud    *buddy.Allocator
+
+	levels int
+	root   *node
+
+	mapped uint64 // present leaf pages (4 KiB units, huge counted by span)
+
+	stats *metrics.Set
+}
+
+// New creates an empty table with the given number of levels (Levels4
+// or Levels5). The root node is allocated immediately, as in a real
+// address-space creation.
+func New(clock *sim.Clock, params *sim.Params, bud *buddy.Allocator, levels int) (*Table, error) {
+	if levels != Levels4 && levels != Levels5 {
+		return nil, fmt.Errorf("pagetable: unsupported level count %d", levels)
+	}
+	t := &Table{
+		clock:  clock,
+		params: params,
+		bud:    bud,
+		levels: levels,
+		stats:  metrics.NewSet(),
+	}
+	root, err := t.newNode(levels)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// Levels returns the table depth.
+func (t *Table) Levels() int { return t.levels }
+
+// MappedPages returns the number of 4 KiB pages currently mapped
+// (huge mappings counted by their span).
+func (t *Table) MappedPages() uint64 { return t.mapped }
+
+// Nodes returns the number of page-table nodes reachable from this
+// table's root (shared subtrees count once). It walks the tree and is
+// intended for tests and diagnostics; it charges no simulated time.
+func (t *Table) Nodes() int {
+	if t.root == nil {
+		return 0
+	}
+	seen := make(map[*node]bool)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.level == 1 {
+			return
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.present && !e.huge && e.child != nil {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	return len(seen)
+}
+
+// Stats exposes counters: "pte_writes", "node_allocs", "node_frees",
+// "walks", "subtree_links", "subtree_unlinks".
+func (t *Table) Stats() *metrics.Set { return t.stats }
+
+// MaxVirt returns the first invalid virtual address.
+func (t *Table) MaxVirt() mem.VirtAddr {
+	return mem.VirtAddr(span(t.levels+1)) << mem.FrameShift
+}
+
+func (t *Table) newNode(level int) (*node, error) {
+	f, err := t.bud.AllocFrame()
+	if err != nil {
+		return nil, fmt.Errorf("pagetable: node allocation: %w", err)
+	}
+	t.clock.Advance(t.params.PTNodeAlloc)
+	t.stats.Counter("node_allocs").Inc()
+	return &node{level: level, frame: f, refs: 1}, nil
+}
+
+// freeNode drops one reference to n. When the last reference goes, the
+// node's children are released recursively and its frame returns to
+// the buddy allocator. Shared subtrees are therefore freed exactly once,
+// by whichever table releases them last.
+func (t *Table) freeNode(n *node) error {
+	n.refs--
+	t.stats.Counter("node_frees").Inc()
+	if n.refs > 0 {
+		return nil // another table still references it
+	}
+	if n.level > 1 {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.present && !e.huge && e.child != nil {
+				if err := t.freeNode(e.child); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return t.bud.Free(n.frame)
+}
+
+func (t *Table) checkVA(va mem.VirtAddr) error {
+	if va >= t.MaxVirt() {
+		return fmt.Errorf("pagetable: virtual address %#x beyond %d-level reach", uint64(va), t.levels)
+	}
+	return nil
+}
+
+// Map installs a 4 KiB mapping va -> frame with the given flags,
+// creating intermediate nodes as needed. It charges one PTE write plus
+// walk and node-allocation costs, exactly the per-page work the paper
+// identifies as the linear term of mmap(MAP_POPULATE).
+func (t *Table) Map(va mem.VirtAddr, frame mem.Frame, flags Flags) error {
+	return t.mapEntry(va, frame, flags, 1)
+}
+
+// Map2M installs a 2 MiB huge mapping. va must be 2 MiB aligned and
+// frame 512-frame aligned.
+func (t *Table) Map2M(va mem.VirtAddr, frame mem.Frame, flags Flags) error {
+	if uint64(va)%(mem.HugeFrames2M*mem.FrameSize) != 0 || uint64(frame)%mem.HugeFrames2M != 0 {
+		return fmt.Errorf("pagetable: unaligned 2MiB mapping va=%#x frame=%d", uint64(va), frame)
+	}
+	return t.mapEntry(va, frame, flags, 2)
+}
+
+// Map1G installs a 1 GiB huge mapping. va must be 1 GiB aligned and
+// frame 512²-frame aligned.
+func (t *Table) Map1G(va mem.VirtAddr, frame mem.Frame, flags Flags) error {
+	if uint64(va)%(mem.HugeFrames1G*mem.FrameSize) != 0 || uint64(frame)%mem.HugeFrames1G != 0 {
+		return fmt.Errorf("pagetable: unaligned 1GiB mapping va=%#x frame=%d", uint64(va), frame)
+	}
+	return t.mapEntry(va, frame, flags, 3)
+}
+
+func (t *Table) mapEntry(va mem.VirtAddr, frame mem.Frame, flags Flags, leafLevel int) error {
+	if err := t.checkVA(va); err != nil {
+		return err
+	}
+	n := t.root
+	for n.level > leafLevel {
+		t.clock.Advance(t.params.WalkLevelRef)
+		idx := indexAt(va, n.level)
+		e := &n.entries[idx]
+		if e.present && e.huge {
+			return fmt.Errorf("pagetable: va %#x already covered by a level-%d huge mapping", uint64(va), n.level)
+		}
+		if !e.present {
+			child, err := t.newNode(n.level - 1)
+			if err != nil {
+				return err
+			}
+			e.present = true
+			e.child = child
+			n.present++
+			t.chargePTE()
+		}
+		if e.child.refs > 1 {
+			return fmt.Errorf("pagetable: va %#x lies in a shared subtree; unlink before modifying", uint64(va))
+		}
+		n = e.child
+	}
+	if n.level != leafLevel {
+		return fmt.Errorf("pagetable: internal: reached level %d, want %d", n.level, leafLevel)
+	}
+	idx := indexAt(va, leafLevel)
+	e := &n.entries[idx]
+	if e.present {
+		return fmt.Errorf("pagetable: va %#x already mapped", uint64(va))
+	}
+	e.present = true
+	e.huge = leafLevel > 1
+	e.frame = frame
+	e.flags = flags
+	e.child = nil
+	n.present++
+	t.chargePTE()
+	t.mapped += span(leafLevel)
+	return nil
+}
+
+func (t *Table) chargePTE() {
+	t.clock.Advance(t.params.PTEWrite)
+	t.stats.Counter("pte_writes").Inc()
+}
+
+// MapRange maps count contiguous pages starting at va to contiguous
+// frames starting at frame — the baseline populate loop: cost is
+// linear in count.
+func (t *Table) MapRange(va mem.VirtAddr, frame mem.Frame, count uint64, flags Flags) error {
+	for i := uint64(0); i < count; i++ {
+		if err := t.Map(va+mem.VirtAddr(i*mem.FrameSize), frame+mem.Frame(i), flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Walk performs a hardware page walk for va, charging one memory
+// reference per level traversed. It returns the translated physical
+// address, the mapping's flags, and the number of levels referenced.
+// ok is false if no translation exists.
+func (t *Table) Walk(va mem.VirtAddr) (pa mem.PhysAddr, flags Flags, levels int, ok bool) {
+	t.stats.Counter("walks").Inc()
+	n := t.root
+	for {
+		levels++
+		t.clock.Advance(t.params.WalkLevelRef)
+		if err := t.checkVA(va); err != nil {
+			return 0, 0, levels, false
+		}
+		e := &n.entries[indexAt(va, n.level)]
+		if !e.present {
+			return 0, 0, levels, false
+		}
+		if n.level == 1 || e.huge {
+			pageSpan := span(n.level) * mem.FrameSize
+			off := uint64(va) % pageSpan
+			return e.frame.Addr() + mem.PhysAddr(off), e.flags, levels, true
+		}
+		n = e.child
+	}
+}
+
+// Lookup is Walk without charging virtual time or counters; it is the
+// assertion/debug path.
+func (t *Table) Lookup(va mem.VirtAddr) (pa mem.PhysAddr, flags Flags, ok bool) {
+	if va >= t.MaxVirt() {
+		return 0, 0, false
+	}
+	n := t.root
+	for {
+		e := &n.entries[indexAt(va, n.level)]
+		if !e.present {
+			return 0, 0, false
+		}
+		if n.level == 1 || e.huge {
+			pageSpan := span(n.level) * mem.FrameSize
+			off := uint64(va) % pageSpan
+			return e.frame.Addr() + mem.PhysAddr(off), e.flags, true
+		}
+		n = e.child
+	}
+}
+
+// PageSize returns the size in bytes of the mapping covering va
+// (4 KiB, 2 MiB or 1 GiB), or 0 if unmapped.
+func (t *Table) PageSize(va mem.VirtAddr) uint64 {
+	if va >= t.MaxVirt() {
+		return 0
+	}
+	n := t.root
+	for {
+		e := &n.entries[indexAt(va, n.level)]
+		if !e.present {
+			return 0
+		}
+		if n.level == 1 || e.huge {
+			return span(n.level) * mem.FrameSize
+		}
+		n = e.child
+	}
+}
+
+// Unmap removes the mapping covering va (of whatever page size) and
+// returns the frame it mapped and its span in 4 KiB pages. Empty
+// intermediate nodes are freed, as in free_pgtables().
+func (t *Table) Unmap(va mem.VirtAddr) (mem.Frame, uint64, error) {
+	if err := t.checkVA(va); err != nil {
+		return 0, 0, err
+	}
+	frame, pages, err := t.unmapRec(t.root, va)
+	if err != nil {
+		return 0, 0, err
+	}
+	t.mapped -= pages
+	return frame, pages, nil
+}
+
+func (t *Table) unmapRec(n *node, va mem.VirtAddr) (mem.Frame, uint64, error) {
+	t.clock.Advance(t.params.WalkLevelRef)
+	e := &n.entries[indexAt(va, n.level)]
+	if !e.present {
+		return 0, 0, fmt.Errorf("pagetable: va %#x not mapped", uint64(va))
+	}
+	if n.level == 1 || e.huge {
+		frame := e.frame
+		pages := span(n.level)
+		*e = entry{}
+		n.present--
+		t.chargePTE()
+		return frame, pages, nil
+	}
+	child := e.child
+	if child.refs > 1 {
+		return 0, 0, fmt.Errorf("pagetable: va %#x lies in a shared subtree; use UnlinkSubtree", uint64(va))
+	}
+	frame, pages, err := t.unmapRec(child, va)
+	if err != nil {
+		return 0, 0, err
+	}
+	if child.present == 0 {
+		if err := t.freeNode(child); err != nil {
+			return 0, 0, err
+		}
+		*e = entry{}
+		n.present--
+		t.chargePTE()
+	}
+	return frame, pages, nil
+}
+
+// UnmapRange unmaps count pages starting at va, invoking fn (if
+// non-nil) with each unmapped frame and its span. Cost is linear in
+// the number of mappings removed.
+func (t *Table) UnmapRange(va mem.VirtAddr, count uint64, fn func(mem.Frame, uint64)) error {
+	end := va + mem.VirtAddr(count*mem.FrameSize)
+	for va < end {
+		sz := t.PageSize(va)
+		if sz == 0 {
+			va += mem.FrameSize
+			continue
+		}
+		frame, pages, err := t.Unmap(va)
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			fn(frame, pages)
+		}
+		va += mem.VirtAddr(sz)
+	}
+	return nil
+}
+
+// Protect rewrites the flags of the mapping covering va. It returns an
+// error if va is unmapped or inside a shared subtree.
+func (t *Table) Protect(va mem.VirtAddr, flags Flags) error {
+	if err := t.checkVA(va); err != nil {
+		return err
+	}
+	n := t.root
+	for {
+		t.clock.Advance(t.params.WalkLevelRef)
+		e := &n.entries[indexAt(va, n.level)]
+		if !e.present {
+			return fmt.Errorf("pagetable: protect of unmapped va %#x", uint64(va))
+		}
+		if n.level == 1 || e.huge {
+			e.flags = flags
+			t.chargePTE()
+			return nil
+		}
+		if e.child.refs > 1 {
+			return fmt.Errorf("pagetable: va %#x lies in a shared subtree", uint64(va))
+		}
+		n = e.child
+	}
+}
+
+// SubtreeLevel returns the level of the interior entry that exactly
+// covers a naturally aligned region of the given page count:
+// 512 pages -> level 2 (2 MiB node), 512² -> level 3, 512³ -> level 4.
+func SubtreeLevel(pages uint64) (int, error) {
+	switch pages {
+	case EntriesPerNode:
+		return 2, nil
+	case EntriesPerNode * EntriesPerNode:
+		return 3, nil
+	case EntriesPerNode * EntriesPerNode * EntriesPerNode:
+		return 4, nil
+	default:
+		return 0, fmt.Errorf("pagetable: %d pages is not a subtree span", pages)
+	}
+}
+
+// LinkSubtree points this table's interior entry covering va at the
+// node that covers srcVA in src — the paper's Figure 3/8 mechanism.
+// Both addresses must be aligned to the subtree span for the given
+// level. The cost is a single entry write regardless of how many pages
+// the subtree maps: this is what makes shared mapping O(1).
+func (t *Table) LinkSubtree(va mem.VirtAddr, src *Table, srcVA mem.VirtAddr, level int) error {
+	if level < 2 || level >= t.levels+1 {
+		return fmt.Errorf("pagetable: cannot link at level %d", level)
+	}
+	alignPages := span(level)
+	if va.VPN()%alignPages != 0 || srcVA.VPN()%alignPages != 0 {
+		return fmt.Errorf("pagetable: LinkSubtree addresses not aligned to level-%d span", level)
+	}
+	if err := t.checkVA(va); err != nil {
+		return err
+	}
+	// A level-N interior entry points at a level-(N-1) node; that node
+	// is the shared subtree.
+	srcNode, err := src.subtreeNode(srcVA, level-1)
+	if err != nil {
+		return err
+	}
+	// Descend to the node holding the level-`level` entry.
+	n := t.root
+	for n.level > level {
+		t.clock.Advance(t.params.WalkLevelRef)
+		idx := indexAt(va, n.level)
+		e := &n.entries[idx]
+		if !e.present {
+			child, err := t.newNode(n.level - 1)
+			if err != nil {
+				return err
+			}
+			e.present = true
+			e.child = child
+			n.present++
+			t.chargePTE()
+		} else if e.huge {
+			return fmt.Errorf("pagetable: va %#x covered by huge mapping", uint64(va))
+		}
+		n = e.child
+	}
+	e := &n.entries[indexAt(va, level)]
+	if e.present {
+		return fmt.Errorf("pagetable: va %#x already mapped", uint64(va))
+	}
+	srcNode.refs++
+	e.present = true
+	e.child = srcNode
+	n.present++
+	t.chargePTE()
+	t.stats.Counter("subtree_links").Inc()
+	t.mapped += srcPresentPages(srcNode)
+	return nil
+}
+
+// subtreeNode returns the node covering va at the given level.
+func (t *Table) subtreeNode(va mem.VirtAddr, level int) (*node, error) {
+	if err := t.checkVA(va); err != nil {
+		return nil, err
+	}
+	n := t.root
+	for n.level > level {
+		e := &n.entries[indexAt(va, n.level)]
+		if !e.present || e.huge {
+			return nil, fmt.Errorf("pagetable: no level-%d subtree at va %#x", level, uint64(va))
+		}
+		n = e.child
+	}
+	return n, nil
+}
+
+// srcPresentPages counts the pages currently mapped under a subtree
+// (used only for the mapped-page gauge; not charged as simulated work).
+func srcPresentPages(n *node) uint64 {
+	if n.level == 1 {
+		return uint64(n.present)
+	}
+	var total uint64
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.present {
+			continue
+		}
+		if e.huge {
+			total += span(n.level)
+		} else {
+			total += srcPresentPages(e.child)
+		}
+	}
+	return total
+}
+
+// UnlinkSubtree removes a previously linked subtree entry covering va
+// at the given level. Like LinkSubtree, the cost is a single entry
+// write.
+func (t *Table) UnlinkSubtree(va mem.VirtAddr, level int) error {
+	if err := t.checkVA(va); err != nil {
+		return err
+	}
+	n := t.root
+	for n.level > level {
+		t.clock.Advance(t.params.WalkLevelRef)
+		e := &n.entries[indexAt(va, n.level)]
+		if !e.present || e.huge {
+			return fmt.Errorf("pagetable: no mapping at va %#x", uint64(va))
+		}
+		n = e.child
+	}
+	e := &n.entries[indexAt(va, level)]
+	if !e.present || e.child == nil {
+		return fmt.Errorf("pagetable: no subtree linked at va %#x level %d", uint64(va), level)
+	}
+	child := e.child
+	t.mapped -= srcPresentPages(child)
+	if err := t.freeNode(child); err != nil {
+		return err
+	}
+	*e = entry{}
+	n.present--
+	t.chargePTE()
+	t.stats.Counter("subtree_unlinks").Inc()
+	// Prune intermediate nodes the link's installation created, so a
+	// later link at a higher level finds the slot free.
+	return t.pruneEmpty(t.root, va)
+}
+
+// pruneEmpty frees empty interior nodes along the path to va.
+func (t *Table) pruneEmpty(n *node, va mem.VirtAddr) error {
+	if n.level == 1 {
+		return nil
+	}
+	e := &n.entries[indexAt(va, n.level)]
+	if !e.present || e.huge || e.child == nil {
+		return nil
+	}
+	child := e.child
+	if child.refs > 1 {
+		return nil // shared: not ours to prune
+	}
+	if err := t.pruneEmpty(child, va); err != nil {
+		return err
+	}
+	if child.present == 0 {
+		if err := t.freeNode(child); err != nil {
+			return err
+		}
+		*e = entry{}
+		n.present--
+		t.chargePTE()
+	}
+	return nil
+}
+
+// Destroy tears down the whole table, freeing every owned node. Frames
+// of shared subtrees are freed only when their last owner destroys
+// them.
+func (t *Table) Destroy() error {
+	if t.root == nil {
+		return nil
+	}
+	if err := t.freeNode(t.root); err != nil {
+		return err
+	}
+	t.root = nil
+	t.mapped = 0
+	return nil
+}
+
+// CheckInvariants validates present-entry counts throughout the tree.
+func (t *Table) CheckInvariants() error {
+	if t.root == nil {
+		return nil
+	}
+	return checkRec(t.root)
+}
+
+func checkRec(n *node) error {
+	count := 0
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.present {
+			if e.child != nil {
+				return fmt.Errorf("pagetable: absent entry with child at level %d", n.level)
+			}
+			continue
+		}
+		count++
+		if n.level > 1 && !e.huge {
+			if e.child == nil {
+				return fmt.Errorf("pagetable: interior present entry with nil child at level %d", n.level)
+			}
+			if e.child.level != n.level-1 {
+				return fmt.Errorf("pagetable: child level %d under level %d", e.child.level, n.level)
+			}
+			if e.child.refs == 1 {
+				if err := checkRec(e.child); err != nil {
+					return err
+				}
+			}
+		}
+		if e.huge && (n.level < 2 || n.level > 3) {
+			return fmt.Errorf("pagetable: huge entry at level %d", n.level)
+		}
+	}
+	if count != n.present {
+		return fmt.Errorf("pagetable: level-%d node has %d present entries, counter says %d", n.level, count, n.present)
+	}
+	return nil
+}

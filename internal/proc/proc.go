@@ -1,0 +1,410 @@
+// Package proc models process lifecycles over both memory backends:
+// the baseline VM (package vm) and file-only memory (package core).
+//
+// It realizes the paper's launch model (§3.1): "code segments, heap
+// segments, and stack segments can all be represented as separate
+// files". A Manager owns one simulated machine with both backends
+// mounted; LaunchBaseline and LaunchFOM start processes whose segments
+// are backed the corresponding way, behind one Process interface so
+// experiments and examples can run identical workloads on both.
+package proc
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Image describes the program being launched.
+type Image struct {
+	// Code is the executable file (mapped read+exec). Required.
+	Code *memfs.File
+	// StackPages sizes the main thread stack (default 32 = 128 KiB).
+	StackPages uint64
+	// HeapPages sizes the initial heap (default 256 = 1 MiB).
+	HeapPages uint64
+}
+
+func (img *Image) defaults() {
+	if img.StackPages == 0 {
+		img.StackPages = 32
+	}
+	if img.HeapPages == 0 {
+		img.HeapPages = 256
+	}
+}
+
+// Process is a running program on either backend.
+type Process interface {
+	// ReadHeap and WriteHeap access the heap through the backend's
+	// full translation path (TLBs, walks, faults).
+	ReadHeap(off uint64, buf []byte) error
+	WriteHeap(off uint64, data []byte) error
+	// TouchStack exercises the stack segment.
+	TouchStack(off uint64, write bool) error
+	// ReadCode fetches from the code segment (read-only).
+	ReadCode(off uint64, buf []byte) error
+	// GrowHeap extends the heap by pages.
+	GrowHeap(pages uint64) error
+	// HeapPages returns the current heap size in pages.
+	HeapPages() uint64
+	// Exit terminates the process, reclaiming all its memory.
+	Exit() error
+}
+
+// Manager owns one machine with both backends.
+type Manager struct {
+	Clock  *sim.Clock
+	Params *sim.Params
+	Memory *mem.Memory
+	Kernel *vm.Kernel   // baseline backend
+	FOM    *core.System // file-only-memory backend
+	Tmpfs  *memfs.FS    // page-granular fs used by the baseline for files
+}
+
+// MachineConfig sizes the simulated machine.
+type MachineConfig struct {
+	DRAMFrames  uint64 // baseline pool + page tables (default 64 Ki = 256 MiB)
+	NVMFrames   uint64 // file systems (default 512 Ki = 2 GiB)
+	TmpfsFrames uint64 // slice of NVM handed to tmpfs (default quarter)
+}
+
+// NewManager builds the machine and mounts both backends.
+func NewManager(cfg MachineConfig) (*Manager, error) {
+	if cfg.DRAMFrames == 0 {
+		cfg.DRAMFrames = 64 << 10
+	}
+	if cfg.NVMFrames == 0 {
+		cfg.NVMFrames = 512 << 10
+	}
+	if cfg.TmpfsFrames == 0 {
+		cfg.TmpfsFrames = cfg.NVMFrames / 4
+	}
+	if cfg.TmpfsFrames >= cfg.NVMFrames {
+		return nil, fmt.Errorf("proc: tmpfs (%d) must be smaller than NVM (%d)", cfg.TmpfsFrames, cfg.NVMFrames)
+	}
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: cfg.DRAMFrames, NVMFrames: cfg.NVMFrames})
+	if err != nil {
+		return nil, err
+	}
+	kernel, err := vm.NewKernel(clock, &params, memory, vm.Config{PoolBase: 0, PoolFrames: cfg.DRAMFrames})
+	if err != nil {
+		return nil, err
+	}
+	nvm, _ := memory.Region(mem.NVM)
+	tmpfs, err := memfs.New("tmpfs", memfs.PerPage, clock, &params, memory, nvm.Start, cfg.TmpfsFrames)
+	if err != nil {
+		return nil, err
+	}
+	fom, err := core.NewSystem(clock, &params, memory, core.Options{
+		FSBase:   nvm.Start + mem.Frame(cfg.TmpfsFrames),
+		FSFrames: nvm.Count - cfg.TmpfsFrames,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		Clock:  clock,
+		Params: &params,
+		Memory: memory,
+		Kernel: kernel,
+		FOM:    fom,
+		Tmpfs:  tmpfs,
+	}, nil
+}
+
+// WriteProgram creates a code file of the given page count on the
+// backend-appropriate file system, filled with a recognizable pattern.
+func (m *Manager) WriteProgram(fs *memfs.FS, path string, pages uint64) (*memfs.File, error) {
+	f, err := fs.Create(path, memfs.CreateOptions{
+		Mode:       pagetable.FlagRead | pagetable.FlagExec | pagetable.FlagUser,
+		Durability: memfs.Persistent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	text := make([]byte, pages*mem.FrameSize)
+	for i := range text {
+		text[i] = byte(0x90) // nop sled
+	}
+	if _, err := f.WriteAt(text, 0); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// WriteProgramFOM creates a chunk-aligned contiguous code file on the
+// file-only-memory store, suitable for O(1) mapping in either
+// translation mode.
+func (m *Manager) WriteProgramFOM(path string, pages uint64) (*memfs.File, error) {
+	f, err := m.FOM.CreateContiguousFile(path, pages, memfs.CreateOptions{
+		Mode:       pagetable.FlagRead | pagetable.FlagExec | pagetable.FlagUser,
+		Durability: memfs.Persistent,
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	text := make([]byte, pages*mem.FrameSize)
+	for i := range text {
+		text[i] = 0x90
+	}
+	if _, err := f.WriteAt(text, 0); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+const (
+	rx = pagetable.FlagRead | pagetable.FlagExec | pagetable.FlagUser
+	rw = pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
+)
+
+// --- Baseline process -------------------------------------------------
+
+// BaselineProc runs on the traditional VM.
+type BaselineProc struct {
+	mgr   *Manager
+	as    *vm.AddressSpace
+	code  mem.VirtAddr
+	stack mem.VirtAddr
+	heap  mem.VirtAddr
+	heapN uint64
+	codeN uint64
+}
+
+// LaunchBaseline starts a process on the baseline VM: the code file is
+// demand-mapped, stack and heap are anonymous mappings populated page
+// by page on first touch.
+func (m *Manager) LaunchBaseline(img Image) (*BaselineProc, error) {
+	img.defaults()
+	if img.Code == nil {
+		return nil, fmt.Errorf("proc: image has no code file")
+	}
+	as, err := m.Kernel.NewAddressSpace()
+	if err != nil {
+		return nil, err
+	}
+	p := &BaselineProc{mgr: m, as: as, heapN: img.HeapPages, codeN: img.Code.Inode().Pages()}
+	if p.code, err = as.Mmap(vm.MmapRequest{
+		Pages: p.codeN, Prot: rx, File: img.Code, Private: true,
+	}); err != nil {
+		return nil, err
+	}
+	if p.stack, err = as.Mmap(vm.MmapRequest{Pages: img.StackPages, Prot: rw, Anon: true, Private: true}); err != nil {
+		return nil, err
+	}
+	if p.heap, err = as.Mmap(vm.MmapRequest{Pages: img.HeapPages, Prot: rw, Anon: true, Private: true}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// AddressSpace exposes the underlying address space.
+func (p *BaselineProc) AddressSpace() *vm.AddressSpace { return p.as }
+
+// ReadHeap implements Process.
+func (p *BaselineProc) ReadHeap(off uint64, buf []byte) error {
+	if err := p.checkHeap(off, uint64(len(buf))); err != nil {
+		return err
+	}
+	return p.as.ReadBuf(p.heap+mem.VirtAddr(off), buf)
+}
+
+// WriteHeap implements Process.
+func (p *BaselineProc) WriteHeap(off uint64, data []byte) error {
+	if err := p.checkHeap(off, uint64(len(data))); err != nil {
+		return err
+	}
+	return p.as.WriteBuf(p.heap+mem.VirtAddr(off), data)
+}
+
+func (p *BaselineProc) checkHeap(off, n uint64) error {
+	if off+n > p.heapN*mem.FrameSize {
+		return fmt.Errorf("proc: heap access [%d,+%d) beyond %d pages", off, n, p.heapN)
+	}
+	return nil
+}
+
+// TouchStack implements Process.
+func (p *BaselineProc) TouchStack(off uint64, write bool) error {
+	return p.as.Touch(p.stack+mem.VirtAddr(off), write)
+}
+
+// ReadCode implements Process.
+func (p *BaselineProc) ReadCode(off uint64, buf []byte) error {
+	return p.as.ReadBuf(p.code+mem.VirtAddr(off), buf)
+}
+
+// GrowHeap implements Process: brk() extends the anonymous heap VMA
+// (merged by the VMA layer).
+func (p *BaselineProc) GrowHeap(pages uint64) error {
+	_, err := p.as.Mmap(vm.MmapRequest{
+		Addr:  p.heap + mem.VirtAddr(p.heapN*mem.FrameSize),
+		Pages: pages, Prot: rw, Anon: true, Private: true,
+	})
+	if err != nil {
+		return err
+	}
+	p.heapN += pages
+	return nil
+}
+
+// HeapPages implements Process.
+func (p *BaselineProc) HeapPages() uint64 { return p.heapN }
+
+// Fork duplicates the process COW-style (baseline only; file-only
+// memory has no COW, one of the trade-offs §3.1 concedes).
+func (p *BaselineProc) Fork() (*BaselineProc, error) {
+	as, err := p.as.Fork()
+	if err != nil {
+		return nil, err
+	}
+	cp := *p
+	cp.as = as
+	return &cp, nil
+}
+
+// Exit implements Process.
+func (p *BaselineProc) Exit() error { return p.as.Destroy() }
+
+// --- File-only-memory process -----------------------------------------
+
+// FOMProc runs on file-only memory: every segment is a file.
+type FOMProc struct {
+	mgr   *Manager
+	proc  *core.Process
+	code  *core.Mapping
+	stack *core.Mapping
+	heaps []*core.Mapping // heap grows by appending segments (files)
+	heapN uint64
+}
+
+// LaunchFOM starts a process on file-only memory. The code file is
+// mapped in one O(1) operation; stack and heap are single-extent
+// anonymous files ("creating a thread stack becomes allocating a file
+// with a single extent", §3.1).
+func (m *Manager) LaunchFOM(img Image, mode core.TranslationMode) (*FOMProc, error) {
+	img.defaults()
+	if img.Code == nil {
+		return nil, fmt.Errorf("proc: image has no code file")
+	}
+	cp, err := m.FOM.NewProcess(mode)
+	if err != nil {
+		return nil, err
+	}
+	p := &FOMProc{mgr: m, proc: cp, heapN: img.HeapPages}
+	if p.code, err = cp.MapFile(img.Code, rx); err != nil {
+		return nil, err
+	}
+	if p.stack, err = cp.AllocVolatile(img.StackPages, rw); err != nil {
+		return nil, err
+	}
+	heap, err := cp.AllocVolatile(img.HeapPages, rw)
+	if err != nil {
+		return nil, err
+	}
+	p.heaps = []*core.Mapping{heap}
+	return p, nil
+}
+
+// Core exposes the underlying file-only-memory process.
+func (p *FOMProc) Core() *core.Process { return p.proc }
+
+// heapLocate maps a heap offset to (mapping, offset-within-mapping).
+func (p *FOMProc) heapLocate(off uint64) (*core.Mapping, uint64, error) {
+	for _, h := range p.heaps {
+		if off < h.Bytes() {
+			return h, off, nil
+		}
+		off -= h.Bytes()
+	}
+	return nil, 0, fmt.Errorf("proc: heap offset beyond %d pages", p.heapN)
+}
+
+// ReadHeap implements Process.
+func (p *FOMProc) ReadHeap(off uint64, buf []byte) error {
+	return p.heapIO(off, buf, false)
+}
+
+// WriteHeap implements Process.
+func (p *FOMProc) WriteHeap(off uint64, data []byte) error {
+	return p.heapIO(off, data, true)
+}
+
+func (p *FOMProc) heapIO(off uint64, buf []byte, write bool) error {
+	for len(buf) > 0 {
+		h, hoff, err := p.heapLocate(off)
+		if err != nil {
+			return err
+		}
+		n := h.Bytes() - hoff
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		va, err := h.VAForOffset(hoff)
+		if err != nil {
+			return err
+		}
+		if write {
+			err = p.proc.WriteBuf(va, buf[:n])
+		} else {
+			err = p.proc.ReadBuf(va, buf[:n])
+		}
+		if err != nil {
+			return err
+		}
+		buf = buf[n:]
+		off += n
+	}
+	return nil
+}
+
+// TouchStack implements Process.
+func (p *FOMProc) TouchStack(off uint64, write bool) error {
+	va, err := p.stack.VAForOffset(off)
+	if err != nil {
+		return err
+	}
+	return p.proc.Touch(va, write)
+}
+
+// ReadCode implements Process.
+func (p *FOMProc) ReadCode(off uint64, buf []byte) error {
+	va, err := p.code.VAForOffset(off)
+	if err != nil {
+		return err
+	}
+	return p.proc.ReadBuf(va, buf)
+}
+
+// GrowHeap implements Process: another O(1) single-extent file.
+func (p *FOMProc) GrowHeap(pages uint64) error {
+	h, err := p.proc.AllocVolatile(pages, rw)
+	if err != nil {
+		return err
+	}
+	p.heaps = append(p.heaps, h)
+	p.heapN += pages
+	return nil
+}
+
+// HeapPages implements Process.
+func (p *FOMProc) HeapPages() uint64 { return p.heapN }
+
+// Exit implements Process: file-grain reclamation of every segment.
+func (p *FOMProc) Exit() error { return p.proc.Exit() }
+
+// Interface conformance.
+var (
+	_ Process = (*BaselineProc)(nil)
+	_ Process = (*FOMProc)(nil)
+)

@@ -1,0 +1,221 @@
+package proc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+func newMgr(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager(MachineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestManagerValidation(t *testing.T) {
+	if _, err := NewManager(MachineConfig{NVMFrames: 100, TmpfsFrames: 100}); err == nil {
+		t.Fatal("tmpfs == NVM accepted")
+	}
+}
+
+func TestLaunchRequiresCode(t *testing.T) {
+	m := newMgr(t)
+	if _, err := m.LaunchBaseline(Image{}); err == nil {
+		t.Fatal("baseline launch without code accepted")
+	}
+	if _, err := m.LaunchFOM(Image{}, core.Ranges); err == nil {
+		t.Fatal("FOM launch without code accepted")
+	}
+}
+
+// runLifecycle exercises a process through the shared interface.
+func runLifecycle(t *testing.T, p Process) {
+	t.Helper()
+	data := bytes.Repeat([]byte("heap-data"), 1000)
+	if err := p.WriteHeap(100, data); err != nil {
+		t.Fatalf("WriteHeap: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := p.ReadHeap(100, got); err != nil {
+		t.Fatalf("ReadHeap: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("heap round trip mismatch")
+	}
+	if err := p.TouchStack(0, true); err != nil {
+		t.Fatalf("TouchStack: %v", err)
+	}
+	code := make([]byte, 16)
+	if err := p.ReadCode(0, code); err != nil {
+		t.Fatalf("ReadCode: %v", err)
+	}
+	for _, b := range code {
+		if b != 0x90 {
+			t.Fatalf("code byte %#x, want 0x90", b)
+		}
+	}
+	// Heap bounds.
+	if err := p.WriteHeap(p.HeapPages()*mem.FrameSize, []byte{1}); err == nil {
+		t.Fatal("write past heap end accepted")
+	}
+	// Grow and use the new region.
+	oldPages := p.HeapPages()
+	if err := p.GrowHeap(64); err != nil {
+		t.Fatalf("GrowHeap: %v", err)
+	}
+	if p.HeapPages() != oldPages+64 {
+		t.Fatalf("HeapPages = %d", p.HeapPages())
+	}
+	if err := p.WriteHeap(oldPages*mem.FrameSize+5, []byte("grown")); err != nil {
+		t.Fatalf("write to grown heap: %v", err)
+	}
+	b := make([]byte, 5)
+	if err := p.ReadHeap(oldPages*mem.FrameSize+5, b); err != nil || string(b) != "grown" {
+		t.Fatalf("read grown heap: %q, %v", b, err)
+	}
+	if err := p.Exit(); err != nil {
+		t.Fatalf("Exit: %v", err)
+	}
+}
+
+func TestBaselineLifecycle(t *testing.T) {
+	m := newMgr(t)
+	code, err := m.WriteProgram(m.Tmpfs, "/prog", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.LaunchBaseline(Image{Code: code})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runLifecycle(t, p)
+}
+
+func TestFOMLifecycleBothModes(t *testing.T) {
+	for _, mode := range []core.TranslationMode{core.Ranges, core.SharedPT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m := newMgr(t)
+			code, err := m.WriteProgramFOM("/prog", 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := m.LaunchFOM(Image{Code: code}, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runLifecycle(t, p)
+		})
+	}
+}
+
+func TestBaselineFork(t *testing.T) {
+	m := newMgr(t)
+	code, _ := m.WriteProgram(m.Tmpfs, "/forker", 2)
+	parent, err := m.LaunchBaseline(Image{Code: code})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.WriteHeap(0, []byte("pre-fork")); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := child.ReadHeap(0, got); err != nil || string(got) != "pre-fork" {
+		t.Fatalf("child heap: %q, %v", got, err)
+	}
+	if err := child.WriteHeap(0, []byte("child!!!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.ReadHeap(0, got); err != nil || string(got) != "pre-fork" {
+		t.Fatalf("parent heap after child write: %q, %v", got, err)
+	}
+	if err := child.Exit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Exit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodeWriteProtected(t *testing.T) {
+	m := newMgr(t)
+	codeB, _ := m.WriteProgram(m.Tmpfs, "/b", 2)
+	pb, err := m.LaunchBaseline(Image{Code: codeB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pb.AddressSpace().Touch(pb.code, true); err == nil {
+		t.Fatal("baseline: write to code segment accepted")
+	}
+
+	codeF, _ := m.WriteProgramFOM("/f", 2)
+	pf, err := m.LaunchFOM(Image{Code: codeF}, core.Ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := pf.code.VAForOffset(0)
+	if err := pf.Core().Touch(va, true); err == nil {
+		t.Fatal("FOM: write to code segment accepted")
+	}
+}
+
+func TestFOMExitReclaims(t *testing.T) {
+	m := newMgr(t)
+	code, _ := m.WriteProgramFOM("/x", 2)
+	free0 := m.FOM.FreeFrames()
+	p, err := m.LaunchFOM(Image{Code: code}, core.Ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.GrowHeap(512); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Exit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FOM.FreeFrames(); got != free0 {
+		t.Fatalf("FOM frames leaked at exit: %d -> %d", free0, got)
+	}
+}
+
+func TestSameWorkloadBothBackends(t *testing.T) {
+	// The same heap workload must produce identical data on both
+	// backends — only the costs differ.
+	m := newMgr(t)
+	codeB, _ := m.WriteProgram(m.Tmpfs, "/w", 2)
+	codeF, _ := m.WriteProgramFOM("/w", 2)
+	pb, err := m.LaunchBaseline(Image{Code: codeB, HeapPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := m.LaunchFOM(Image{Code: codeF, HeapPages: 128}, core.Ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Process{pb, pf} {
+		for i := uint64(0); i < 128; i++ {
+			if err := p.WriteHeap(i*mem.FrameSize, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, p := range []Process{pb, pf} {
+		for i := uint64(0); i < 128; i += 17 {
+			var b [1]byte
+			if err := p.ReadHeap(i*mem.FrameSize, b[:]); err != nil {
+				t.Fatal(err)
+			}
+			if b[0] != byte(i) {
+				t.Fatalf("heap[%d] = %d", i, b[0])
+			}
+		}
+	}
+}

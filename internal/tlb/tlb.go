@@ -1,0 +1,325 @@
+// Package tlb models a processor translation lookaside buffer: a split
+// first level (separate 4 KiB and 2 MiB/1 GiB arrays, as on modern x86
+// cores) backed by a unified second level. Entries are set-associative
+// with LRU replacement inside each set.
+//
+// The TLB is the reason §3.2/§4.3 of the paper argue software O(1) is
+// not enough: every miss costs a page walk, so even a pre-populated
+// page-table mapping pays a per-page charge on first access. The range
+// TLB in package rangetable removes that term for contiguous extents.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+)
+
+// PageSize identifies the mapping granularity of a TLB entry.
+type PageSize int
+
+// Supported page sizes.
+const (
+	Size4K PageSize = iota
+	Size2M
+	Size1G
+)
+
+// Frames returns the page size in 4 KiB frames.
+func (s PageSize) Frames() uint64 {
+	switch s {
+	case Size4K:
+		return 1
+	case Size2M:
+		return mem.HugeFrames2M
+	case Size1G:
+		return mem.HugeFrames1G
+	default:
+		panic(fmt.Sprintf("tlb: unknown page size %d", int(s)))
+	}
+}
+
+// Bytes returns the page size in bytes.
+func (s PageSize) Bytes() uint64 { return s.Frames() * mem.FrameSize }
+
+// String returns the conventional size name.
+func (s PageSize) String() string {
+	switch s {
+	case Size4K:
+		return "4K"
+	case Size2M:
+		return "2M"
+	case Size1G:
+		return "1G"
+	default:
+		return fmt.Sprintf("PageSize(%d)", int(s))
+	}
+}
+
+// SizeForFrames maps a frame span to a PageSize.
+func SizeForFrames(frames uint64) (PageSize, error) {
+	switch frames {
+	case 1:
+		return Size4K, nil
+	case mem.HugeFrames2M:
+		return Size2M, nil
+	case mem.HugeFrames1G:
+		return Size1G, nil
+	default:
+		return Size4K, fmt.Errorf("tlb: %d frames is not a page size", frames)
+	}
+}
+
+// Translation is a cached virtual-to-physical mapping.
+type Translation struct {
+	Frame mem.Frame // first frame of the page
+	Size  PageSize
+	Flags pagetable.Flags
+}
+
+// Translate applies the cached mapping to va.
+func (tr Translation) Translate(va mem.VirtAddr) mem.PhysAddr {
+	off := uint64(va) % tr.Size.Bytes()
+	return tr.Frame.Addr() + mem.PhysAddr(off)
+}
+
+type entryT struct {
+	valid bool
+	vpn   uint64 // va >> size-dependent shift
+	tr    Translation
+	lru   uint64
+}
+
+type array struct {
+	sets  int
+	ways  int
+	data  []entryT // sets*ways
+	stamp uint64
+}
+
+func newArray(sets, ways int) *array {
+	return &array{sets: sets, ways: ways, data: make([]entryT, sets*ways)}
+}
+
+func vpnFor(va mem.VirtAddr, size PageSize) uint64 {
+	switch size {
+	case Size4K:
+		return uint64(va) >> 12
+	case Size2M:
+		return uint64(va) >> 21
+	default:
+		return uint64(va) >> 30
+	}
+}
+
+func (a *array) lookup(vpn uint64) (*entryT, bool) {
+	set := int(vpn % uint64(a.sets))
+	base := set * a.ways
+	for i := 0; i < a.ways; i++ {
+		e := &a.data[base+i]
+		if e.valid && e.vpn == vpn {
+			a.stamp++
+			e.lru = a.stamp
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// insert returns true if an existing valid entry was evicted.
+func (a *array) insert(vpn uint64, tr Translation) (evicted entryT, wasEvict bool) {
+	set := int(vpn % uint64(a.sets))
+	base := set * a.ways
+	victim := base
+	for i := 0; i < a.ways; i++ {
+		e := &a.data[base+i]
+		if !e.valid {
+			victim = base + i
+			break
+		}
+		if e.lru < a.data[victim].lru {
+			victim = base + i
+		}
+	}
+	v := &a.data[victim]
+	if v.valid {
+		evicted, wasEvict = *v, true
+	}
+	a.stamp++
+	*v = entryT{valid: true, vpn: vpn, tr: tr, lru: a.stamp}
+	return evicted, wasEvict
+}
+
+func (a *array) invalidate(vpn uint64) bool {
+	set := int(vpn % uint64(a.sets))
+	base := set * a.ways
+	for i := 0; i < a.ways; i++ {
+		e := &a.data[base+i]
+		if e.valid && e.vpn == vpn {
+			e.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+func (a *array) flush() int {
+	n := 0
+	for i := range a.data {
+		if a.data[i].valid {
+			a.data[i].valid = false
+			n++
+		}
+	}
+	return n
+}
+
+// Config sets the TLB geometry.
+type Config struct {
+	L1Sets4K, L1Ways4K     int
+	L1SetsHuge, L1WaysHuge int
+	L2Sets, L2Ways         int
+}
+
+// DefaultConfig mirrors a contemporary x86 core: 64-entry 4-way L1 for
+// 4 KiB pages, 32-entry 4-way L1 for huge pages, 1536-entry 12-way
+// unified L2.
+func DefaultConfig() Config {
+	return Config{
+		L1Sets4K: 16, L1Ways4K: 4,
+		L1SetsHuge: 8, L1WaysHuge: 4,
+		L2Sets: 128, L2Ways: 12,
+	}
+}
+
+// TLB is the translation cache of one simulated core.
+type TLB struct {
+	clock  *sim.Clock
+	params *sim.Params
+
+	l14k   *array
+	l1huge *array
+	l2     *array // unified; vpn keyed at the entry's native size, tagged by size in flags bits — we key by (vpn, size) folded
+
+	stats *metrics.Set
+}
+
+// New creates a TLB with the given geometry.
+func New(clock *sim.Clock, params *sim.Params, cfg Config) *TLB {
+	return &TLB{
+		clock:  clock,
+		params: params,
+		l14k:   newArray(cfg.L1Sets4K, cfg.L1Ways4K),
+		l1huge: newArray(cfg.L1SetsHuge, cfg.L1WaysHuge),
+		l2:     newArray(cfg.L2Sets, cfg.L2Ways),
+		stats:  metrics.NewSet(),
+	}
+}
+
+// Stats exposes counters: "l1_hits", "l2_hits", "misses",
+// "evictions", "flushes", "shootdowns".
+func (t *TLB) Stats() *metrics.Set { return t.stats }
+
+// l2key folds the page size into the key so differently sized entries
+// cannot alias in the unified array.
+func l2key(vpn uint64, size PageSize) uint64 {
+	return vpn<<2 | uint64(size)
+}
+
+// Lookup probes the TLB for va. On a hit it charges TLBHit and returns
+// the translation; on a miss it charges the miss-probe cost and the
+// caller must walk the page table and Insert the result.
+func (t *TLB) Lookup(va mem.VirtAddr) (Translation, bool) {
+	// L1 probes happen in parallel in hardware; charge a single hit.
+	for _, probe := range []struct {
+		arr  *array
+		size PageSize
+	}{
+		{t.l14k, Size4K},
+		{t.l1huge, Size2M},
+		{t.l1huge, Size1G},
+	} {
+		if e, ok := probe.arr.lookup(vpnFor(va, probe.size)); ok && e.tr.Size == probe.size {
+			t.clock.Advance(t.params.TLBHit)
+			t.stats.Counter("l1_hits").Inc()
+			return e.tr, true
+		}
+	}
+	// L2 probe.
+	for _, size := range []PageSize{Size4K, Size2M, Size1G} {
+		if e, ok := t.l2.lookup(l2key(vpnFor(va, size), size)); ok {
+			t.clock.Advance(t.params.TLBHit + t.params.TLBMiss)
+			t.stats.Counter("l2_hits").Inc()
+			// Promote to L1.
+			t.insertL1(va, e.tr)
+			return e.tr, true
+		}
+	}
+	t.clock.Advance(t.params.TLBMiss)
+	t.stats.Counter("misses").Inc()
+	return Translation{}, false
+}
+
+func (t *TLB) insertL1(va mem.VirtAddr, tr Translation) {
+	arr := t.l14k
+	if tr.Size != Size4K {
+		arr = t.l1huge
+	}
+	if _, evict := arr.insert(vpnFor(va, tr.Size), tr); evict {
+		t.stats.Counter("evictions").Inc()
+	}
+}
+
+// Insert caches a translation for va (typically after a page walk).
+// Entries are installed in both L1 and L2, as on inclusive designs.
+func (t *TLB) Insert(va mem.VirtAddr, tr Translation) {
+	t.insertL1(va, tr)
+	if _, evict := t.l2.insert(l2key(vpnFor(va, tr.Size), tr.Size), tr); evict {
+		t.stats.Counter("evictions").Inc()
+	}
+}
+
+// InvalidateVA drops any entry covering va (all sizes, both levels),
+// charging the single-entry invalidation cost.
+func (t *TLB) InvalidateVA(va mem.VirtAddr) {
+	t.l14k.invalidate(vpnFor(va, Size4K))
+	t.l1huge.invalidate(vpnFor(va, Size2M))
+	t.l1huge.invalidate(vpnFor(va, Size1G))
+	for _, size := range []PageSize{Size4K, Size2M, Size1G} {
+		t.l2.invalidate(l2key(vpnFor(va, size), size))
+	}
+	t.clock.Advance(t.params.TLBFlushEntry)
+}
+
+// FlushAll invalidates the entire TLB (a CR3 write), charging the
+// per-entry flush cost for every valid entry.
+func (t *TLB) FlushAll() {
+	n := t.l14k.flush() + t.l1huge.flush() + t.l2.flush()
+	t.clock.Advance(sim.Time(n) * t.params.TLBFlushEntry)
+	t.stats.Counter("flushes").Inc()
+}
+
+// Shootdown models notifying other cores to invalidate va: one IPI
+// broadcast plus the local invalidation.
+func (t *TLB) Shootdown(va mem.VirtAddr) {
+	t.clock.Advance(t.params.TLBShootdown)
+	t.InvalidateVA(va)
+	t.stats.Counter("shootdowns").Inc()
+}
+
+// ValidEntries returns the number of valid entries across both levels
+// (diagnostic).
+func (t *TLB) ValidEntries() int {
+	n := 0
+	for _, a := range []*array{t.l14k, t.l1huge, t.l2} {
+		for i := range a.data {
+			if a.data[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+)
+
+func newTLB(t *testing.T) (*TLB, *sim.Clock, sim.Params) {
+	t.Helper()
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	return New(clock, &params, DefaultConfig()), clock, params
+}
+
+func TestPageSizeHelpers(t *testing.T) {
+	if Size4K.Frames() != 1 || Size2M.Frames() != 512 || Size1G.Frames() != 512*512 {
+		t.Fatal("Frames wrong")
+	}
+	if Size2M.Bytes() != 2<<20 {
+		t.Fatal("Bytes wrong")
+	}
+	if Size4K.String() != "4K" || Size2M.String() != "2M" || Size1G.String() != "1G" {
+		t.Fatal("String wrong")
+	}
+	if s, err := SizeForFrames(512); err != nil || s != Size2M {
+		t.Fatalf("SizeForFrames(512) = %v, %v", s, err)
+	}
+	if _, err := SizeForFrames(3); err == nil {
+		t.Fatal("SizeForFrames(3) accepted")
+	}
+}
+
+func TestTranslationTranslate(t *testing.T) {
+	tr := Translation{Frame: 100, Size: Size2M}
+	va := mem.VirtAddr(2<<20 + 0x3456) // in the second 2M page if base were 0
+	got := tr.Translate(va)
+	want := mem.Frame(100).Addr() + 0x3456
+	if got != want {
+		t.Fatalf("Translate = %#x, want %#x", uint64(got), uint64(want))
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	tl, _, _ := newTLB(t)
+	va := mem.VirtAddr(0x7000)
+	if _, ok := tl.Lookup(va); ok {
+		t.Fatal("hit on empty TLB")
+	}
+	tl.Insert(va, Translation{Frame: 7, Size: Size4K, Flags: pagetable.FlagRead})
+	tr, ok := tl.Lookup(va)
+	if !ok || tr.Frame != 7 {
+		t.Fatalf("lookup after insert: ok=%v frame=%d", ok, tr.Frame)
+	}
+	if tl.Stats().Value("l1_hits") != 1 || tl.Stats().Value("misses") != 1 {
+		t.Fatalf("stats: %s", tl.Stats())
+	}
+}
+
+func TestHitIsCheaperThanMiss(t *testing.T) {
+	tl, clock, params := newTLB(t)
+	va := mem.VirtAddr(0x9000)
+	tl.Insert(va, Translation{Frame: 9, Size: Size4K})
+	t0 := clock.Now()
+	tl.Lookup(va)
+	hitCost := clock.Since(t0)
+	t1 := clock.Now()
+	tl.Lookup(0xFFFF000)
+	missCost := clock.Since(t1)
+	if hitCost != params.TLBHit {
+		t.Fatalf("hit cost %v, want %v", hitCost, params.TLBHit)
+	}
+	if missCost <= hitCost {
+		t.Fatalf("miss (%v) not costlier than hit (%v)", missCost, hitCost)
+	}
+}
+
+func TestHugeEntryCoversWholePage(t *testing.T) {
+	tl, _, _ := newTLB(t)
+	base := mem.VirtAddr(2 << 20)
+	tl.Insert(base, Translation{Frame: 512, Size: Size2M})
+	// Any address inside the 2M page must hit.
+	tr, ok := tl.Lookup(base + 1234567%((2<<20)-1))
+	if !ok || tr.Size != Size2M {
+		t.Fatalf("huge lookup: ok=%v size=%v", ok, tr.Size)
+	}
+	// An address in the next 2M page must miss.
+	if _, ok := tl.Lookup(base + 2<<20); ok {
+		t.Fatal("hit outside huge page")
+	}
+}
+
+func Test1GEntry(t *testing.T) {
+	tl, _, _ := newTLB(t)
+	tl.Insert(0, Translation{Frame: 0, Size: Size1G})
+	if _, ok := tl.Lookup(512 << 20); !ok {
+		t.Fatal("1G entry did not cover interior address")
+	}
+	if _, ok := tl.Lookup(1 << 30); ok {
+		t.Fatal("1G entry covered next gigabyte")
+	}
+}
+
+func TestInvalidateVA(t *testing.T) {
+	tl, _, _ := newTLB(t)
+	va := mem.VirtAddr(0x4000)
+	tl.Insert(va, Translation{Frame: 4, Size: Size4K})
+	tl.InvalidateVA(va)
+	if _, ok := tl.Lookup(va); ok {
+		t.Fatal("entry survived invalidation")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tl, clock, _ := newTLB(t)
+	for i := 0; i < 20; i++ {
+		tl.Insert(mem.VirtAddr(i)<<12, Translation{Frame: mem.Frame(i), Size: Size4K})
+	}
+	if tl.ValidEntries() == 0 {
+		t.Fatal("no entries before flush")
+	}
+	t0 := clock.Now()
+	tl.FlushAll()
+	if clock.Since(t0) <= 0 {
+		t.Fatal("flush charged no time")
+	}
+	if tl.ValidEntries() != 0 {
+		t.Fatalf("%d entries survived flush", tl.ValidEntries())
+	}
+}
+
+func TestShootdownCost(t *testing.T) {
+	tl, clock, params := newTLB(t)
+	va := mem.VirtAddr(0x8000)
+	tl.Insert(va, Translation{Frame: 8, Size: Size4K})
+	t0 := clock.Now()
+	tl.Shootdown(va)
+	if clock.Since(t0) < params.TLBShootdown {
+		t.Fatal("shootdown cheaper than IPI cost")
+	}
+	if _, ok := tl.Lookup(va); ok {
+		t.Fatal("entry survived shootdown")
+	}
+}
+
+func TestL2CatchesL1Evictions(t *testing.T) {
+	tl, _, _ := newTLB(t)
+	// Fill far beyond L1 capacity (64 4K entries) but within L2 (1536).
+	// Use the same L1 set by stepping by L1Sets4K pages.
+	n := 300
+	for i := 0; i < n; i++ {
+		va := mem.VirtAddr(i) * mem.FrameSize
+		tl.Insert(va, Translation{Frame: mem.Frame(i), Size: Size4K})
+	}
+	// Early entries should have been evicted from L1 but still hit L2.
+	tl.Stats().Reset()
+	hits := 0
+	for i := 0; i < n; i++ {
+		va := mem.VirtAddr(i) * mem.FrameSize
+		if tr, ok := tl.Lookup(va); ok && tr.Frame == mem.Frame(i) {
+			hits++
+		}
+	}
+	if hits != n {
+		t.Fatalf("only %d/%d survived in the hierarchy", hits, n)
+	}
+	if tl.Stats().Value("l2_hits") == 0 {
+		t.Fatal("expected some L2 hits after L1 overflow")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tl, _, _ := newTLB(t)
+	// Insert more 4K entries than the whole hierarchy holds.
+	n := 4000
+	for i := 0; i < n; i++ {
+		va := mem.VirtAddr(i) * mem.FrameSize
+		tl.Insert(va, Translation{Frame: mem.Frame(i), Size: Size4K})
+	}
+	if tl.Stats().Value("evictions") == 0 {
+		t.Fatal("no evictions after overflowing capacity")
+	}
+	// Sparse touch over a huge region: every access must miss —
+	// the behaviour that motivates range translations.
+	tl.Stats().Reset()
+	misses := 0
+	for i := 0; i < 100; i++ {
+		va := mem.VirtAddr(n+i*7919) * mem.FrameSize
+		if _, ok := tl.Lookup(va); !ok {
+			misses++
+		}
+	}
+	if misses != 100 {
+		t.Fatalf("%d/100 cold lookups missed, want all", misses)
+	}
+}
+
+func TestMixedSizesDoNotAlias(t *testing.T) {
+	tl, _, _ := newTLB(t)
+	tl.Insert(0, Translation{Frame: 1, Size: Size4K})
+	tl.Insert(2<<20, Translation{Frame: 512, Size: Size2M})
+	tr, ok := tl.Lookup(0)
+	if !ok || tr.Size != Size4K || tr.Frame != 1 {
+		t.Fatalf("4K entry wrong: %+v ok=%v", tr, ok)
+	}
+	tr, ok = tl.Lookup(2<<20 + 0x5000)
+	if !ok || tr.Size != Size2M {
+		t.Fatalf("2M entry wrong: %+v ok=%v", tr, ok)
+	}
+}

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Target executes trace operations on some memory backend.
+type Target interface {
+	// Name identifies the backend in reports.
+	Name() string
+	// Alloc creates an allocation of the given page count for handle
+	// id.
+	Alloc(id int, pages uint64) error
+	// Free releases handle id.
+	Free(id int) error
+	// Touch accesses one page of handle id.
+	Touch(id int, page uint64, write bool) error
+}
+
+const rw = pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
+
+// Report summarizes a replay.
+type Report struct {
+	Backend string
+	Ops     int
+	// Virtual time per op kind.
+	AllocTime sim.Time
+	FreeTime  sim.Time
+	TouchTime sim.Time
+	Allocs    int
+	Frees     int
+	Touches   int
+}
+
+// Total returns the whole replay's virtual time.
+func (r Report) Total() sim.Time { return r.AllocTime + r.FreeTime + r.TouchTime }
+
+// String renders the report.
+func (r Report) String() string {
+	perTouch := float64(0)
+	if r.Touches > 0 {
+		perTouch = float64(r.TouchTime) / float64(r.Touches)
+	}
+	return fmt.Sprintf(
+		"backend=%s ops=%d total=%v\n  alloc: %d ops in %v\n  free:  %d ops in %v\n  touch: %d ops in %v (%.1f ns/touch)",
+		r.Backend, r.Ops, r.Total(), r.Allocs, r.AllocTime, r.Frees, r.FreeTime,
+		r.Touches, r.TouchTime, perTouch)
+}
+
+// Replay executes the trace on the target, attributing virtual time by
+// operation kind.
+func Replay(t *Trace, target Target, clock *sim.Clock) (Report, error) {
+	if err := t.Validate(); err != nil {
+		return Report{}, err
+	}
+	rep := Report{Backend: target.Name(), Ops: len(t.Ops)}
+	for i, op := range t.Ops {
+		start := clock.Now()
+		var err error
+		switch op.Kind {
+		case OpAlloc:
+			err = target.Alloc(op.ID, op.Pages)
+			rep.AllocTime += clock.Since(start)
+			rep.Allocs++
+		case OpFree:
+			err = target.Free(op.ID)
+			rep.FreeTime += clock.Since(start)
+			rep.Frees++
+		case OpTouch:
+			err = target.Touch(op.ID, op.Page, op.Write)
+			rep.TouchTime += clock.Since(start)
+			rep.Touches++
+		}
+		if err != nil {
+			return rep, fmt.Errorf("trace: op %d (%s id=%d): %w", i, op.Kind, op.ID, err)
+		}
+	}
+	return rep, nil
+}
+
+// VMTarget replays onto a baseline address space.
+type VMTarget struct {
+	as       *vm.AddressSpace
+	populate bool
+	regions  map[int]struct {
+		va    mem.VirtAddr
+		pages uint64
+	}
+}
+
+// NewVMTarget wraps a baseline address space. populate selects
+// MAP_POPULATE for allocations.
+func NewVMTarget(as *vm.AddressSpace, populate bool) *VMTarget {
+	return &VMTarget{
+		as:       as,
+		populate: populate,
+		regions: make(map[int]struct {
+			va    mem.VirtAddr
+			pages uint64
+		}),
+	}
+}
+
+// Name implements Target.
+func (t *VMTarget) Name() string {
+	if t.populate {
+		return "baseline-populate"
+	}
+	return "baseline-demand"
+}
+
+// Alloc implements Target.
+func (t *VMTarget) Alloc(id int, pages uint64) error {
+	va, err := t.as.Mmap(vm.MmapRequest{Pages: pages, Prot: rw, Anon: true, Private: true, Populate: t.populate})
+	if err != nil {
+		return err
+	}
+	t.regions[id] = struct {
+		va    mem.VirtAddr
+		pages uint64
+	}{va, pages}
+	return nil
+}
+
+// Free implements Target.
+func (t *VMTarget) Free(id int) error {
+	r, ok := t.regions[id]
+	if !ok {
+		return fmt.Errorf("vm target: unknown handle %d", id)
+	}
+	delete(t.regions, id)
+	return t.as.Munmap(r.va, r.pages)
+}
+
+// Touch implements Target.
+func (t *VMTarget) Touch(id int, page uint64, write bool) error {
+	r, ok := t.regions[id]
+	if !ok {
+		return fmt.Errorf("vm target: unknown handle %d", id)
+	}
+	return t.as.Touch(r.va+mem.VirtAddr(page*mem.FrameSize), write)
+}
+
+// FOMTarget replays onto a file-only-memory process.
+type FOMTarget struct {
+	p        *core.Process
+	mappings map[int]*core.Mapping
+}
+
+// NewFOMTarget wraps a file-only-memory process.
+func NewFOMTarget(p *core.Process) *FOMTarget {
+	return &FOMTarget{p: p, mappings: make(map[int]*core.Mapping)}
+}
+
+// Name implements Target.
+func (t *FOMTarget) Name() string { return "fom-" + t.p.Mode().String() }
+
+// Alloc implements Target.
+func (t *FOMTarget) Alloc(id int, pages uint64) error {
+	m, err := t.p.AllocVolatile(pages, rw)
+	if err != nil {
+		return err
+	}
+	t.mappings[id] = m
+	return nil
+}
+
+// Free implements Target.
+func (t *FOMTarget) Free(id int) error {
+	m, ok := t.mappings[id]
+	if !ok {
+		return fmt.Errorf("fom target: unknown handle %d", id)
+	}
+	delete(t.mappings, id)
+	return t.p.Unmap(m)
+}
+
+// Touch implements Target.
+func (t *FOMTarget) Touch(id int, page uint64, write bool) error {
+	m, ok := t.mappings[id]
+	if !ok {
+		return fmt.Errorf("fom target: unknown handle %d", id)
+	}
+	va, err := m.VAForOffset(page * mem.FrameSize)
+	if err != nil {
+		return err
+	}
+	return t.p.Touch(va, write)
+}
+
+var (
+	_ Target = (*VMTarget)(nil)
+	_ Target = (*FOMTarget)(nil)
+)

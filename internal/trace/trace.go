@@ -1,0 +1,196 @@
+// Package trace records and replays memory-operation traces against
+// either backend. A trace is a deterministic sequence of allocate /
+// free / touch operations (JSON-lines on disk), generated synthetically
+// from the workload distributions or captured from an application; the
+// replayer executes it against the baseline VM or file-only memory and
+// reports where the virtual time went.
+//
+// Traces stand in for the production allocator traces the paper's
+// evaluation methodology would want but which are not publicly
+// available (see DESIGN.md §2).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// OpKind names a trace operation.
+type OpKind string
+
+// Supported operations.
+const (
+	OpAlloc OpKind = "alloc" // allocate Pages pages; result handle = ID
+	OpFree  OpKind = "free"  // free allocation ID
+	OpTouch OpKind = "touch" // touch page Page of allocation ID
+)
+
+// Op is one trace record.
+type Op struct {
+	Kind  OpKind `json:"op"`
+	ID    int    `json:"id"`
+	Pages uint64 `json:"pages,omitempty"`
+	Page  uint64 `json:"page,omitempty"`
+	Write bool   `json:"write,omitempty"`
+}
+
+// Trace is an ordered operation sequence.
+type Trace struct {
+	Name string
+	Ops  []Op
+}
+
+// Write encodes the trace as JSON lines (one op per line, preceded by
+// a header line holding the name).
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header := struct {
+		Trace string `json:"trace"`
+		Ops   int    `json:"ops"`
+	}{t.Name, len(t.Ops)}
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for i := range t.Ops {
+		if err := enc.Encode(&t.Ops[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header struct {
+		Trace string `json:"trace"`
+		Ops   int    `json:"ops"`
+	}
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	t := &Trace{Name: header.Trace}
+	for {
+		var op Op
+		if err := dec.Decode(&op); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("trace: reading op %d: %w", len(t.Ops), err)
+		}
+		t.Ops = append(t.Ops, op)
+	}
+	if header.Ops != 0 && header.Ops != len(t.Ops) {
+		return nil, fmt.Errorf("trace: header says %d ops, file holds %d", header.Ops, len(t.Ops))
+	}
+	return t, nil
+}
+
+// Validate checks referential integrity: frees and touches refer to
+// live allocations, touches stay in bounds.
+func (t *Trace) Validate() error {
+	live := make(map[int]uint64)
+	for i, op := range t.Ops {
+		switch op.Kind {
+		case OpAlloc:
+			if op.Pages == 0 {
+				return fmt.Errorf("trace: op %d: zero-page alloc", i)
+			}
+			if _, dup := live[op.ID]; dup {
+				return fmt.Errorf("trace: op %d: handle %d reused while live", i, op.ID)
+			}
+			live[op.ID] = op.Pages
+		case OpFree:
+			if _, ok := live[op.ID]; !ok {
+				return fmt.Errorf("trace: op %d: free of dead handle %d", i, op.ID)
+			}
+			delete(live, op.ID)
+		case OpTouch:
+			pages, ok := live[op.ID]
+			if !ok {
+				return fmt.Errorf("trace: op %d: touch of dead handle %d", i, op.ID)
+			}
+			if op.Page >= pages {
+				return fmt.Errorf("trace: op %d: touch page %d beyond %d", i, op.Page, pages)
+			}
+		default:
+			return fmt.Errorf("trace: op %d: unknown kind %q", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// GenSpec configures synthetic trace generation.
+type GenSpec struct {
+	Name      string
+	Ops       int               // total operations
+	SizeDist  workload.SizeDist // allocation sizes
+	MinPages  uint64
+	MaxPages  uint64
+	TouchFrac float64 // fraction of ops that are touches (rest split alloc/free)
+	WriteFrac float64 // fraction of touches that write
+	Seed      uint64
+}
+
+// Generate builds a valid synthetic trace from the spec.
+func Generate(spec GenSpec) (*Trace, error) {
+	if spec.Ops <= 0 {
+		return nil, fmt.Errorf("trace: non-positive op count")
+	}
+	if spec.TouchFrac < 0 || spec.TouchFrac > 1 || spec.WriteFrac < 0 || spec.WriteFrac > 1 {
+		return nil, fmt.Errorf("trace: fractions must be in [0,1]")
+	}
+	if spec.MinPages == 0 {
+		spec.MinPages = 1
+	}
+	if spec.MaxPages < spec.MinPages {
+		spec.MaxPages = spec.MinPages
+	}
+	sizes, err := workload.AllocSizes(spec.SizeDist, spec.Ops, spec.MinPages, spec.MaxPages, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(spec.Seed + 1)
+	t := &Trace{Name: spec.Name}
+	type liveAlloc struct {
+		id    int
+		pages uint64
+	}
+	var live []liveAlloc
+	nextID := 0
+	for i := 0; i < spec.Ops; i++ {
+		r := rng.Float64()
+		switch {
+		case len(live) > 0 && r < spec.TouchFrac:
+			a := live[rng.Intn(len(live))]
+			t.Ops = append(t.Ops, Op{
+				Kind:  OpTouch,
+				ID:    a.id,
+				Page:  rng.Uint64n(a.pages),
+				Write: rng.Float64() < spec.WriteFrac,
+			})
+		case len(live) > 4 && r < spec.TouchFrac+(1-spec.TouchFrac)/2:
+			j := rng.Intn(len(live))
+			t.Ops = append(t.Ops, Op{Kind: OpFree, ID: live[j].id})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default:
+			id := nextID
+			nextID++
+			pages := sizes[i]
+			t.Ops = append(t.Ops, Op{Kind: OpAlloc, ID: id, Pages: pages})
+			live = append(live, liveAlloc{id, pages})
+		}
+	}
+	// Close out: free everything so replays leave clean state.
+	for _, a := range live {
+		t.Ops = append(t.Ops, Op{Kind: OpFree, ID: a.id})
+	}
+	return t, t.Validate()
+}

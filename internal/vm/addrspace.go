@@ -1,0 +1,604 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/metrics"
+	"repro/internal/pagetable"
+	"repro/internal/tlb"
+)
+
+// mmapBase is where automatic placement starts searching, mirroring the
+// upper mmap area of a 48-bit layout.
+const mmapBase = mem.VirtAddr(1) << 40
+
+// VMA is one virtual memory area.
+type VMA struct {
+	Start mem.VirtAddr
+	End   mem.VirtAddr // exclusive
+	Prot  pagetable.Flags
+
+	Anon    bool
+	File    *memfs.File
+	FileOff uint64 // file page index at Start
+	Private bool   // MAP_PRIVATE: writes COW into anon pages
+	Locked  bool   // mlock'd at map time
+
+	// UserFault, if set, resolves faults in this VMA in user space
+	// (the userfaultfd mechanism §3.1 points applications at for
+	// do-it-yourself swapping). The handler returns the page's initial
+	// contents.
+	UserFault UserFaultHandler
+
+	// Huge backs the VMA with 2 MiB pages (anonymous + populated
+	// only): far fewer PTEs and TLB entries, at the price of aligned
+	// contiguous physical memory and internal fragmentation — the §3
+	// trade-off.
+	Huge bool
+
+	populate bool
+}
+
+// UserFaultHandler supplies the contents of a faulting page. page is
+// the page index within the VMA. The returned slice may be shorter
+// than a page (the rest is zero-filled).
+type UserFaultHandler func(page uint64, write bool) ([]byte, error)
+
+// Pages returns the VMA's length in pages.
+func (v *VMA) Pages() uint64 { return uint64(v.End-v.Start) / mem.FrameSize }
+
+// Contains reports whether va falls inside the VMA.
+func (v *VMA) Contains(va mem.VirtAddr) bool { return va >= v.Start && va < v.End }
+
+// AddressSpace is one process's baseline-VM address space.
+type AddressSpace struct {
+	kernel *Kernel
+	asid   int
+
+	vmas []*VMA // sorted by Start, non-overlapping
+	pt   *pagetable.Table
+	tlb  *tlb.TLB
+
+	// swapped records pages that have been swapped out: va -> slot.
+	swapped map[mem.VirtAddr]int
+
+	stats *metrics.Set
+}
+
+// NewAddressSpace creates an empty address space with its own page
+// table and TLB state.
+func (k *Kernel) NewAddressSpace() (*AddressSpace, error) {
+	pt, err := pagetable.New(k.Clock, k.Params, k.pool, k.levels)
+	if err != nil {
+		return nil, err
+	}
+	k.nextASID++
+	return &AddressSpace{
+		kernel:  k,
+		asid:    k.nextASID,
+		pt:      pt,
+		tlb:     tlb.New(k.Clock, k.Params, tlb.DefaultConfig()),
+		swapped: make(map[mem.VirtAddr]int),
+		stats:   metrics.NewSet(),
+	}, nil
+}
+
+// Stats exposes per-address-space counters: "mmaps", "munmaps",
+// "populated_pages", "touches".
+func (a *AddressSpace) Stats() *metrics.Set { return a.stats }
+
+// PageTable exposes the address space's page table (diagnostics and
+// the ablation benches).
+func (a *AddressSpace) PageTable() *pagetable.Table { return a.pt }
+
+// TLB exposes the address space's TLB.
+func (a *AddressSpace) TLB() *tlb.TLB { return a.tlb }
+
+// VMACount returns the number of VMAs.
+func (a *AddressSpace) VMACount() int { return len(a.vmas) }
+
+// MappedPages returns the number of present PTEs.
+func (a *AddressSpace) MappedPages() uint64 { return a.pt.MappedPages() }
+
+// findVMA returns the VMA containing va.
+func (a *AddressSpace) findVMA(va mem.VirtAddr) (*VMA, bool) {
+	a.kernel.Clock.Advance(a.kernel.Params.VMAOp)
+	i := sort.Search(len(a.vmas), func(i int) bool { return a.vmas[i].End > va })
+	if i < len(a.vmas) && a.vmas[i].Contains(va) {
+		return a.vmas[i], true
+	}
+	return nil, false
+}
+
+// findGap returns a free region of the given page count at or above
+// mmapBase.
+func (a *AddressSpace) findGap(pages uint64) (mem.VirtAddr, error) {
+	length := mem.VirtAddr(pages * mem.FrameSize)
+	cur := mmapBase
+	for _, v := range a.vmas {
+		if v.End <= cur {
+			continue
+		}
+		if v.Start >= cur+length {
+			break
+		}
+		cur = v.End
+	}
+	if cur+length >= a.pt.MaxVirt() {
+		return 0, fmt.Errorf("vm: address space exhausted")
+	}
+	return cur, nil
+}
+
+// findAlignedGap is findGap with an alignment constraint in pages.
+func (a *AddressSpace) findAlignedGap(pages, alignPages uint64) (mem.VirtAddr, error) {
+	align := mem.VirtAddr(alignPages * mem.FrameSize)
+	length := mem.VirtAddr(pages * mem.FrameSize)
+	cur := mmapBase
+	for _, v := range a.vmas {
+		if v.End <= cur {
+			continue
+		}
+		if v.Start >= cur+length {
+			break
+		}
+		cur = v.End
+		if rem := cur % align; rem != 0 {
+			cur += align - rem
+		}
+	}
+	if rem := cur % align; rem != 0 {
+		cur += align - rem
+	}
+	if cur+length >= a.pt.MaxVirt() {
+		return 0, fmt.Errorf("vm: address space exhausted")
+	}
+	// The post-alignment position may collide; verify.
+	if a.overlapsExisting(cur, pages) {
+		return 0, fmt.Errorf("vm: no aligned gap for %d pages", pages)
+	}
+	return cur, nil
+}
+
+// MmapRequest describes a mapping request.
+type MmapRequest struct {
+	// Addr is the fixed placement address (0 = kernel chooses).
+	Addr mem.VirtAddr
+	// Pages is the length in 4 KiB pages.
+	Pages uint64
+	// Prot is the mapping protection.
+	Prot pagetable.Flags
+	// Anon selects anonymous memory; otherwise File must be set.
+	Anon bool
+	// File is the backing file for file mappings (a reference is taken
+	// for the lifetime of the mapping).
+	File *memfs.File
+	// FileOff is the first file page mapped.
+	FileOff uint64
+	// Populate pre-faults every page (MAP_POPULATE).
+	Populate bool
+	// Private requests copy-on-write semantics for writes.
+	Private bool
+	// Locked mlocks the region (implies Populate, like MAP_LOCKED).
+	Locked bool
+	// UserFault registers a user-space fault handler for the region
+	// (anonymous mappings only, incompatible with Populate).
+	UserFault UserFaultHandler
+	// Huge requests 2 MiB pages (anonymous only; implies Populate;
+	// Pages must be a multiple of 512).
+	Huge bool
+}
+
+// Mmap creates a mapping and returns its address. It charges the
+// syscall overhead plus VMA bookkeeping; with Populate it additionally
+// pays the per-page population loop that Figure 6a measures.
+func (a *AddressSpace) Mmap(req MmapRequest) (mem.VirtAddr, error) {
+	k := a.kernel
+	k.Clock.Advance(k.Params.SyscallOverhead + k.Params.MmapFixed)
+	if req.Pages == 0 {
+		return 0, fmt.Errorf("vm: empty mapping")
+	}
+	if !req.Anon && req.File == nil {
+		return 0, fmt.Errorf("vm: file mapping without file")
+	}
+	if req.Anon && req.File != nil {
+		return 0, fmt.Errorf("vm: anonymous mapping with file")
+	}
+	if req.Prot == 0 {
+		return 0, fmt.Errorf("vm: PROT_NONE mappings not supported")
+	}
+	addr := req.Addr
+	if addr == 0 {
+		var err error
+		addr, err = a.findGap(req.Pages)
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		if uint64(addr)%mem.FrameSize != 0 {
+			return 0, fmt.Errorf("vm: unaligned fixed address %#x", uint64(addr))
+		}
+		if a.overlapsExisting(addr, req.Pages) {
+			return 0, fmt.Errorf("vm: fixed mapping at %#x overlaps existing VMA", uint64(addr))
+		}
+	}
+	if req.Locked {
+		req.Populate = true
+	}
+	if req.UserFault != nil {
+		if !req.Anon {
+			return 0, fmt.Errorf("vm: user-fault regions must be anonymous")
+		}
+		if req.Populate {
+			return 0, fmt.Errorf("vm: user-fault regions cannot be populated")
+		}
+	}
+	if req.Huge {
+		if !req.Anon || req.UserFault != nil {
+			return 0, fmt.Errorf("vm: huge mappings must be plain anonymous memory")
+		}
+		if req.Pages%mem.HugeFrames2M != 0 {
+			return 0, fmt.Errorf("vm: huge mapping length %d pages not a 2 MiB multiple", req.Pages)
+		}
+		req.Populate = true
+		if uint64(addr)%(mem.HugeFrames2M*mem.FrameSize) != 0 {
+			if req.Addr != 0 {
+				return 0, fmt.Errorf("vm: fixed huge mapping at %#x not 2 MiB aligned", uint64(addr))
+			}
+			aligned, err := a.findAlignedGap(req.Pages, mem.HugeFrames2M)
+			if err != nil {
+				return 0, err
+			}
+			addr = aligned
+		}
+	}
+	v := &VMA{
+		Start:     addr,
+		End:       addr + mem.VirtAddr(req.Pages*mem.FrameSize),
+		Prot:      req.Prot,
+		Anon:      req.Anon,
+		File:      req.File,
+		FileOff:   req.FileOff,
+		Private:   req.Private,
+		Locked:    req.Locked,
+		UserFault: req.UserFault,
+		Huge:      req.Huge,
+		populate:  req.Populate,
+	}
+	if v.File != nil {
+		if v.FileOff+req.Pages > v.File.Inode().Pages() {
+			return 0, fmt.Errorf("vm: mapping [%d,+%d) pages beyond EOF (%d pages)",
+				v.FileOff, req.Pages, v.File.Inode().Pages())
+		}
+		v.File.Ref() // the mapping pins the file
+	}
+	a.insertVMA(v)
+	a.stats.Counter("mmaps").Inc()
+
+	if req.Populate {
+		if err := a.populateVMA(v); err != nil {
+			return 0, err
+		}
+	}
+	return addr, nil
+}
+
+func (a *AddressSpace) overlapsExisting(addr mem.VirtAddr, pages uint64) bool {
+	end := addr + mem.VirtAddr(pages*mem.FrameSize)
+	for _, v := range a.vmas {
+		if v.Start < end && addr < v.End {
+			return true
+		}
+	}
+	return false
+}
+
+// insertVMA adds v in sorted position, merging with adjacent anonymous
+// VMAs of identical attributes (the Linux merge optimization §3.1
+// notes becomes harder with file-only memory).
+func (a *AddressSpace) insertVMA(v *VMA) {
+	k := a.kernel
+	k.Clock.Advance(k.Params.VMAOp)
+	i := sort.Search(len(a.vmas), func(i int) bool { return a.vmas[i].Start > v.Start })
+	// Merge left.
+	if i > 0 {
+		l := a.vmas[i-1]
+		if l.End == v.Start && canMerge(l, v) {
+			l.End = v.End
+			k.Clock.Advance(k.Params.VMAOp)
+			// Merge right into the grown left.
+			if i < len(a.vmas) {
+				r := a.vmas[i]
+				if l.End == r.Start && canMerge(l, r) {
+					l.End = r.End
+					a.vmas = append(a.vmas[:i], a.vmas[i+1:]...)
+				}
+			}
+			return
+		}
+	}
+	// Merge right.
+	if i < len(a.vmas) {
+		r := a.vmas[i]
+		if v.End == r.Start && canMerge(v, r) {
+			r.Start = v.Start
+			k.Clock.Advance(k.Params.VMAOp)
+			return
+		}
+	}
+	a.vmas = append(a.vmas, nil)
+	copy(a.vmas[i+1:], a.vmas[i:])
+	a.vmas[i] = v
+}
+
+func canMerge(l, r *VMA) bool {
+	return l.Anon && r.Anon &&
+		l.UserFault == nil && r.UserFault == nil &&
+		l.Huge == r.Huge && !l.Huge &&
+		l.Prot == r.Prot &&
+		l.Private == r.Private &&
+		l.Locked == r.Locked &&
+		l.populate == r.populate
+}
+
+// populateVMA pre-faults every page of the VMA — the linear
+// MAP_POPULATE loop. Huge VMAs populate in 2 MiB steps instead.
+func (a *AddressSpace) populateVMA(v *VMA) error {
+	if v.Huge {
+		return a.populateHuge(v)
+	}
+	for p := uint64(0); p < v.Pages(); p++ {
+		va := v.Start + mem.VirtAddr(p*mem.FrameSize)
+		if _, _, ok := a.pt.Lookup(va); ok {
+			continue
+		}
+		if err := a.installPage(v, va, false); err != nil {
+			return err
+		}
+		a.stats.Counter("populated_pages").Inc()
+	}
+	return nil
+}
+
+// populateHuge backs a huge VMA with 2 MiB pages: one aligned 512-frame
+// run, one zeroing pass, and one PTE per 2 MiB.
+func (a *AddressSpace) populateHuge(v *VMA) error {
+	k := a.kernel
+	for c := uint64(0); c < v.Pages(); c += mem.HugeFrames2M {
+		va := v.Start + mem.VirtAddr(c*mem.FrameSize)
+		if _, _, ok := a.pt.Lookup(va); ok {
+			continue
+		}
+		run, err := k.pool.Alloc(9) // order-9 block: 512 aligned frames
+		if err != nil {
+			return fmt.Errorf("vm: no contiguous 2 MiB block: %w", err)
+		}
+		k.Memory.ZeroFrames(run, mem.HugeFrames2M)
+		if err := a.pt.Map2M(va, run, v.Prot); err != nil {
+			return err
+		}
+		pi := k.trackPage(run, PGAnon|PGCompound)
+		k.addRmap(pi, a, va)
+		a.stats.Counter("populated_pages").Add(mem.HugeFrames2M)
+	}
+	return nil
+}
+
+// Munmap removes mappings in [addr, addr+pages*4K). Whole-VMA unmaps
+// only (like the common munmap use); partial unmaps split VMAs.
+func (a *AddressSpace) Munmap(addr mem.VirtAddr, pages uint64) error {
+	k := a.kernel
+	k.Clock.Advance(k.Params.SyscallOverhead)
+	end := addr + mem.VirtAddr(pages*mem.FrameSize)
+	var kept []*VMA
+	var dropped []*VMA
+	for _, v := range a.vmas {
+		switch {
+		case v.End <= addr || v.Start >= end:
+			kept = append(kept, v)
+		case v.Start >= addr && v.End <= end:
+			dropped = append(dropped, v)
+		default:
+			// Partial overlap: split into retained pieces.
+			k.Clock.Advance(k.Params.VMAOp)
+			if v.Start < addr {
+				left := *v
+				left.End = addr
+				kept = append(kept, &left)
+				if v.File != nil {
+					v.File.Ref()
+				}
+			}
+			if v.End > end {
+				right := *v
+				right.Start = end
+				right.FileOff = v.FileOff + uint64(end-v.Start)/mem.FrameSize
+				kept = append(kept, &right)
+				if v.File != nil {
+					v.File.Ref()
+				}
+			}
+			mid := *v
+			if mid.Start < addr {
+				mid.FileOff += uint64(addr-mid.Start) / mem.FrameSize
+				mid.Start = addr
+			}
+			if mid.End > end {
+				mid.End = end
+			}
+			dropped = append(dropped, &mid)
+		}
+	}
+	if len(dropped) == 0 {
+		return fmt.Errorf("vm: munmap of unmapped range [%#x,+%d pages)", uint64(addr), pages)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Start < kept[j].Start })
+	a.vmas = kept
+	for _, v := range dropped {
+		if err := a.zapVMA(v); err != nil {
+			return err
+		}
+	}
+	a.stats.Counter("munmaps").Inc()
+	return nil
+}
+
+// zapVMA tears down a VMA's pages and drops its file reference.
+func (a *AddressSpace) zapVMA(v *VMA) error {
+	k := a.kernel
+	if err := a.zapRange(v, v.Start, v.Pages()); err != nil {
+		return err
+	}
+	// Swapped-out pages of the region die with it.
+	for va := range a.swapped {
+		if va >= v.Start && va < v.End {
+			k.swap.free(a.swapped[va])
+			delete(a.swapped, va)
+		}
+	}
+	if v.File != nil {
+		if err := v.File.Unref(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// zapRange unmaps pages and releases anonymous frames. The per-page
+// loop is the linear teardown cost of the baseline design.
+func (a *AddressSpace) zapRange(v *VMA, start mem.VirtAddr, pages uint64) error {
+	k := a.kernel
+	flushAll := pages > 64
+	end := start + mem.VirtAddr(pages*mem.FrameSize)
+	for va := start; va < end; {
+		if sz := a.pt.PageSize(va); sz == 0 {
+			va += mem.FrameSize
+			continue
+		}
+		frame, span, err := a.pt.Unmap(va)
+		if err != nil {
+			return err
+		}
+		if !flushAll {
+			a.tlb.InvalidateVA(va)
+		}
+		if pi, tracked := k.page(frame); tracked {
+			if err := k.delRmap(pi, a, va); err != nil {
+				return err
+			}
+			if !pi.Mapped() {
+				k.forgetPage(pi)
+				switch {
+				case pi.Flags&PGCompound != 0:
+					if err := k.pool.Free(frame); err != nil {
+						return err
+					}
+				case pi.Flags&PGAnon != 0:
+					if err := k.freeAnonFrame(frame); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		va += mem.VirtAddr(span * mem.FrameSize)
+	}
+	if flushAll {
+		// A ranged teardown this large broadcasts one IPI and flushes,
+		// instead of shooting down entry by entry.
+		k.Clock.Advance(k.Params.IPIBroadcast)
+		a.tlb.FlushAll()
+	}
+	return nil
+}
+
+// Mprotect rewrites the protection of [addr, addr+pages*4K): a
+// per-page PTE update plus TLB invalidation.
+func (a *AddressSpace) Mprotect(addr mem.VirtAddr, pages uint64, prot pagetable.Flags) error {
+	k := a.kernel
+	k.Clock.Advance(k.Params.SyscallOverhead)
+	v, ok := a.findVMA(addr)
+	if !ok || addr+mem.VirtAddr(pages*mem.FrameSize) > v.End {
+		return fmt.Errorf("vm: mprotect range not within one VMA")
+	}
+	if v.Start != addr || v.Pages() != pages {
+		return fmt.Errorf("vm: partial-VMA mprotect not supported (split first)")
+	}
+	v.Prot = prot
+	step := uint64(1)
+	if v.Huge {
+		step = mem.HugeFrames2M
+	}
+	for p := uint64(0); p < pages; p += step {
+		va := addr + mem.VirtAddr(p*mem.FrameSize)
+		if _, f, ok := a.pt.Lookup(va); ok {
+			newFlags := prot
+			if f&pagetable.FlagCOW != 0 {
+				newFlags = (prot &^ pagetable.FlagWrite) | pagetable.FlagCOW
+			}
+			if err := a.pt.Protect(va, newFlags); err != nil {
+				return err
+			}
+			a.tlb.InvalidateVA(va)
+		}
+	}
+	return nil
+}
+
+// MadviseDontneed drops the pages of [addr, +pages) while keeping the
+// VMA, as MADV_DONTNEED does: the heap's way of returning memory.
+func (a *AddressSpace) MadviseDontneed(addr mem.VirtAddr, pages uint64) error {
+	k := a.kernel
+	k.Clock.Advance(k.Params.SyscallOverhead)
+	v, ok := a.findVMA(addr)
+	if !ok || addr+mem.VirtAddr(pages*mem.FrameSize) > v.End {
+		return fmt.Errorf("vm: madvise range not within one VMA")
+	}
+	return a.zapRange(v, addr, pages)
+}
+
+// Mlock pins the VMA's pages (populating them first, as mlock must).
+func (a *AddressSpace) Mlock(addr mem.VirtAddr) error {
+	k := a.kernel
+	k.Clock.Advance(k.Params.SyscallOverhead)
+	v, ok := a.findVMA(addr)
+	if !ok {
+		return fmt.Errorf("vm: mlock of unmapped address %#x", uint64(addr))
+	}
+	v.Locked = true
+	if err := a.populateVMA(v); err != nil {
+		return err
+	}
+	for p := uint64(0); p < v.Pages(); p++ {
+		va := v.Start + mem.VirtAddr(p*mem.FrameSize)
+		if pa, _, ok := a.pt.Lookup(va); ok {
+			if pi, tracked := k.page(pa.Frame()); tracked {
+				pi.Flags |= PGMlocked
+				k.chargeMeta(1)
+			}
+		}
+	}
+	return nil
+}
+
+// Destroy tears down the whole address space (process exit).
+func (a *AddressSpace) Destroy() error {
+	for _, v := range a.vmas {
+		if err := a.zapVMA(v); err != nil {
+			return err
+		}
+	}
+	a.vmas = nil
+	return a.pt.Destroy()
+}
+
+// VMAs returns a snapshot of the address space's VMAs.
+func (a *AddressSpace) VMAs() []VMA {
+	out := make([]VMA, len(a.vmas))
+	for i, v := range a.vmas {
+		out[i] = *v
+	}
+	return out
+}

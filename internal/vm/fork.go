@@ -1,0 +1,87 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+)
+
+// Fork duplicates the address space with copy-on-write semantics: every
+// VMA is copied, every present writable private page is downgraded to
+// COW in both parent and child, and the child's page table is built
+// entry by entry — the linear fork cost of the baseline design.
+func (a *AddressSpace) Fork() (*AddressSpace, error) {
+	k := a.kernel
+	k.Clock.Advance(k.Params.SyscallOverhead)
+	child, err := k.NewAddressSpace()
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range a.vmas {
+		if v.Huge {
+			// Real kernels split or COW-share huge pages on fork; this
+			// simulator keeps huge mappings exclusive.
+			return nil, fmt.Errorf("vm: fork with huge mappings not supported")
+		}
+		cv := *v
+		if cv.File != nil {
+			cv.File.Ref()
+		}
+		child.vmas = append(child.vmas, &cv)
+		k.Clock.Advance(k.Params.VMAOp)
+
+		sharedWrites := !v.Anon && !v.Private // MAP_SHARED file mapping
+		for p := uint64(0); p < v.Pages(); p++ {
+			va := v.Start + mem.VirtAddr(p*mem.FrameSize)
+			pa, flags, ok := a.pt.Lookup(va)
+			if !ok {
+				continue
+			}
+			frame := pa.Frame()
+			childFlags := flags
+			if !sharedWrites && flags&pagetable.FlagWrite != 0 {
+				// Downgrade to COW on both sides.
+				cow := (flags &^ pagetable.FlagWrite) | pagetable.FlagCOW
+				if err := a.pt.Protect(va, cow); err != nil {
+					return nil, err
+				}
+				a.tlb.InvalidateVA(va)
+				childFlags = cow
+			} else if !sharedWrites && flags&pagetable.FlagCOW != 0 {
+				childFlags = flags
+			}
+			if err := child.pt.Map(va, frame, childFlags); err != nil {
+				return nil, err
+			}
+			if pi, tracked := k.page(frame); tracked {
+				k.addRmap(pi, child, va)
+			}
+		}
+		// Swapped pages are shared via COW in real kernels; the
+		// simulator keeps fork simple by faulting them back in first.
+		for va := range a.swapped {
+			if v.Contains(va) {
+				if err := a.installPage(v, va, false); err != nil {
+					return nil, err
+				}
+				pa, flags, _ := a.pt.Lookup(va)
+				if !sharedWrites && flags&pagetable.FlagWrite != 0 {
+					flags = (flags &^ pagetable.FlagWrite) | pagetable.FlagCOW
+					if err := a.pt.Protect(va, flags); err != nil {
+						return nil, err
+					}
+					a.tlb.InvalidateVA(va)
+				}
+				if err := child.pt.Map(va, pa.Frame(), flags); err != nil {
+					return nil, err
+				}
+				if pi, tracked := k.page(pa.Frame()); tracked {
+					k.addRmap(pi, child, va)
+				}
+			}
+		}
+	}
+	k.stats.Counter("forks").Inc()
+	return child, nil
+}

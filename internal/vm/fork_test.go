@@ -1,0 +1,182 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestForkTreeIsolationProperty builds a random tree of forked address
+// spaces, performs random writes in random members, and checks every
+// address space against its own shadow copy after every step: COW must
+// give each process exactly its own view, regardless of fork order and
+// write interleaving.
+func TestForkTreeIsolationProperty(t *testing.T) {
+	const pages = 8
+	fn := func(seed uint64) bool {
+		m := struct {
+			clock  *sim.Clock
+			kernel *Kernel
+		}{}
+		clock := &sim.Clock{}
+		params := sim.DefaultParams()
+		memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: 8192})
+		if err != nil {
+			return false
+		}
+		kernel, err := NewKernel(clock, &params, memory, Config{PoolBase: 0, PoolFrames: 8192})
+		if err != nil {
+			return false
+		}
+		m.clock, m.kernel = clock, kernel
+
+		root, err := kernel.NewAddressSpace()
+		if err != nil {
+			return false
+		}
+		va, err := root.Mmap(MmapRequest{Pages: pages, Prot: rw, Anon: true, Private: true})
+		if err != nil {
+			return false
+		}
+		rng := sim.NewRNG(seed)
+
+		type member struct {
+			as     *AddressSpace
+			shadow []byte
+		}
+		initial := make([]byte, pages*mem.FrameSize)
+		for i := range initial {
+			initial[i] = byte(rng.Uint64())
+		}
+		if err := root.WriteBuf(va, initial); err != nil {
+			return false
+		}
+		members := []*member{{as: root, shadow: append([]byte(nil), initial...)}}
+
+		for step := 0; step < 40; step++ {
+			switch rng.Intn(3) {
+			case 0: // fork a random member
+				if len(members) >= 8 {
+					continue
+				}
+				parent := members[rng.Intn(len(members))]
+				child, err := parent.as.Fork()
+				if err != nil {
+					t.Logf("fork: %v", err)
+					return false
+				}
+				members = append(members, &member{
+					as:     child,
+					shadow: append([]byte(nil), parent.shadow...),
+				})
+			case 1: // random write in a random member
+				mb := members[rng.Intn(len(members))]
+				off := rng.Uint64n(pages*mem.FrameSize - 16)
+				data := make([]byte, 1+rng.Intn(16))
+				for i := range data {
+					data[i] = byte(rng.Uint64())
+				}
+				if err := mb.as.WriteBuf(va+mem.VirtAddr(off), data); err != nil {
+					t.Logf("write: %v", err)
+					return false
+				}
+				copy(mb.shadow[off:], data)
+			case 2: // verify a random member in full
+				mb := members[rng.Intn(len(members))]
+				got := make([]byte, len(mb.shadow))
+				if err := mb.as.ReadBuf(va, got); err != nil {
+					t.Logf("read: %v", err)
+					return false
+				}
+				if !bytes.Equal(got, mb.shadow) {
+					t.Logf("step %d: member diverged from shadow", step)
+					return false
+				}
+			}
+		}
+		// Final sweep over every member.
+		for i, mb := range members {
+			got := make([]byte, len(mb.shadow))
+			if err := mb.as.ReadBuf(va, got); err != nil {
+				return false
+			}
+			if !bytes.Equal(got, mb.shadow) {
+				t.Logf("final: member %d diverged", i)
+				return false
+			}
+		}
+		// Exit everyone; nothing may leak.
+		for _, mb := range members {
+			if err := mb.as.Destroy(); err != nil {
+				t.Logf("destroy: %v", err)
+				return false
+			}
+		}
+		if kernel.TrackedPages() != 0 {
+			t.Logf("%d struct pages leaked", kernel.TrackedPages())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForkChainDepth exercises a deep fork chain with writes at each
+// level: COW ancestry must resolve correctly through many generations.
+func TestForkChainDepth(t *testing.T) {
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel, err := NewKernel(clock, &params, memory, Config{PoolBase: 0, PoolFrames: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := kernel.NewAddressSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := as.Mmap(MmapRequest{Pages: 1, Prot: rw, Anon: true, Private: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteBuf(va, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	chain := []*AddressSpace{as}
+	for depth := 1; depth <= 10; depth++ {
+		child, err := chain[len(chain)-1].Fork()
+		if err != nil {
+			t.Fatalf("fork depth %d: %v", depth, err)
+		}
+		if err := child.WriteBuf(va, []byte{byte(depth)}); err != nil {
+			t.Fatal(err)
+		}
+		chain = append(chain, child)
+	}
+	// Every generation still sees its own value.
+	for depth, member := range chain {
+		b, err := member.ReadByteAt(va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != byte(depth) {
+			t.Fatalf("generation %d reads %d", depth, b)
+		}
+	}
+	for _, member := range chain {
+		if err := member.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if kernel.TrackedPages() != 0 {
+		t.Fatalf("%d pages leaked after chain teardown", kernel.TrackedPages())
+	}
+}

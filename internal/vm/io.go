@@ -1,0 +1,57 @@
+package vm
+
+import (
+	"repro/internal/mem"
+)
+
+// WriteBuf stores buf at va through the full translation path: each
+// page touched goes through the TLB/walk/fault pipeline, so writing a
+// fresh region pays one fault per page exactly like a user program.
+func (a *AddressSpace) WriteBuf(va mem.VirtAddr, buf []byte) error {
+	for len(buf) > 0 {
+		pa, err := a.translate(va, true)
+		if err != nil {
+			return err
+		}
+		n := mem.FrameSize - va.PageOffset()
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		a.kernel.Memory.WriteAt(pa, buf[:n])
+		buf = buf[n:]
+		va += mem.VirtAddr(n)
+	}
+	return nil
+}
+
+// ReadBuf loads len(buf) bytes from va through the translation path.
+func (a *AddressSpace) ReadBuf(va mem.VirtAddr, buf []byte) error {
+	for len(buf) > 0 {
+		pa, err := a.translate(va, false)
+		if err != nil {
+			return err
+		}
+		n := mem.FrameSize - va.PageOffset()
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		a.kernel.Memory.ReadAt(pa, buf[:n])
+		buf = buf[n:]
+		va += mem.VirtAddr(n)
+	}
+	return nil
+}
+
+// ReadByteAt loads one byte via the translation path.
+func (a *AddressSpace) ReadByteAt(va mem.VirtAddr) (byte, error) {
+	var b [1]byte
+	if err := a.ReadBuf(va, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// WriteByteAt stores one byte via the translation path.
+func (a *AddressSpace) WriteByteAt(va mem.VirtAddr, v byte) error {
+	return a.WriteBuf(va, []byte{v})
+}

@@ -1,0 +1,187 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// PageFlags is the per-frame status bitfield — the analogue of the
+// Linux struct page flags the paper's motivation counts (25 flags, 38
+// fields). The simulator tracks the subset that drives behaviour.
+type PageFlags uint32
+
+const (
+	// PGAnon marks an anonymous page (swap-backed).
+	PGAnon PageFlags = 1 << iota
+	// PGFile marks a file-backed page (storage lives in the file
+	// system; reclaim just unmaps it).
+	PGFile
+	// PGReferenced is the second-chance bit set on every access.
+	PGReferenced
+	// PGDirty marks modified pages.
+	PGDirty
+	// PGActive marks membership in the active list.
+	PGActive
+	// PGLRU marks membership in either LRU list.
+	PGLRU
+	// PGMlocked pins the page against reclaim (mlock).
+	PGMlocked
+	// PGPinned pins the page for device access (DMA).
+	PGPinned
+	// PGSwapBacked marks pages whose eviction path is swap.
+	PGSwapBacked
+	// PGWriteback marks pages being written to swap.
+	PGWriteback
+	// PGReserved marks kernel-reserved pages.
+	PGReserved
+	// PGSlab marks slab pages.
+	PGSlab
+	// PGCompound marks the head of a 2 MiB compound (huge) page; its
+	// frame is the first of a 512-frame run. Compound pages are
+	// unevictable in this simulator.
+	PGCompound
+)
+
+// PageInfo is the per-frame metadata record.
+type PageInfo struct {
+	Frame mem.Frame
+	Flags PageFlags
+	// MapCount is the number of PTEs referencing the frame.
+	MapCount int
+	// rmap records every (address space, va) mapping the frame, the
+	// reverse map reclaim needs to unmap pages.
+	rmap []rmapEntry
+
+	// list linkage for the LRU lists
+	prev, next *PageInfo
+	list       *pageList
+}
+
+type rmapEntry struct {
+	as *AddressSpace
+	va mem.VirtAddr
+}
+
+// Mapped reports whether any PTE references the frame.
+func (p *PageInfo) Mapped() bool { return p.MapCount > 0 }
+
+// trackPage creates (or returns) metadata for a frame.
+func (k *Kernel) trackPage(f mem.Frame, flags PageFlags) *PageInfo {
+	if p, ok := k.pages[f]; ok {
+		return p
+	}
+	p := &PageInfo{Frame: f, Flags: flags}
+	k.pages[f] = p
+	k.chargeMeta(1)
+	return p
+}
+
+// forgetPage drops a frame's metadata.
+func (k *Kernel) forgetPage(p *PageInfo) {
+	if p.list != nil {
+		p.list.remove(p)
+	}
+	delete(k.pages, p.Frame)
+	k.chargeMeta(1)
+}
+
+// page returns metadata for a tracked frame.
+func (k *Kernel) page(f mem.Frame) (*PageInfo, bool) {
+	p, ok := k.pages[f]
+	return p, ok
+}
+
+// addRmap records a mapping of the frame.
+func (k *Kernel) addRmap(p *PageInfo, as *AddressSpace, va mem.VirtAddr) {
+	p.rmap = append(p.rmap, rmapEntry{as: as, va: va})
+	p.MapCount++
+	k.chargeMeta(1)
+}
+
+// delRmap removes a mapping record.
+func (k *Kernel) delRmap(p *PageInfo, as *AddressSpace, va mem.VirtAddr) error {
+	for i, e := range p.rmap {
+		if e.as == as && e.va == va {
+			p.rmap = append(p.rmap[:i], p.rmap[i+1:]...)
+			p.MapCount--
+			k.chargeMeta(1)
+			return nil
+		}
+	}
+	return fmt.Errorf("vm: rmap entry for frame %d va %#x not found", p.Frame, uint64(va))
+}
+
+// pageList is an intrusive doubly linked list of PageInfo (one LRU
+// list).
+type pageList struct {
+	head, tail *PageInfo
+	count      int
+}
+
+func newPageList() *pageList { return &pageList{} }
+
+func (l *pageList) pushBack(p *PageInfo) {
+	if p.list != nil {
+		p.list.remove(p)
+	}
+	p.list = l
+	p.prev = l.tail
+	p.next = nil
+	if l.tail != nil {
+		l.tail.next = p
+	} else {
+		l.head = p
+	}
+	l.tail = p
+	l.count++
+}
+
+func (l *pageList) popFront() *PageInfo {
+	p := l.head
+	if p == nil {
+		return nil
+	}
+	l.remove(p)
+	return p
+}
+
+func (l *pageList) remove(p *PageInfo) {
+	if p.list != l {
+		return
+	}
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		l.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		l.tail = p.prev
+	}
+	p.prev, p.next, p.list = nil, nil, nil
+	l.count--
+}
+
+func (l *pageList) len() int { return l.count }
+
+// lruInsert places a newly faulted page on the inactive list.
+func (k *Kernel) lruInsert(p *PageInfo) {
+	p.Flags |= PGLRU
+	p.Flags &^= PGActive
+	k.inactive.pushBack(p)
+	k.chargeMeta(1)
+}
+
+// lruActivate promotes a referenced page to the active list.
+func (k *Kernel) lruActivate(p *PageInfo) {
+	p.Flags |= PGActive
+	k.active.pushBack(p)
+	k.chargeMeta(1)
+}
+
+// LRUStats returns the lengths of the active and inactive lists.
+func (k *Kernel) LRUStats() (active, inactive int) {
+	return k.active.len(), k.inactive.len()
+}

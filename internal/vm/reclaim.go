@@ -1,0 +1,153 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// SwapDevice stores evicted anonymous pages. Slot contents survive in
+// host memory (the device models a disk or swap partition, whose
+// latency is charged per page moved).
+type SwapDevice struct {
+	slots    map[int][]byte
+	nextSlot int
+	limit    uint64 // 0 = unlimited
+}
+
+func newSwapDevice(limit uint64) *SwapDevice {
+	return &SwapDevice{slots: make(map[int][]byte), limit: limit}
+}
+
+// used returns the number of occupied slots.
+func (s *SwapDevice) used() int { return len(s.slots) }
+
+func (s *SwapDevice) write(data []byte) (int, error) {
+	if s.limit != 0 && uint64(len(s.slots)) >= s.limit {
+		return 0, fmt.Errorf("vm: swap device full (%d slots)", s.limit)
+	}
+	slot := s.nextSlot
+	s.nextSlot++
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.slots[slot] = cp
+	return slot, nil
+}
+
+func (s *SwapDevice) read(slot int) ([]byte, error) {
+	data, ok := s.slots[slot]
+	if !ok {
+		return nil, fmt.Errorf("vm: swap slot %d empty", slot)
+	}
+	return data, nil
+}
+
+func (s *SwapDevice) free(slot int) { delete(s.slots, slot) }
+
+// SwapUsed returns the number of pages currently in swap.
+func (k *Kernel) SwapUsed() int { return k.swap.used() }
+
+// ReclaimPages runs the two-list scanner until it has freed want
+// frames (or candidates run out), returning the number freed. The
+// per-page scanning work — examine flags, clear referenced bits,
+// unmap, write to swap — is exactly the linear reclamation cost
+// file-only memory eliminates (§3.1 "The operating system does not
+// scan for idle pages to reclaim").
+func (k *Kernel) ReclaimPages(want uint64) (uint64, error) {
+	var freed uint64
+	// Refill the inactive list from the active list when it runs dry,
+	// demoting pages whose referenced bit has been cleared.
+	budget := (k.active.len() + k.inactive.len()) * 3
+	for freed < want && budget > 0 {
+		budget--
+		k.stats.Counter("reclaim_scans").Inc()
+		k.chargeMeta(1)
+		p := k.inactive.popFront()
+		if p == nil {
+			if k.active.len() == 0 {
+				break
+			}
+			// Demote one active page per refill step.
+			ap := k.active.popFront()
+			ap.Flags &^= PGActive
+			if ap.Flags&PGReferenced != 0 {
+				ap.Flags &^= PGReferenced
+				k.active.pushBack(ap)
+			} else {
+				k.inactive.pushBack(ap)
+			}
+			continue
+		}
+		if p.Flags&(PGMlocked|PGPinned) != 0 {
+			// Unevictable: park on the active list.
+			k.lruActivate(p)
+			continue
+		}
+		if p.Flags&PGReferenced != 0 {
+			// Second chance: promote.
+			p.Flags &^= PGReferenced
+			k.lruActivate(p)
+			continue
+		}
+		n, err := k.evictPage(p)
+		if err != nil {
+			return freed, err
+		}
+		freed += n
+	}
+	k.stats.Counter("reclaimed_pages").Add(freed)
+	return freed, nil
+}
+
+// evictPage unmaps a page everywhere and frees its frame, swapping out
+// anonymous contents first.
+func (k *Kernel) evictPage(p *PageInfo) (uint64, error) {
+	// Unmap from every address space via the reverse map.
+	rmap := append([]rmapEntry(nil), p.rmap...)
+	anon := p.Flags&PGAnon != 0
+	if anon && len(rmap) > 1 {
+		// COW-shared anonymous page: swap-slot sharing is not worth
+		// modelling; keep it resident.
+		k.lruActivate(p)
+		return 0, nil
+	}
+
+	var slot int
+	if anon {
+		data := make([]byte, mem.FrameSize)
+		k.Memory.ReadAt(p.Frame.Addr(), data)
+		var err error
+		slot, err = k.swap.write(data)
+		if err != nil {
+			// Swap full: keep the page (rotate to active to avoid
+			// rescanning immediately).
+			k.lruActivate(p)
+			return 0, nil
+		}
+		k.Clock.Advance(k.Params.SwapPageIO)
+		k.stats.Counter("swapouts").Inc()
+	}
+
+	for _, e := range rmap {
+		if _, _, err := e.as.pt.Unmap(e.va); err != nil {
+			return 0, err
+		}
+		e.as.tlb.Shootdown(e.va)
+		if err := k.delRmap(p, e.as, e.va); err != nil {
+			return 0, err
+		}
+		if anon {
+			e.as.swapped[e.va] = slot
+		}
+	}
+	k.forgetPage(p)
+	if anon {
+		if err := k.freeAnonFrame(p.Frame); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	// File page: storage stays in the file; only the mapping is torn
+	// down, freeing no pool frames but reducing resident pressure.
+	return 0, nil
+}

@@ -1,0 +1,147 @@
+package workload
+
+import "testing"
+
+func TestTouchesSequential(t *testing.T) {
+	got, err := Touches(Sequential, 10, 12, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Touches[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTouchesStrided(t *testing.T) {
+	got, err := Touches(Strided, 100, 5, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 25, 50, 75, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stride touch %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTouchesRandomInBoundsAndDeterministic(t *testing.T) {
+	a, _ := Touches(Random, 1000, 10000, 0, 42)
+	b, _ := Touches(Random, 1000, 10000, 0, 42)
+	for i := range a {
+		if a[i] >= 1000 {
+			t.Fatalf("out of bounds: %d", a[i])
+		}
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestTouchesHotCold(t *testing.T) {
+	got, err := Touches(HotCold, 1000, 100000, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for _, p := range got {
+		if p >= 1000 {
+			t.Fatalf("out of bounds: %d", p)
+		}
+		if p < 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(got))
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction = %.3f, want ~0.9", frac)
+	}
+}
+
+func TestTouchesValidation(t *testing.T) {
+	if _, err := Touches(Sequential, 0, 1, 0, 1); err == nil {
+		t.Fatal("empty region accepted")
+	}
+	if _, err := Touches(Pattern(99), 10, 1, 0, 1); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+func TestAllocSizes(t *testing.T) {
+	fixed, err := AllocSizes(Fixed, 5, 7, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fixed {
+		if s != 7 {
+			t.Fatalf("fixed size = %d", s)
+		}
+	}
+	uni, err := AllocSizes(Uniform, 10000, 2, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range uni {
+		if s < 2 || s > 20 {
+			t.Fatalf("uniform size %d out of [2,20]", s)
+		}
+	}
+	sh, err := AllocSizes(SmallHeavy, 10000, 1, 1024, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := 0
+	for _, s := range sh {
+		if s < 1 || s > 1024 {
+			t.Fatalf("small-heavy size %d out of bounds", s)
+		}
+		if s <= 64 {
+			small++
+		}
+	}
+	if float64(small)/float64(len(sh)) < 0.5 {
+		t.Fatal("small-heavy distribution not small-dominated")
+	}
+}
+
+func TestAllocSizesValidation(t *testing.T) {
+	if _, err := AllocSizes(Fixed, 1, 0, 10, 1); err == nil {
+		t.Fatal("zero lo accepted")
+	}
+	if _, err := AllocSizes(Fixed, 1, 10, 5, 1); err == nil {
+		t.Fatal("hi < lo accepted")
+	}
+	if _, err := AllocSizes(SizeDist(99), 1, 1, 2, 1); err == nil {
+		t.Fatal("unknown dist accepted")
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	kb := SweepSizesKB(1024)
+	if kb[0] != 4 || kb[len(kb)-1] != 1024 {
+		t.Fatalf("KB sweep = %v", kb)
+	}
+	pc := SweepPageCounts(16384)
+	if pc[0] != 1 || pc[len(pc)-1] != 16384 {
+		t.Fatalf("page sweep = %v", pc)
+	}
+	if got := SweepPageCounts(100); got[len(got)-1] != 64 {
+		t.Fatalf("bounded page sweep = %v", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, p := range []Pattern{Sequential, Strided, Random, HotCold, Pattern(42)} {
+		if p.String() == "" {
+			t.Fatal("empty pattern name")
+		}
+	}
+	for _, d := range []SizeDist{Fixed, Uniform, SmallHeavy, SizeDist(42)} {
+		if d.String() == "" {
+			t.Fatal("empty dist name")
+		}
+	}
+}

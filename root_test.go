@@ -1,0 +1,38 @@
+package o1mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentsListed(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	for _, id := range ids {
+		title, paper, err := Describe(id)
+		if err != nil || title == "" || paper == "" {
+			t.Fatalf("Describe(%q) = %q, %q, %v", id, title, paper, err)
+		}
+	}
+}
+
+func TestDescribeUnknown(t *testing.T) {
+	if _, _, err := Describe("nope"); err == nil {
+		t.Fatal("Describe accepted unknown id")
+	}
+	if _, err := RunExperiment("nope"); err == nil {
+		t.Fatal("RunExperiment accepted unknown id")
+	}
+}
+
+func TestRunExperimentRenders(t *testing.T) {
+	out, err := RunExperiment("zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "epoch_erase_us") {
+		t.Fatalf("unexpected output: %q", out)
+	}
+}

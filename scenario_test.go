@@ -1,0 +1,204 @@
+package o1mem
+
+// scenario_test.go runs a full-system integration scenario across every
+// subsystem: machine boot, program launch on both memory backends, a
+// shared database file, heap allocation through the user-level
+// allocator, trace replay, memory pressure, a crash, and recovery.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/pagetable"
+	"repro/internal/proc"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestFullSystemScenario(t *testing.T) {
+	mgr, err := proc.NewManager(proc.MachineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rw = pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
+
+	// --- Phase 1: launch the same program on both backends ---------
+	codeB, err := mgr.WriteProgram(mgr.Tmpfs, "/prog", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codeF, err := mgr.WriteProgramFOM("/prog", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := mgr.LaunchBaseline(proc.Image{Code: codeB, HeapPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fomProc, err := mgr.LaunchFOM(proc.Image{Code: codeF, HeapPages: 64}, core.Ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("scenario"), 2048) // 16 KB
+	for _, p := range []proc.Process{baseline, fomProc} {
+		if err := p.WriteHeap(0, payload); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(payload))
+		if err := p.ReadHeap(0, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("heap round trip failed")
+		}
+	}
+
+	// --- Phase 2: a shared persistent database + user-level heap ---
+	db, err := mgr.FOM.CreateContiguousFile("/db", 1024,
+		memfs.CreateOptions{Durability: memfs.Persistent}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, err := mgr.FOM.NewProcess(core.SharedPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := mgr.FOM.NewProcess(core.Ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := writer.MapFile(db, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := reader.MapFile(db, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm.Base() != rm.Base() {
+		t.Fatal("PBM addresses differ across translation modes")
+	}
+	if err := writer.WriteBuf(wm.Base()+4096, []byte("db-record-1")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 11)
+	if err := reader.ReadBuf(rm.Base()+4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "db-record-1" {
+		t.Fatalf("cross-process read: %q", got)
+	}
+
+	// Heap objects inside the reader process.
+	h := heap.New(reader)
+	var objs []mem.VirtAddr
+	for i := 0; i < 50; i++ {
+		o, err := h.Alloc(uint64(100 + i*37))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Write(o, []byte(fmt.Sprintf("obj-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o)
+	}
+	for i, o := range objs {
+		buf := make([]byte, 8)
+		if err := h.Read(o, buf); err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("obj-%d", i)
+		if string(buf[:len(want)]) != want {
+			t.Fatalf("heap object %d corrupted: %q", i, buf)
+		}
+	}
+
+	// --- Phase 3: trace replay against the same machine ------------
+	tr, err := trace.Generate(trace.GenSpec{
+		Name: "scenario", Ops: 300, SizeDist: workload.SmallHeavy,
+		MinPages: 1, MaxPages: 64, TouchFrac: 0.5, WriteFrac: 0.5, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayProc, err := mgr.FOM.NewProcess(core.Ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := trace.Replay(tr, trace.NewFOMTarget(replayProc), mgr.Clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != len(tr.Ops) {
+		t.Fatal("replay incomplete")
+	}
+	if err := replayProc.Exit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Phase 4: memory pressure against discardable caches -------
+	cache, err := mgr.FOM.CreateContiguousFile("/cache", 2048,
+		memfs.CreateOptions{Discardable: true}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Close(); err != nil {
+		t.Fatal(err)
+	}
+	freed, err := mgr.FOM.DiscardUnderPressure(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed < 1024 {
+		t.Fatalf("pressure freed only %d frames", freed)
+	}
+
+	// --- Phase 5: crash and recovery -------------------------------
+	for _, o := range objs {
+		if err := h.Free(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fomProc.Exit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := baseline.Exit(); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Memory.Crash()
+	if _, err := mgr.FOM.Remount(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := mgr.FOM.FS().Open("/db")
+	if err != nil {
+		t.Fatalf("database lost in crash: %v", err)
+	}
+	survivor, err := mgr.FOM.NewProcess(core.Ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := survivor.MapFile(db2, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := survivor.ReadBuf(sm.Base()+4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "db-record-1" {
+		t.Fatalf("database corrupted by crash: %q", got)
+	}
+	// The program file was persistent too.
+	if _, err := mgr.FOM.FS().Open("/prog"); err != nil {
+		t.Fatalf("program file lost: %v", err)
+	}
+	if err := mgr.FOM.FS().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scenario complete at virtual time %v", mgr.Clock.Now())
+}
