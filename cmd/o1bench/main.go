@@ -26,7 +26,10 @@ func main() {
 	format := flag.String("format", "text", "output format: text | md")
 	paramsFile := flag.String("params", "", "JSON cost-table file overriding the calibrated defaults")
 	dumpParams := flag.Bool("dump-params", false, "print the default cost table as JSON and exit")
+	cpus := flag.Int("cpus", 1, "simulated CPU count for every experiment machine")
 	flag.Parse()
+
+	bench.SetCPUs(*cpus)
 
 	if *dumpParams {
 		def := sim.DefaultParams()

@@ -38,7 +38,10 @@ func main() {
 	stride := flag.Uint64("stride", 8, "stride for the strided pattern")
 	writes := flag.Bool("writes", false, "touch with writes instead of reads")
 	seed := flag.Uint64("seed", 42, "workload RNG seed")
+	cpus := flag.Int("cpus", 1, "simulated CPU count")
 	flag.Parse()
+
+	bench.SetCPUs(*cpus)
 
 	backends := []string{*backend}
 	if *backend == "all" {
@@ -140,7 +143,7 @@ func run(backend string, pages uint64, patName string, touches int, stride uint6
 	fmt.Printf("alloc+map: %v\n", allocCost)
 	fmt.Printf("touch:     %v total, %.1f ns/touch\n", touchCost,
 		float64(touchCost)/float64(touches))
-	fmt.Printf("virtual time elapsed: %v\n", sim.Time(m.Clock.Now()))
+	fmt.Printf("virtual time elapsed: %v (machine-wide, %d CPUs)\n", sim.Time(m.Sim.Time()), m.Sim.NumCPUs())
 	report()
 	return nil
 }

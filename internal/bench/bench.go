@@ -104,11 +104,28 @@ func machineParams() sim.Params {
 	return sim.DefaultParams()
 }
 
+// benchCPUs is the CPU count NewMachine uses (the -cpus flag).
+var benchCPUs = 1
+
+// SetCPUs sets the simulated CPU count for every machine the
+// experiments build (minimum 1). It exists so cmd/o1bench can plumb
+// its -cpus flag through.
+func SetCPUs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	benchCPUs = n
+}
+
+// CPUCount returns the configured CPU count.
+func CPUCount() int { return benchCPUs }
+
 // Machine is the standard experiment machine: 2 GiB of DRAM for the
 // baseline's page pool and page tables, 6 GiB of NVM split between a
 // tmpfs, a PMFS and the file-only-memory store.
 type Machine struct {
-	Clock  *sim.Clock
+	Sim    *sim.Machine
+	Clock  *sim.Clock // the machine's kernel clock
 	Params *sim.Params
 	Memory *mem.Memory
 	Kernel *vm.Kernel
@@ -117,9 +134,15 @@ type Machine struct {
 	FOM    *core.System
 }
 
-// NewMachine builds the standard machine. tmpfs lives in DRAM (it is a
-// RAM file system); PMFS and the file-only-memory store live in NVM.
+// NewMachine builds the standard machine with the configured CPU count
+// (SetCPUs; default 1). tmpfs lives in DRAM (it is a RAM file system);
+// PMFS and the file-only-memory store live in NVM.
 func NewMachine() (*Machine, error) {
+	return NewMachineN(benchCPUs)
+}
+
+// NewMachineN builds the standard machine with n CPUs.
+func NewMachineN(n int) (*Machine, error) {
 	const (
 		poolFrames  = uint64(2) << 30 >> mem.FrameShift // 2 GiB baseline pool
 		tmpfsFrames = uint64(1) << 30 >> mem.FrameShift // 1 GiB tmpfs (DRAM)
@@ -127,8 +150,9 @@ func NewMachine() (*Machine, error) {
 		nvmFrames   = uint64(5) << 30 >> mem.FrameShift
 		pmfsFrames  = uint64(1) << 30 >> mem.FrameShift // 1 GiB PMFS (NVM)
 	)
-	clock := &sim.Clock{}
 	params := machineParams()
+	machine := sim.NewMachine(&params, n, 0)
+	clock := machine.Clock()
 	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: dramFrames, NVMFrames: nvmFrames})
 	if err != nil {
 		return nil, err
@@ -154,6 +178,7 @@ func NewMachine() (*Machine, error) {
 		return nil, err
 	}
 	return &Machine{
+		Sim:    machine,
 		Clock:  clock,
 		Params: &params,
 		Memory: memory,
@@ -175,8 +200,21 @@ func ratio(a, b sim.Time) string {
 	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
 }
 
-// timeOp runs fn and returns the virtual time it consumed.
+// timeOp runs fn and returns the virtual time it consumed. On a
+// multi-CPU machine the measurement is machine-wide (max over CPU
+// clocks), so work fanned out to other CPUs — shootdown IPI handlers —
+// is included; per-CPU Now() would miss it and mis-measure across CPU
+// switches.
+// The barrier (Sync) before t0 is what makes the delta meaningful:
+// without it, work charged to a CPU that lags the machine-wide
+// maximum is masked and reads as zero elapsed time.
 func timeOp(clock *sim.Clock, fn func() error) (sim.Time, error) {
+	if mach := clock.Machine(); mach != nil {
+		mach.Sync()
+		t0 := mach.Time()
+		err := fn()
+		return mach.Time() - t0, err
+	}
 	t0 := clock.Now()
 	err := fn()
 	return clock.Since(t0), err

@@ -299,6 +299,53 @@ func TestShootdownShape(t *testing.T) {
 	if spt[last] >= base[last] {
 		t.Fatalf("shared-pt teardown (%v) not below baseline (%v)", spt[last], base[last])
 	}
+
+	// CPU sweep (second table): baseline per-page shootdown grows with
+	// the CPU count as well as with the mapping size, while the range
+	// teardown stays one range-TLB invalidation per CPU — far below it.
+	cpus := col(t, r, 1, 0)
+	baseCPU := col(t, r, 1, 1)
+	rngCPU := col(t, r, 1, 2)
+	ipis := col(t, r, 1, 4)
+	lastC := len(cpus) - 1
+	if baseCPU[lastC] < 10*baseCPU[0] {
+		t.Fatalf("baseline shootdown not growing with CPU count: %v", baseCPU)
+	}
+	if ipis[0] != 0 || ipis[lastC] <= ipis[1] {
+		t.Fatalf("baseline IPI count not growing with CPU count: %v", ipis)
+	}
+	for i := range cpus {
+		if baseCPU[i] < 30*rngCPU[i] {
+			t.Fatalf("at %v CPUs range shootdown (%v) not ≪ baseline (%v)", cpus[i], rngCPU[i], baseCPU[i])
+		}
+		// One invalidation per CPU: growth bounded by the CPU ratio.
+		// (The 1-CPU row pays no IPI at all, so scale from the 2-CPU
+		// row, the first that includes a send+receive round.)
+		if i > 1 && rngCPU[i] > rngCPU[1]*cpus[i]/cpus[1]+1 {
+			t.Fatalf("range shootdown above one-invalidation-per-CPU bound: %v", rngCPU)
+		}
+	}
+}
+
+// TestShootdownDeterminism runs the full E16 sweep (size table and CPU
+// sweep, machines from 1 to 16 CPUs) twice in-process and requires
+// byte-identical metrics output — the multi-core determinism guarantee.
+func TestShootdownDeterminism(t *testing.T) {
+	e, ok := ByID("shootdown")
+	if !ok {
+		t.Fatal("shootdown not registered")
+	}
+	r1, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.String() != r2.String() {
+		t.Fatalf("two E16 runs differ:\n%s\n---\n%s", r1.String(), r2.String())
+	}
 }
 
 func TestHeadroomShape(t *testing.T) {

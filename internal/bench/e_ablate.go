@@ -102,12 +102,13 @@ func ablateHuge() (*Result, error) {
 		return nil, fmt.Errorf("bench: aligned base out of range")
 	}
 
+	cpu := m.Sim.BootCPU()
 	for _, size := range []tlb.PageSize{tlb.Size4K, tlb.Size2M, tlb.Size1G} {
-		pt, err := pagetable.New(m.Clock, m.Params, m.Kernel.Pool(), pagetable.Levels4)
+		pt, err := pagetable.New(cpu, m.Params, m.Kernel.Pool(), pagetable.Levels4)
 		if err != nil {
 			return nil, err
 		}
-		tl := tlb.New(m.Clock, m.Params, tlb.DefaultConfig())
+		tl := tlb.New(cpu, m.Params, tlb.DefaultConfig())
 		va := mem.VirtAddr(1) << 39 // 512 GiB: 1 GiB aligned
 		step := size.Frames()
 		entries := totalPages / step
@@ -121,11 +122,11 @@ func ablateHuge() (*Result, error) {
 				var e error
 				switch size {
 				case tlb.Size4K:
-					e = pt.Map(v, fr, rw)
+					e = pt.Map(cpu, v, fr, rw)
 				case tlb.Size2M:
-					e = pt.Map2M(v, fr, rw)
+					e = pt.Map2M(cpu, v, fr, rw)
 				default:
-					e = pt.Map1G(v, fr, rw)
+					e = pt.Map1G(cpu, v, fr, rw)
 				}
 				if e != nil {
 					return e
@@ -140,13 +141,13 @@ func ablateHuge() (*Result, error) {
 		touchCost, err := timeOp(m.Clock, func() error {
 			for p := uint64(0); p < totalPages; p += 16 { // sample every 64 KiB
 				v := va + mem.VirtAddr(p*mem.FrameSize)
-				if _, hit := tl.Lookup(v); !hit {
-					pa, flags, _, ok := pt.Walk(v)
+				if _, hit := tl.Lookup(0, v); !hit {
+					pa, flags, _, ok := pt.Walk(cpu, v)
 					if !ok {
 						return fmt.Errorf("bench: walk failed at %#x", uint64(v))
 					}
 					_ = pa
-					tl.Insert(v, tlb.Translation{Frame: (base + mem.Frame(p/step*step)), Size: size, Flags: flags})
+					tl.Insert(0, v, tlb.Translation{Frame: (base + mem.Frame(p/step*step)), Size: size, Flags: flags})
 				}
 			}
 			return nil

@@ -101,13 +101,96 @@ func shootdown() (*Result, error) {
 		}
 		table.AddRow(fmt.Sprint(mb), us(baseT), us(times[core.Ranges]), us(times[core.SharedPT]))
 	}
+
+	cpuTable, err := shootdownCPUSweep()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ID:     "shootdown",
 		Title:  "unmap + shootdown at scale",
 		Paper:  "§3.2/§4.3",
-		Tables: []*metrics.Table{table},
+		Tables: []*metrics.Table{table, cpuTable},
 		Notes: []string{
 			"the baseline clears one PTE per page per process; file-only memory removes one range entry (or unlinks one subtree per 2 MiB/1 GiB) and invalidates a single translation per process",
+			"the CPU sweep unmaps a mapping whose address space ran on every CPU: the baseline shoots down each page on each CPU (pages × CPUs IPI work), while the range shootdown stays one range-TLB invalidation per CPU",
 		},
 	}, nil
+}
+
+// shootdownCPUSweepSizeMB is the fixed mapping size of the CPU sweep.
+const shootdownCPUSweepSizeMB = 16
+
+// shootdownCPUSweep holds the mapping size fixed and sweeps the CPU
+// count 1–16. The mapped address space/process is marked as having run
+// on every CPU, so every unmap must reach all of them.
+func shootdownCPUSweep() (*metrics.Table, error) {
+	table := metrics.NewTable(
+		fmt.Sprintf("tear down one %d MB shared mapping vs CPU count (µs, simulated)", shootdownCPUSweepSizeMB),
+		"cpus", "baseline_us", "fom_ranges_us", "fom_sharedpt_us", "baseline_ipis")
+	pages := uint64(shootdownCPUSweepSizeMB) << 20 >> mem.FrameShift
+
+	for _, ncpu := range []int{1, 2, 4, 8, 16} {
+		m, err := NewMachineN(ncpu)
+		if err != nil {
+			return nil, err
+		}
+
+		// Baseline: one address space whose threads ran on every CPU, so
+		// each per-page unmap broadcasts an invalidation IPI round.
+		bf, err := tmpfsFileOfKB(m, "/sdcpu", shootdownCPUSweepSizeMB*1024)
+		if err != nil {
+			return nil, err
+		}
+		as, err := m.Kernel.NewAddressSpace()
+		if err != nil {
+			return nil, err
+		}
+		va, err := as.Mmap(vm.MmapRequest{Pages: pages, Prot: ro, File: bf, Populate: true})
+		if err != nil {
+			return nil, err
+		}
+		for _, cpu := range m.Sim.CPUs() {
+			as.RunOn(cpu)
+		}
+		ipis0 := machineIPIs(m.Sim)
+		baseT, err := timeOp(m.Clock, func() error { return as.Munmap(va, pages) })
+		if err != nil {
+			return nil, err
+		}
+		ipis := machineIPIs(m.Sim) - ipis0
+
+		ff, err := m.FOM.CreateContiguousFile("/sdfomcpu", pages, memfs.CreateOptions{}, true)
+		if err != nil {
+			return nil, err
+		}
+		times := map[core.TranslationMode]sim.Time{}
+		for _, mode := range []core.TranslationMode{core.Ranges, core.SharedPT} {
+			p, err := m.FOM.NewProcess(mode)
+			if err != nil {
+				return nil, err
+			}
+			mp, err := p.MapFile(ff, ro)
+			if err != nil {
+				return nil, err
+			}
+			d, err := timeOp(m.Clock, func() error { return p.Unmap(mp) })
+			if err != nil {
+				return nil, err
+			}
+			times[mode] = d
+		}
+		table.AddRow(fmt.Sprint(ncpu), us(baseT), us(times[core.Ranges]), us(times[core.SharedPT]),
+			fmt.Sprint(ipis))
+	}
+	return table, nil
+}
+
+// machineIPIs totals "ipis_sent" across all CPUs.
+func machineIPIs(m *sim.Machine) uint64 {
+	var n uint64
+	for _, c := range m.CPUs() {
+		n += c.Stats().Value("ipis_sent")
+	}
+	return n
 }

@@ -52,15 +52,16 @@ func walkDepth() (*Result, error) {
 	check := metrics.NewTable(
 		"measured walk depth (real simulated tables)",
 		"levels", "walk_levels_touched")
+	cpu := m.Sim.BootCPU()
 	for _, levels := range []int{pagetable.Levels4, pagetable.Levels5} {
-		pt, err := pagetable.New(m.Clock, m.Params, m.Kernel.Pool(), levels)
+		pt, err := pagetable.New(cpu, m.Params, m.Kernel.Pool(), levels)
 		if err != nil {
 			return nil, err
 		}
-		if err := pt.Map(0x1000, 42, rw); err != nil {
+		if err := pt.Map(cpu, 0x1000, 42, rw); err != nil {
 			return nil, err
 		}
-		_, _, touched, ok := pt.Walk(0x1000)
+		_, _, touched, ok := pt.Walk(cpu, 0x1000)
 		if !ok {
 			return nil, fmt.Errorf("bench: walk failed")
 		}

@@ -34,6 +34,7 @@ func (p *Process) Touch(va mem.VirtAddr, write bool) error {
 }
 
 func (p *Process) translate(va mem.VirtAddr, write bool) (mem.PhysAddr, error) {
+	p.run()
 	p.stats.Counter("touches").Inc()
 	switch p.mode {
 	case Ranges:
@@ -44,14 +45,15 @@ func (p *Process) translate(va mem.VirtAddr, write bool) (mem.PhysAddr, error) {
 }
 
 func (p *Process) translateRanges(va mem.VirtAddr, write bool) (mem.PhysAddr, error) {
-	e, hit := p.rtlb.Lookup(va)
+	rtlb := p.sys.rtlbs[p.sys.machine.Current().ID()]
+	e, hit := rtlb.Lookup(p.pid, va)
 	if !hit {
 		var ok bool
 		e, ok = p.ranges.Lookup(va)
 		if !ok {
 			return 0, &AccessError{VA: va, Write: write, Cause: "no range translation"}
 		}
-		p.rtlb.Insert(e)
+		rtlb.Insert(p.pid, e)
 	}
 	if err := checkProt(e.Flags, va, write); err != nil {
 		return 0, err
@@ -62,7 +64,9 @@ func (p *Process) translateRanges(va mem.VirtAddr, write bool) (mem.PhysAddr, er
 }
 
 func (p *Process) translateSharedPT(va mem.VirtAddr, write bool) (mem.PhysAddr, error) {
-	if tr, hit := p.tlb.Lookup(va); hit {
+	cur := p.sys.machine.Current()
+	ptlb := p.sys.tlbs[cur.ID()]
+	if tr, hit := ptlb.Lookup(p.pid, va); hit {
 		if err := checkProt(tr.Flags, va, write); err != nil {
 			return 0, err
 		}
@@ -70,7 +74,7 @@ func (p *Process) translateSharedPT(va mem.VirtAddr, write bool) (mem.PhysAddr, 
 		p.chargeDataRef(pa, write)
 		return pa, nil
 	}
-	pa, flags, _, ok := p.pt.Walk(va)
+	pa, flags, _, ok := p.pt.Walk(cur, va)
 	if !ok {
 		return 0, &AccessError{VA: va, Write: write, Cause: "no page-table translation"}
 	}
@@ -79,7 +83,7 @@ func (p *Process) translateSharedPT(va mem.VirtAddr, write bool) (mem.PhysAddr, 
 	}
 	size, _ := tlb.SizeForFrames(p.pt.PageSize(va) / mem.FrameSize)
 	base := pa - mem.PhysAddr(uint64(va)%p.pt.PageSize(va))
-	p.tlb.Insert(va, tlb.Translation{Frame: base.Frame(), Size: size, Flags: flags})
+	ptlb.Insert(p.pid, va, tlb.Translation{Frame: base.Frame(), Size: size, Flags: flags})
 	p.chargeDataRef(pa, write)
 	return pa, nil
 }
@@ -157,8 +161,9 @@ func (p *Process) WriteByteAt(va mem.VirtAddr, v byte) error {
 	return p.WriteBuf(va, []byte{v})
 }
 
-// RTLB exposes the process's range TLB (Ranges mode).
-func (p *Process) RTLB() *rangetable.RTLB { return p.rtlb }
+// RTLB exposes the range TLB of the process's home CPU. With one CPU
+// (the default) this is the machine's only range TLB.
+func (p *Process) RTLB() *rangetable.RTLB { return p.sys.rtlbs[p.cpu.ID()] }
 
-// TLB exposes the process's page TLB (SharedPT mode).
-func (p *Process) TLB() *tlb.TLB { return p.tlb }
+// TLB exposes the page TLB of the process's home CPU.
+func (p *Process) TLB() *tlb.TLB { return p.sys.tlbs[p.cpu.ID()] }

@@ -35,7 +35,9 @@ import (
 	"repro/internal/memfs"
 	"repro/internal/metrics"
 	"repro/internal/pagetable"
+	"repro/internal/rangetable"
 	"repro/internal/sim"
+	"repro/internal/tlb"
 )
 
 // PBMBase is the fixed offset of physically based mappings: the
@@ -102,9 +104,19 @@ type Options struct {
 
 // System is one machine's file-only-memory manager.
 type System struct {
-	clock  *sim.Clock
-	params *sim.Params
-	memory *mem.Memory
+	clock   *sim.Clock
+	params  *sim.Params
+	memory  *mem.Memory
+	machine *sim.Machine
+
+	// Per-CPU translation caches, shared by every process scheduled on
+	// the CPU (entries are tagged by process id): tlbs for SharedPT
+	// processes, rtlbs for Ranges processes.
+	tlbs  []*tlb.TLB
+	rtlbs []*rangetable.RTLB
+
+	// nextCPU round-robins new processes across CPUs.
+	nextCPU int
 
 	fs *memfs.FS
 
@@ -134,7 +146,11 @@ type masterTable struct {
 }
 
 // NewSystem creates a file-only-memory system on the given machine.
+// The CPU set is derived from clock (see sim.MachineOf): the kernel
+// clock of a sim.Machine yields its CPUs, a free-standing clock models
+// a single-CPU machine.
 func NewSystem(clock *sim.Clock, params *sim.Params, memory *mem.Memory, opts Options) (*System, error) {
+	machine := sim.MachineOf(clock, params)
 	base, frames := opts.FSBase, opts.FSFrames
 	if frames == 0 {
 		nvm, ok := memory.Region(mem.NVM)
@@ -159,17 +175,32 @@ func NewSystem(clock *sim.Clock, params *sim.Params, memory *mem.Memory, opts Op
 	if err != nil {
 		return nil, err
 	}
-	return &System{
+	s := &System{
 		clock:       clock,
 		params:      params,
 		memory:      memory,
+		machine:     machine,
 		fs:          fs,
 		ptPool:      pool,
 		masters:     make(map[pagetable.Flags]*masterTable),
 		rtlbEntries: opts.RTLBEntries,
 		stats:       metrics.NewSet(),
-	}, nil
+	}
+	for _, cpu := range machine.CPUs() {
+		s.tlbs = append(s.tlbs, tlb.New(cpu, params, tlb.DefaultConfig()))
+		s.rtlbs = append(s.rtlbs, rangetable.NewRTLB(cpu, params, opts.RTLBEntries))
+	}
+	return s, nil
 }
+
+// Machine returns the machine the system runs on.
+func (s *System) Machine() *sim.Machine { return s.machine }
+
+// TLBFor returns the given CPU's page TLB (SharedPT processes).
+func (s *System) TLBFor(cpu *sim.CPU) *tlb.TLB { return s.tlbs[cpu.ID()] }
+
+// RTLBFor returns the given CPU's range TLB (Ranges processes).
+func (s *System) RTLBFor(cpu *sim.CPU) *rangetable.RTLB { return s.rtlbs[cpu.ID()] }
 
 // Clock returns the system's virtual clock.
 func (s *System) Clock() *sim.Clock { return s.clock }
@@ -203,7 +234,7 @@ func (s *System) master(prot pagetable.Flags) (*masterTable, error) {
 	if m, ok := s.masters[prot]; ok {
 		return m, nil
 	}
-	t, err := pagetable.New(s.clock, s.params, s.ptPool.bud, pagetable.Levels4)
+	t, err := pagetable.New(s.machine.Current(), s.params, s.ptPool.bud, pagetable.Levels4)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +255,7 @@ func (s *System) ensureChunk(m *masterTable, chunkVA mem.VirtAddr) error {
 	if err != nil {
 		return err
 	}
-	if err := m.table.MapRange(chunkVA, pa.Frame(), chunkPages, m.prot); err != nil {
+	if err := m.table.MapRange(s.machine.Current(), chunkVA, pa.Frame(), chunkPages, m.prot); err != nil {
 		return err
 	}
 	m.chunks[chunkVA] = true

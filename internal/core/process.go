@@ -10,7 +10,6 @@ import (
 	"repro/internal/pagetable"
 	"repro/internal/rangetable"
 	"repro/internal/sim"
-	"repro/internal/tlb"
 )
 
 // ptPool allocates page-table node frames for SharedPT mode.
@@ -32,16 +31,15 @@ func newPTPool(clock *sim.Clock, params *sim.Params, base mem.Frame, frames uint
 // built from shared pre-created subtrees (SharedPT).
 type Process struct {
 	sys  *System
-	pid  int
+	pid  int // doubles as the ASID tagging this process's TLB entries
 	mode TranslationMode
+	cpu  *sim.CPU // home CPU; syscalls and accesses execute here
 
-	// Ranges mode state.
+	// Ranges mode state. The range TLB itself is per-CPU (sys.rtlbs).
 	ranges *rangetable.Table
-	rtlb   *rangetable.RTLB
 
-	// SharedPT mode state.
-	pt  *pagetable.Table
-	tlb *tlb.TLB
+	// SharedPT mode state. The page TLB itself is per-CPU (sys.tlbs).
+	pt *pagetable.Table
 
 	mappings map[mem.VirtAddr]*Mapping // keyed by first segment VA
 	exited   bool
@@ -49,31 +47,80 @@ type Process struct {
 	stats *metrics.Set
 }
 
-// NewProcess creates a process using the given translation mode.
+// NewProcess creates a process using the given translation mode,
+// scheduled round-robin onto the machine's CPUs.
 func (s *System) NewProcess(mode TranslationMode) (*Process, error) {
+	cpu := s.machine.CPU(s.nextCPU % s.machine.NumCPUs())
+	s.nextCPU++
+	return s.NewProcessOn(cpu, mode)
+}
+
+// NewProcessOn creates a process pinned to the given CPU.
+func (s *System) NewProcessOn(cpu *sim.CPU, mode TranslationMode) (*Process, error) {
 	s.procs++
 	p := &Process{
 		sys:      s,
 		pid:      s.procs,
 		mode:     mode,
+		cpu:      cpu,
 		mappings: make(map[mem.VirtAddr]*Mapping),
 		stats:    metrics.NewSet(),
 	}
+	s.machine.SetCurrent(cpu)
 	switch mode {
 	case Ranges:
 		p.ranges = rangetable.New(s.clock, s.params)
-		p.rtlb = rangetable.NewRTLB(s.clock, s.params, s.rtlbEntries)
 	case SharedPT:
-		pt, err := pagetable.New(s.clock, s.params, s.ptPool.bud, pagetable.Levels4)
+		pt, err := pagetable.New(cpu, s.params, s.ptPool.bud, pagetable.Levels4)
 		if err != nil {
 			return nil, err
 		}
 		p.pt = pt
-		p.tlb = tlb.New(s.clock, s.params, tlb.DefaultConfig())
 	default:
 		return nil, fmt.Errorf("core: unknown translation mode %d", mode)
 	}
 	return p, nil
+}
+
+// CPU returns the process's home CPU.
+func (p *Process) CPU() *sim.CPU { return p.cpu }
+
+// run switches machine execution to the process's home CPU: syscalls
+// and memory accesses below charge that CPU's clock.
+func (p *Process) run() { p.sys.machine.SetCurrent(p.cpu) }
+
+// shootdownRange invalidates one range translation on every CPU: the
+// local range TLB drops the entry directly; all other CPUs get one IPI
+// each and drop theirs in the handler. File-grain translations are
+// shareable machine-wide (every process maps a file at the same PBM
+// address), so the broadcast is unconditional — but it is one
+// invalidation per CPU regardless of the range's size.
+func (p *Process) shootdownRange(vbase mem.VirtAddr) {
+	s := p.sys
+	from := s.machine.Current()
+	s.rtlbs[from.ID()].Invalidate(p.pid, vbase)
+	s.machine.Broadcast(from, func(t *sim.CPU) {
+		s.rtlbs[t.ID()].Invalidate(p.pid, vbase)
+	})
+}
+
+// shootdownUnits invalidates the given subtree-unit translations on
+// every CPU. All units of one segment batch into a single IPI round:
+// the sender pays one send per target and each target walks the unit
+// list in its handler, as a real kernel's flush-list shootdown would.
+func (p *Process) shootdownUnits(vas []mem.VirtAddr) {
+	s := p.sys
+	from := s.machine.Current()
+	local := s.tlbs[from.ID()]
+	for _, va := range vas {
+		local.InvalidateVA(p.pid, va)
+	}
+	s.machine.Broadcast(from, func(t *sim.CPU) {
+		remote := s.tlbs[t.ID()]
+		for _, va := range vas {
+			remote.InvalidateVA(p.pid, va)
+		}
+	})
 }
 
 // PID returns the process id.
@@ -163,6 +210,7 @@ func (p *Process) AllocVolatile(pages uint64, prot pagetable.Flags) (*Mapping, e
 	if p.exited {
 		return nil, fmt.Errorf("core: process %d has exited", p.pid)
 	}
+	p.run()
 	s := p.sys
 	s.clock.Advance(s.params.SyscallOverhead + s.params.MmapFixed)
 	alloc := pages
@@ -217,6 +265,7 @@ func (p *Process) MapFile(f *memfs.File, prot pagetable.Flags) (*Mapping, error)
 	if p.exited {
 		return nil, fmt.Errorf("core: process %d has exited", p.pid)
 	}
+	p.run()
 	s := p.sys
 	s.clock.Advance(s.params.SyscallOverhead + s.params.MmapFixed)
 	pages := f.Inode().Pages()
@@ -332,7 +381,7 @@ func (p *Process) linkSegment(seg Segment, prot pagetable.Flags) error {
 				return err
 			}
 		}
-		if err := p.pt.LinkSubtree(u.va, master.table, u.va, u.level); err != nil {
+		if err := p.pt.LinkSubtree(s.machine.Current(), u.va, master.table, u.va, u.level); err != nil {
 			return err
 		}
 		s.stats.Counter("chunk_links").Inc()
@@ -341,19 +390,23 @@ func (p *Process) linkSegment(seg Segment, prot pagetable.Flags) error {
 }
 
 func (p *Process) unmapSegment(seg Segment) error {
+	cur := p.sys.machine.Current()
 	switch p.mode {
 	case Ranges:
 		if _, err := p.ranges.Remove(seg.VA); err != nil {
 			return err
 		}
-		p.rtlb.Invalidate(seg.VA)
+		p.shootdownRange(seg.VA)
 	case SharedPT:
-		for _, u := range linkUnits(seg) {
-			if err := p.pt.UnlinkSubtree(u.va, u.level); err != nil {
+		units := linkUnits(seg)
+		vas := make([]mem.VirtAddr, 0, len(units))
+		for _, u := range units {
+			if err := p.pt.UnlinkSubtree(cur, u.va, u.level); err != nil {
 				return err
 			}
-			p.tlb.InvalidateVA(u.va)
+			vas = append(vas, u.va)
 		}
+		p.shootdownUnits(vas)
 	}
 	return nil
 }
@@ -365,6 +418,7 @@ func (p *Process) Unmap(m *Mapping) error {
 	if m.proc != p {
 		return fmt.Errorf("core: mapping belongs to process %d", m.proc.pid)
 	}
+	p.run()
 	s := p.sys
 	s.clock.Advance(s.params.SyscallOverhead)
 	if _, ok := p.mappings[m.Base()]; !ok {
@@ -384,6 +438,7 @@ func (p *Process) Unmap(m *Mapping) error {
 // Protect rewrites a mapping's protection at file grain: one update
 // per extent (Ranges) or a relink against the other master (SharedPT).
 func (p *Process) Protect(m *Mapping, prot pagetable.Flags) error {
+	p.run()
 	s := p.sys
 	s.clock.Advance(s.params.SyscallOverhead)
 	if _, ok := p.mappings[m.Base()]; !ok {
@@ -395,7 +450,7 @@ func (p *Process) Protect(m *Mapping, prot pagetable.Flags) error {
 			if err := p.ranges.UpdateFlags(seg.VA, prot); err != nil {
 				return err
 			}
-			p.rtlb.Invalidate(seg.VA)
+			p.shootdownRange(seg.VA)
 		}
 	case SharedPT:
 		for _, seg := range m.segments {
@@ -418,6 +473,7 @@ func (p *Process) Exit() error {
 	if p.exited {
 		return fmt.Errorf("core: process %d already exited", p.pid)
 	}
+	p.run()
 	for _, m := range p.mappings {
 		for _, seg := range m.segments {
 			if err := p.unmapSegment(seg); err != nil {

@@ -122,9 +122,13 @@ func indexAt(va mem.VirtAddr, level int) int {
 	return int((va.VPN() >> (uint(level-1) * entryIndexBits)) & (EntriesPerNode - 1))
 }
 
-// Table is one address space's page table.
+// Table is one address space's page table. Methods that perform
+// simulated work take the CPU doing it as their first argument, so
+// page-table manipulation is always charged to the clock of the CPU
+// that executed it (a fault handler, an unmap syscall, a shootdown
+// initiator, ...); tables themselves are CPU-agnostic and may be
+// touched from any CPU.
 type Table struct {
-	clock  *sim.Clock
 	params *sim.Params
 	bud    *buddy.Allocator
 
@@ -138,19 +142,18 @@ type Table struct {
 
 // New creates an empty table with the given number of levels (Levels4
 // or Levels5). The root node is allocated immediately, as in a real
-// address-space creation.
-func New(clock *sim.Clock, params *sim.Params, bud *buddy.Allocator, levels int) (*Table, error) {
+// address-space creation, charged to cpu.
+func New(cpu *sim.CPU, params *sim.Params, bud *buddy.Allocator, levels int) (*Table, error) {
 	if levels != Levels4 && levels != Levels5 {
 		return nil, fmt.Errorf("pagetable: unsupported level count %d", levels)
 	}
 	t := &Table{
-		clock:  clock,
 		params: params,
 		bud:    bud,
 		levels: levels,
 		stats:  metrics.NewSet(),
 	}
-	root, err := t.newNode(levels)
+	root, err := t.newNode(cpu, levels)
 	if err != nil {
 		return nil, err
 	}
@@ -202,12 +205,12 @@ func (t *Table) MaxVirt() mem.VirtAddr {
 	return mem.VirtAddr(span(t.levels+1)) << mem.FrameShift
 }
 
-func (t *Table) newNode(level int) (*node, error) {
+func (t *Table) newNode(cpu *sim.CPU, level int) (*node, error) {
 	f, err := t.bud.AllocFrame()
 	if err != nil {
 		return nil, fmt.Errorf("pagetable: node allocation: %w", err)
 	}
-	t.clock.Advance(t.params.PTNodeAlloc)
+	cpu.Advance(t.params.PTNodeAlloc)
 	t.stats.Counter("node_allocs").Inc()
 	return &node{level: level, frame: f, refs: 1}, nil
 }
@@ -246,49 +249,49 @@ func (t *Table) checkVA(va mem.VirtAddr) error {
 // creating intermediate nodes as needed. It charges one PTE write plus
 // walk and node-allocation costs, exactly the per-page work the paper
 // identifies as the linear term of mmap(MAP_POPULATE).
-func (t *Table) Map(va mem.VirtAddr, frame mem.Frame, flags Flags) error {
-	return t.mapEntry(va, frame, flags, 1)
+func (t *Table) Map(cpu *sim.CPU, va mem.VirtAddr, frame mem.Frame, flags Flags) error {
+	return t.mapEntry(cpu, va, frame, flags, 1)
 }
 
 // Map2M installs a 2 MiB huge mapping. va must be 2 MiB aligned and
 // frame 512-frame aligned.
-func (t *Table) Map2M(va mem.VirtAddr, frame mem.Frame, flags Flags) error {
+func (t *Table) Map2M(cpu *sim.CPU, va mem.VirtAddr, frame mem.Frame, flags Flags) error {
 	if uint64(va)%(mem.HugeFrames2M*mem.FrameSize) != 0 || uint64(frame)%mem.HugeFrames2M != 0 {
 		return fmt.Errorf("pagetable: unaligned 2MiB mapping va=%#x frame=%d", uint64(va), frame)
 	}
-	return t.mapEntry(va, frame, flags, 2)
+	return t.mapEntry(cpu, va, frame, flags, 2)
 }
 
 // Map1G installs a 1 GiB huge mapping. va must be 1 GiB aligned and
 // frame 512²-frame aligned.
-func (t *Table) Map1G(va mem.VirtAddr, frame mem.Frame, flags Flags) error {
+func (t *Table) Map1G(cpu *sim.CPU, va mem.VirtAddr, frame mem.Frame, flags Flags) error {
 	if uint64(va)%(mem.HugeFrames1G*mem.FrameSize) != 0 || uint64(frame)%mem.HugeFrames1G != 0 {
 		return fmt.Errorf("pagetable: unaligned 1GiB mapping va=%#x frame=%d", uint64(va), frame)
 	}
-	return t.mapEntry(va, frame, flags, 3)
+	return t.mapEntry(cpu, va, frame, flags, 3)
 }
 
-func (t *Table) mapEntry(va mem.VirtAddr, frame mem.Frame, flags Flags, leafLevel int) error {
+func (t *Table) mapEntry(cpu *sim.CPU, va mem.VirtAddr, frame mem.Frame, flags Flags, leafLevel int) error {
 	if err := t.checkVA(va); err != nil {
 		return err
 	}
 	n := t.root
 	for n.level > leafLevel {
-		t.clock.Advance(t.params.WalkLevelRef)
+		cpu.Advance(t.params.WalkLevelRef)
 		idx := indexAt(va, n.level)
 		e := &n.entries[idx]
 		if e.present && e.huge {
 			return fmt.Errorf("pagetable: va %#x already covered by a level-%d huge mapping", uint64(va), n.level)
 		}
 		if !e.present {
-			child, err := t.newNode(n.level - 1)
+			child, err := t.newNode(cpu, n.level-1)
 			if err != nil {
 				return err
 			}
 			e.present = true
 			e.child = child
 			n.present++
-			t.chargePTE()
+			t.chargePTE(cpu)
 		}
 		if e.child.refs > 1 {
 			return fmt.Errorf("pagetable: va %#x lies in a shared subtree; unlink before modifying", uint64(va))
@@ -309,22 +312,22 @@ func (t *Table) mapEntry(va mem.VirtAddr, frame mem.Frame, flags Flags, leafLeve
 	e.flags = flags
 	e.child = nil
 	n.present++
-	t.chargePTE()
+	t.chargePTE(cpu)
 	t.mapped += span(leafLevel)
 	return nil
 }
 
-func (t *Table) chargePTE() {
-	t.clock.Advance(t.params.PTEWrite)
+func (t *Table) chargePTE(cpu *sim.CPU) {
+	cpu.Advance(t.params.PTEWrite)
 	t.stats.Counter("pte_writes").Inc()
 }
 
 // MapRange maps count contiguous pages starting at va to contiguous
 // frames starting at frame — the baseline populate loop: cost is
 // linear in count.
-func (t *Table) MapRange(va mem.VirtAddr, frame mem.Frame, count uint64, flags Flags) error {
+func (t *Table) MapRange(cpu *sim.CPU, va mem.VirtAddr, frame mem.Frame, count uint64, flags Flags) error {
 	for i := uint64(0); i < count; i++ {
-		if err := t.Map(va+mem.VirtAddr(i*mem.FrameSize), frame+mem.Frame(i), flags); err != nil {
+		if err := t.Map(cpu, va+mem.VirtAddr(i*mem.FrameSize), frame+mem.Frame(i), flags); err != nil {
 			return err
 		}
 	}
@@ -335,12 +338,12 @@ func (t *Table) MapRange(va mem.VirtAddr, frame mem.Frame, count uint64, flags F
 // reference per level traversed. It returns the translated physical
 // address, the mapping's flags, and the number of levels referenced.
 // ok is false if no translation exists.
-func (t *Table) Walk(va mem.VirtAddr) (pa mem.PhysAddr, flags Flags, levels int, ok bool) {
+func (t *Table) Walk(cpu *sim.CPU, va mem.VirtAddr) (pa mem.PhysAddr, flags Flags, levels int, ok bool) {
 	t.stats.Counter("walks").Inc()
 	n := t.root
 	for {
 		levels++
-		t.clock.Advance(t.params.WalkLevelRef)
+		cpu.Advance(t.params.WalkLevelRef)
 		if err := t.checkVA(va); err != nil {
 			return 0, 0, levels, false
 		}
@@ -400,11 +403,11 @@ func (t *Table) PageSize(va mem.VirtAddr) uint64 {
 // Unmap removes the mapping covering va (of whatever page size) and
 // returns the frame it mapped and its span in 4 KiB pages. Empty
 // intermediate nodes are freed, as in free_pgtables().
-func (t *Table) Unmap(va mem.VirtAddr) (mem.Frame, uint64, error) {
+func (t *Table) Unmap(cpu *sim.CPU, va mem.VirtAddr) (mem.Frame, uint64, error) {
 	if err := t.checkVA(va); err != nil {
 		return 0, 0, err
 	}
-	frame, pages, err := t.unmapRec(t.root, va)
+	frame, pages, err := t.unmapRec(cpu, t.root, va)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -412,8 +415,8 @@ func (t *Table) Unmap(va mem.VirtAddr) (mem.Frame, uint64, error) {
 	return frame, pages, nil
 }
 
-func (t *Table) unmapRec(n *node, va mem.VirtAddr) (mem.Frame, uint64, error) {
-	t.clock.Advance(t.params.WalkLevelRef)
+func (t *Table) unmapRec(cpu *sim.CPU, n *node, va mem.VirtAddr) (mem.Frame, uint64, error) {
+	cpu.Advance(t.params.WalkLevelRef)
 	e := &n.entries[indexAt(va, n.level)]
 	if !e.present {
 		return 0, 0, fmt.Errorf("pagetable: va %#x not mapped", uint64(va))
@@ -423,14 +426,14 @@ func (t *Table) unmapRec(n *node, va mem.VirtAddr) (mem.Frame, uint64, error) {
 		pages := span(n.level)
 		*e = entry{}
 		n.present--
-		t.chargePTE()
+		t.chargePTE(cpu)
 		return frame, pages, nil
 	}
 	child := e.child
 	if child.refs > 1 {
 		return 0, 0, fmt.Errorf("pagetable: va %#x lies in a shared subtree; use UnlinkSubtree", uint64(va))
 	}
-	frame, pages, err := t.unmapRec(child, va)
+	frame, pages, err := t.unmapRec(cpu, child, va)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -440,7 +443,7 @@ func (t *Table) unmapRec(n *node, va mem.VirtAddr) (mem.Frame, uint64, error) {
 		}
 		*e = entry{}
 		n.present--
-		t.chargePTE()
+		t.chargePTE(cpu)
 	}
 	return frame, pages, nil
 }
@@ -448,7 +451,7 @@ func (t *Table) unmapRec(n *node, va mem.VirtAddr) (mem.Frame, uint64, error) {
 // UnmapRange unmaps count pages starting at va, invoking fn (if
 // non-nil) with each unmapped frame and its span. Cost is linear in
 // the number of mappings removed.
-func (t *Table) UnmapRange(va mem.VirtAddr, count uint64, fn func(mem.Frame, uint64)) error {
+func (t *Table) UnmapRange(cpu *sim.CPU, va mem.VirtAddr, count uint64, fn func(mem.Frame, uint64)) error {
 	end := va + mem.VirtAddr(count*mem.FrameSize)
 	for va < end {
 		sz := t.PageSize(va)
@@ -456,7 +459,7 @@ func (t *Table) UnmapRange(va mem.VirtAddr, count uint64, fn func(mem.Frame, uin
 			va += mem.FrameSize
 			continue
 		}
-		frame, pages, err := t.Unmap(va)
+		frame, pages, err := t.Unmap(cpu, va)
 		if err != nil {
 			return err
 		}
@@ -470,20 +473,20 @@ func (t *Table) UnmapRange(va mem.VirtAddr, count uint64, fn func(mem.Frame, uin
 
 // Protect rewrites the flags of the mapping covering va. It returns an
 // error if va is unmapped or inside a shared subtree.
-func (t *Table) Protect(va mem.VirtAddr, flags Flags) error {
+func (t *Table) Protect(cpu *sim.CPU, va mem.VirtAddr, flags Flags) error {
 	if err := t.checkVA(va); err != nil {
 		return err
 	}
 	n := t.root
 	for {
-		t.clock.Advance(t.params.WalkLevelRef)
+		cpu.Advance(t.params.WalkLevelRef)
 		e := &n.entries[indexAt(va, n.level)]
 		if !e.present {
 			return fmt.Errorf("pagetable: protect of unmapped va %#x", uint64(va))
 		}
 		if n.level == 1 || e.huge {
 			e.flags = flags
-			t.chargePTE()
+			t.chargePTE(cpu)
 			return nil
 		}
 		if e.child.refs > 1 {
@@ -514,7 +517,7 @@ func SubtreeLevel(pages uint64) (int, error) {
 // Both addresses must be aligned to the subtree span for the given
 // level. The cost is a single entry write regardless of how many pages
 // the subtree maps: this is what makes shared mapping O(1).
-func (t *Table) LinkSubtree(va mem.VirtAddr, src *Table, srcVA mem.VirtAddr, level int) error {
+func (t *Table) LinkSubtree(cpu *sim.CPU, va mem.VirtAddr, src *Table, srcVA mem.VirtAddr, level int) error {
 	if level < 2 || level >= t.levels+1 {
 		return fmt.Errorf("pagetable: cannot link at level %d", level)
 	}
@@ -534,18 +537,18 @@ func (t *Table) LinkSubtree(va mem.VirtAddr, src *Table, srcVA mem.VirtAddr, lev
 	// Descend to the node holding the level-`level` entry.
 	n := t.root
 	for n.level > level {
-		t.clock.Advance(t.params.WalkLevelRef)
+		cpu.Advance(t.params.WalkLevelRef)
 		idx := indexAt(va, n.level)
 		e := &n.entries[idx]
 		if !e.present {
-			child, err := t.newNode(n.level - 1)
+			child, err := t.newNode(cpu, n.level-1)
 			if err != nil {
 				return err
 			}
 			e.present = true
 			e.child = child
 			n.present++
-			t.chargePTE()
+			t.chargePTE(cpu)
 		} else if e.huge {
 			return fmt.Errorf("pagetable: va %#x covered by huge mapping", uint64(va))
 		}
@@ -559,7 +562,7 @@ func (t *Table) LinkSubtree(va mem.VirtAddr, src *Table, srcVA mem.VirtAddr, lev
 	e.present = true
 	e.child = srcNode
 	n.present++
-	t.chargePTE()
+	t.chargePTE(cpu)
 	t.stats.Counter("subtree_links").Inc()
 	t.mapped += srcPresentPages(srcNode)
 	return nil
@@ -605,13 +608,13 @@ func srcPresentPages(n *node) uint64 {
 // UnlinkSubtree removes a previously linked subtree entry covering va
 // at the given level. Like LinkSubtree, the cost is a single entry
 // write.
-func (t *Table) UnlinkSubtree(va mem.VirtAddr, level int) error {
+func (t *Table) UnlinkSubtree(cpu *sim.CPU, va mem.VirtAddr, level int) error {
 	if err := t.checkVA(va); err != nil {
 		return err
 	}
 	n := t.root
 	for n.level > level {
-		t.clock.Advance(t.params.WalkLevelRef)
+		cpu.Advance(t.params.WalkLevelRef)
 		e := &n.entries[indexAt(va, n.level)]
 		if !e.present || e.huge {
 			return fmt.Errorf("pagetable: no mapping at va %#x", uint64(va))
@@ -629,15 +632,15 @@ func (t *Table) UnlinkSubtree(va mem.VirtAddr, level int) error {
 	}
 	*e = entry{}
 	n.present--
-	t.chargePTE()
+	t.chargePTE(cpu)
 	t.stats.Counter("subtree_unlinks").Inc()
 	// Prune intermediate nodes the link's installation created, so a
 	// later link at a higher level finds the slot free.
-	return t.pruneEmpty(t.root, va)
+	return t.pruneEmpty(cpu, t.root, va)
 }
 
 // pruneEmpty frees empty interior nodes along the path to va.
-func (t *Table) pruneEmpty(n *node, va mem.VirtAddr) error {
+func (t *Table) pruneEmpty(cpu *sim.CPU, n *node, va mem.VirtAddr) error {
 	if n.level == 1 {
 		return nil
 	}
@@ -649,7 +652,7 @@ func (t *Table) pruneEmpty(n *node, va mem.VirtAddr) error {
 	if child.refs > 1 {
 		return nil // shared: not ours to prune
 	}
-	if err := t.pruneEmpty(child, va); err != nil {
+	if err := t.pruneEmpty(cpu, child, va); err != nil {
 		return err
 	}
 	if child.present == 0 {
@@ -658,7 +661,7 @@ func (t *Table) pruneEmpty(n *node, va mem.VirtAddr) error {
 		}
 		*e = entry{}
 		n.present--
-		t.chargePTE()
+		t.chargePTE(cpu)
 	}
 	return nil
 }

@@ -9,37 +9,38 @@ import (
 	"repro/internal/sim"
 )
 
-func newTable(t *testing.T, levels int) (*Table, *buddy.Allocator, *sim.Clock) {
+func newTable(t *testing.T, levels int) (*Table, *buddy.Allocator, *sim.CPU) {
 	t.Helper()
 	clock := &sim.Clock{}
 	params := sim.DefaultParams()
+	cpu := sim.MachineOf(clock, &params).BootCPU()
 	bud, err := buddy.New(clock, &params, 0, 1<<20) // 4 GiB of frames
 	if err != nil {
 		t.Fatalf("buddy.New: %v", err)
 	}
-	tbl, err := New(clock, &params, bud, levels)
+	tbl, err := New(cpu, &params, bud, levels)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	return tbl, bud, clock
+	return tbl, bud, cpu
 }
 
 func TestNewRejectsBadLevels(t *testing.T) {
 	clock := &sim.Clock{}
 	params := sim.DefaultParams()
 	bud, _ := buddy.New(clock, &params, 0, 64)
-	if _, err := New(clock, &params, bud, 3); err == nil {
+	if _, err := New(sim.MachineOf(clock, &params).BootCPU(), &params, bud, 3); err == nil {
 		t.Fatal("accepted 3-level table")
 	}
 }
 
 func TestMapWalkRoundTrip(t *testing.T) {
-	tbl, _, _ := newTable(t, Levels4)
+	tbl, _, cpu := newTable(t, Levels4)
 	va := mem.VirtAddr(0x7f0000001000)
-	if err := tbl.Map(va, 1234, FlagRead|FlagWrite); err != nil {
+	if err := tbl.Map(cpu, va, 1234, FlagRead|FlagWrite); err != nil {
 		t.Fatalf("Map: %v", err)
 	}
-	pa, flags, levels, ok := tbl.Walk(va + 123)
+	pa, flags, levels, ok := tbl.Walk(cpu, va + 123)
 	if !ok {
 		t.Fatal("Walk missed mapped address")
 	}
@@ -58,47 +59,47 @@ func TestMapWalkRoundTrip(t *testing.T) {
 }
 
 func TestWalkUnmappedFails(t *testing.T) {
-	tbl, _, _ := newTable(t, Levels4)
-	if _, _, _, ok := tbl.Walk(0x1000); ok {
+	tbl, _, cpu := newTable(t, Levels4)
+	if _, _, _, ok := tbl.Walk(cpu, 0x1000); ok {
 		t.Fatal("Walk succeeded on empty table")
 	}
 }
 
 func TestDoubleMapRejected(t *testing.T) {
-	tbl, _, _ := newTable(t, Levels4)
+	tbl, _, cpu := newTable(t, Levels4)
 	va := mem.VirtAddr(0x1000)
-	if err := tbl.Map(va, 1, FlagRead); err != nil {
+	if err := tbl.Map(cpu, va, 1, FlagRead); err != nil {
 		t.Fatal(err)
 	}
-	if err := tbl.Map(va, 2, FlagRead); err == nil {
+	if err := tbl.Map(cpu, va, 2, FlagRead); err == nil {
 		t.Fatal("double map accepted")
 	}
 }
 
 func TestVirtualAddressBounds(t *testing.T) {
-	tbl4, _, _ := newTable(t, Levels4)
-	if err := tbl4.Map(tbl4.MaxVirt(), 1, FlagRead); err == nil {
+	tbl4, _, cpu := newTable(t, Levels4)
+	if err := tbl4.Map(cpu, tbl4.MaxVirt(), 1, FlagRead); err == nil {
 		t.Fatal("4-level table accepted out-of-reach address")
 	}
-	tbl5, _, _ := newTable(t, Levels5)
+	tbl5, _, cpu := newTable(t, Levels5)
 	// An address valid for 5 levels but not 4.
 	va := tbl4.MaxVirt()
-	if err := tbl5.Map(va, 1, FlagRead); err != nil {
+	if err := tbl5.Map(cpu, va, 1, FlagRead); err != nil {
 		t.Fatalf("5-level table rejected %#x: %v", uint64(va), err)
 	}
-	if _, _, levels, ok := tbl5.Walk(va); !ok || levels != 5 {
+	if _, _, levels, ok := tbl5.Walk(cpu, va); !ok || levels != 5 {
 		t.Fatalf("5-level walk: ok=%v levels=%d", ok, levels)
 	}
 }
 
 func TestUnmapFreesNodes(t *testing.T) {
-	tbl, bud, _ := newTable(t, Levels4)
+	tbl, bud, cpu := newTable(t, Levels4)
 	freeBefore := bud.FreeFrames()
 	va := mem.VirtAddr(0x2000)
-	if err := tbl.Map(va, 77, FlagRead); err != nil {
+	if err := tbl.Map(cpu, va, 77, FlagRead); err != nil {
 		t.Fatal(err)
 	}
-	frame, pages, err := tbl.Unmap(va)
+	frame, pages, err := tbl.Unmap(cpu, va)
 	if err != nil {
 		t.Fatalf("Unmap: %v", err)
 	}
@@ -117,16 +118,16 @@ func TestUnmapFreesNodes(t *testing.T) {
 }
 
 func TestUnmapUnmappedRejected(t *testing.T) {
-	tbl, _, _ := newTable(t, Levels4)
-	if _, _, err := tbl.Unmap(0x5000); err == nil {
+	tbl, _, cpu := newTable(t, Levels4)
+	if _, _, err := tbl.Unmap(cpu, 0x5000); err == nil {
 		t.Fatal("unmap of unmapped address accepted")
 	}
 }
 
 func TestMapRangeAndUnmapRange(t *testing.T) {
-	tbl, _, _ := newTable(t, Levels4)
+	tbl, _, cpu := newTable(t, Levels4)
 	const pages = 700 // crosses a leaf-node boundary
-	if err := tbl.MapRange(0x100000, 5000, pages, FlagRead); err != nil {
+	if err := tbl.MapRange(cpu, 0x100000, 5000, pages, FlagRead); err != nil {
 		t.Fatalf("MapRange: %v", err)
 	}
 	if tbl.MappedPages() != pages {
@@ -140,7 +141,7 @@ func TestMapRangeAndUnmapRange(t *testing.T) {
 		}
 	}
 	var unmapped uint64
-	if err := tbl.UnmapRange(0x100000, pages, func(f mem.Frame, n uint64) { unmapped += n }); err != nil {
+	if err := tbl.UnmapRange(cpu, 0x100000, pages, func(f mem.Frame, n uint64) { unmapped += n }); err != nil {
 		t.Fatalf("UnmapRange: %v", err)
 	}
 	if unmapped != pages || tbl.MappedPages() != 0 {
@@ -149,16 +150,16 @@ func TestMapRangeAndUnmapRange(t *testing.T) {
 }
 
 func TestHugePages2M(t *testing.T) {
-	tbl, _, _ := newTable(t, Levels4)
+	tbl, _, cpu := newTable(t, Levels4)
 	va := mem.VirtAddr(4 << 20) // 2MiB aligned
-	if err := tbl.Map2M(va, 512, FlagRead|FlagWrite); err != nil {
+	if err := tbl.Map2M(cpu, va, 512, FlagRead|FlagWrite); err != nil {
 		t.Fatalf("Map2M: %v", err)
 	}
 	if tbl.MappedPages() != 512 {
 		t.Fatalf("MappedPages = %d, want 512", tbl.MappedPages())
 	}
 	// Any address inside the huge page translates with a 3-level walk.
-	pa, _, levels, ok := tbl.Walk(va + 300*mem.FrameSize + 5)
+	pa, _, levels, ok := tbl.Walk(cpu, va + 300*mem.FrameSize + 5)
 	if !ok || levels != 3 {
 		t.Fatalf("huge walk: ok=%v levels=%d", ok, levels)
 	}
@@ -170,22 +171,22 @@ func TestHugePages2M(t *testing.T) {
 		t.Fatalf("PageSize = %d, want 2MiB", tbl.PageSize(va))
 	}
 	// Mapping a 4K page inside it must fail.
-	if err := tbl.Map(va+0x1000, 9, FlagRead); err == nil {
+	if err := tbl.Map(cpu, va+0x1000, 9, FlagRead); err == nil {
 		t.Fatal("4K map inside huge mapping accepted")
 	}
-	frame, pages, err := tbl.Unmap(va)
+	frame, pages, err := tbl.Unmap(cpu, va)
 	if err != nil || frame != 512 || pages != 512 {
 		t.Fatalf("Unmap huge: f=%d p=%d err=%v", frame, pages, err)
 	}
 }
 
 func TestHugePages1G(t *testing.T) {
-	tbl, _, _ := newTable(t, Levels4)
+	tbl, _, cpu := newTable(t, Levels4)
 	va := mem.VirtAddr(1 << 30)
-	if err := tbl.Map1G(va, mem.HugeFrames1G, FlagRead); err != nil {
+	if err := tbl.Map1G(cpu, va, mem.HugeFrames1G, FlagRead); err != nil {
 		t.Fatalf("Map1G: %v", err)
 	}
-	_, _, levels, ok := tbl.Walk(va + 123456789)
+	_, _, levels, ok := tbl.Walk(cpu, va + 123456789)
 	if !ok || levels != 2 {
 		t.Fatalf("1G walk: ok=%v levels=%d", ok, levels)
 	}
@@ -195,53 +196,53 @@ func TestHugePages1G(t *testing.T) {
 }
 
 func TestHugeAlignmentEnforced(t *testing.T) {
-	tbl, _, _ := newTable(t, Levels4)
-	if err := tbl.Map2M(0x1000, 512, FlagRead); err == nil {
+	tbl, _, cpu := newTable(t, Levels4)
+	if err := tbl.Map2M(cpu, 0x1000, 512, FlagRead); err == nil {
 		t.Fatal("unaligned 2M va accepted")
 	}
-	if err := tbl.Map2M(2<<20, 100, FlagRead); err == nil {
+	if err := tbl.Map2M(cpu, 2<<20, 100, FlagRead); err == nil {
 		t.Fatal("unaligned 2M frame accepted")
 	}
-	if err := tbl.Map1G(2<<20, 0, FlagRead); err == nil {
+	if err := tbl.Map1G(cpu, 2<<20, 0, FlagRead); err == nil {
 		t.Fatal("unaligned 1G va accepted")
 	}
 }
 
 func TestProtect(t *testing.T) {
-	tbl, _, _ := newTable(t, Levels4)
+	tbl, _, cpu := newTable(t, Levels4)
 	va := mem.VirtAddr(0x3000)
-	if err := tbl.Map(va, 10, FlagRead|FlagWrite); err != nil {
+	if err := tbl.Map(cpu, va, 10, FlagRead|FlagWrite); err != nil {
 		t.Fatal(err)
 	}
-	if err := tbl.Protect(va, FlagRead); err != nil {
+	if err := tbl.Protect(cpu, va, FlagRead); err != nil {
 		t.Fatalf("Protect: %v", err)
 	}
 	_, flags, ok := tbl.Lookup(va)
 	if !ok || flags != FlagRead {
 		t.Fatalf("flags after protect = %v", flags)
 	}
-	if err := tbl.Protect(0x999000, FlagRead); err == nil {
+	if err := tbl.Protect(cpu, 0x999000, FlagRead); err == nil {
 		t.Fatal("protect of unmapped address accepted")
 	}
 }
 
 func TestMapChargesPerPage(t *testing.T) {
-	tbl, _, clock := newTable(t, Levels4)
+	tbl, _, cpu := newTable(t, Levels4)
 	// Map N pages, then N more in the same leaf region; the marginal
 	// cost per page must be constant once nodes exist.
-	if err := tbl.MapRange(0, 0, 64, FlagRead); err != nil {
+	if err := tbl.MapRange(cpu, 0, 0, 64, FlagRead); err != nil {
 		t.Fatal(err)
 	}
-	t0 := clock.Now()
-	if err := tbl.MapRange(64*mem.FrameSize, 64, 64, FlagRead); err != nil {
+	t0 := cpu.Now()
+	if err := tbl.MapRange(cpu, 64*mem.FrameSize, 64, 64, FlagRead); err != nil {
 		t.Fatal(err)
 	}
-	c64 := clock.Since(t0)
-	t1 := clock.Now()
-	if err := tbl.MapRange(128*mem.FrameSize, 128, 128, FlagRead); err != nil {
+	c64 := cpu.Now() - t0
+	t1 := cpu.Now()
+	if err := tbl.MapRange(cpu, 128*mem.FrameSize, 128, 128, FlagRead); err != nil {
 		t.Fatal(err)
 	}
-	c128 := clock.Since(t1)
+	c128 := cpu.Now() - t1
 	if c128 <= c64 {
 		t.Fatalf("mapping 128 pages (%v) not costlier than 64 (%v)", c128, c64)
 	}
@@ -252,25 +253,25 @@ func TestMapChargesPerPage(t *testing.T) {
 }
 
 func TestSubtreeSharingO1(t *testing.T) {
-	src, _, clock := newTable(t, Levels4)
+	src, _, cpu := newTable(t, Levels4)
 	// Build a fully populated 2MiB region (512 pages) in src.
 	base := mem.VirtAddr(2 << 20)
-	if err := src.MapRange(base, 0x10000, 512, FlagRead); err != nil {
+	if err := src.MapRange(cpu, base, 0x10000, 512, FlagRead); err != nil {
 		t.Fatal(err)
 	}
 
 	params := sim.DefaultParams()
-	bud2, _ := buddy.New(clock, &params, 1<<20, 1<<20)
-	dst, err := New(clock, &params, bud2, Levels4)
+	bud2, _ := buddy.New(cpu.Clock(), &params, 1<<20, 1<<20)
+	dst, err := New(cpu, &params, bud2, Levels4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dstVA := mem.VirtAddr(6 << 20)
-	t0 := clock.Now()
-	if err := dst.LinkSubtree(dstVA, src, base, 2); err != nil {
+	t0 := cpu.Now()
+	if err := dst.LinkSubtree(cpu, dstVA, src, base, 2); err != nil {
 		t.Fatalf("LinkSubtree: %v", err)
 	}
-	linkCost := clock.Since(t0)
+	linkCost := cpu.Now() - t0
 
 	// The link installs the whole 512-page mapping.
 	for _, off := range []uint64{0, 5, 511} {
@@ -290,14 +291,14 @@ func TestSubtreeSharingO1(t *testing.T) {
 	}
 
 	// Modifying the shared region through dst must be refused.
-	if _, _, err := dst.Unmap(dstVA); err == nil {
+	if _, _, err := dst.Unmap(cpu, dstVA); err == nil {
 		t.Fatal("Unmap inside shared subtree accepted")
 	}
-	if err := dst.Protect(dstVA, FlagRead|FlagWrite); err == nil {
+	if err := dst.Protect(cpu, dstVA, FlagRead|FlagWrite); err == nil {
 		t.Fatal("Protect inside shared subtree accepted")
 	}
 
-	if err := dst.UnlinkSubtree(dstVA, 2); err != nil {
+	if err := dst.UnlinkSubtree(cpu, dstVA, 2); err != nil {
 		t.Fatalf("UnlinkSubtree: %v", err)
 	}
 	if dst.MappedPages() != 0 {
@@ -312,13 +313,14 @@ func TestSubtreeSharingO1(t *testing.T) {
 func TestSharedSubtreeFreedByLastOwner(t *testing.T) {
 	clock := &sim.Clock{}
 	params := sim.DefaultParams()
+	cpu := sim.MachineOf(clock, &params).BootCPU()
 	bud, _ := buddy.New(clock, &params, 0, 1<<20)
-	src, _ := New(clock, &params, bud, Levels4)
-	if err := src.MapRange(2<<20, 0x200, 512, FlagRead); err != nil {
+	src, _ := New(cpu, &params, bud, Levels4)
+	if err := src.MapRange(cpu, 2<<20, 0x200, 512, FlagRead); err != nil {
 		t.Fatal(err)
 	}
-	dst, _ := New(clock, &params, bud, Levels4)
-	if err := dst.LinkSubtree(4<<20, src, 2<<20, 2); err != nil {
+	dst, _ := New(cpu, &params, bud, Levels4)
+	if err := dst.LinkSubtree(cpu, 4<<20, src, 2<<20, 2); err != nil {
 		t.Fatal(err)
 	}
 	// Destroy the source first: the shared leaf node must survive for
@@ -338,15 +340,15 @@ func TestSharedSubtreeFreedByLastOwner(t *testing.T) {
 }
 
 func TestSubtreeLinkAlignmentEnforced(t *testing.T) {
-	src, _, _ := newTable(t, Levels4)
-	if err := src.MapRange(2<<20, 0, 512, FlagRead); err != nil {
+	src, _, cpu := newTable(t, Levels4)
+	if err := src.MapRange(cpu, 2<<20, 0, 512, FlagRead); err != nil {
 		t.Fatal(err)
 	}
-	dst, _, _ := newTable(t, Levels4)
-	if err := dst.LinkSubtree(mem.VirtAddr(4<<20+0x1000), src, 2<<20, 2); err == nil {
+	dst, _, cpu := newTable(t, Levels4)
+	if err := dst.LinkSubtree(cpu, mem.VirtAddr(4<<20+0x1000), src, 2<<20, 2); err == nil {
 		t.Fatal("unaligned link accepted")
 	}
-	if err := dst.LinkSubtree(4<<20, src, 3<<20, 2); err == nil {
+	if err := dst.LinkSubtree(cpu, 4<<20, src, 3<<20, 2); err == nil {
 		t.Fatal("link of absent source subtree accepted (3MiB is not populated)")
 	}
 }
@@ -364,9 +366,9 @@ func TestSubtreeLevel(t *testing.T) {
 }
 
 func TestDestroyReleasesEverything(t *testing.T) {
-	tbl, bud, _ := newTable(t, Levels4)
+	tbl, bud, cpu := newTable(t, Levels4)
 	free0 := bud.FreeFrames() + 1 // +1 for the root allocated by New
-	if err := tbl.MapRange(0, 0, 2000, FlagRead); err != nil {
+	if err := tbl.MapRange(cpu, 0, 0, 2000, FlagRead); err != nil {
 		t.Fatal(err)
 	}
 	if err := tbl.Destroy(); err != nil {
@@ -381,8 +383,8 @@ func TestDestroyReleasesEverything(t *testing.T) {
 }
 
 func TestCheckInvariants(t *testing.T) {
-	tbl, _, _ := newTable(t, Levels4)
-	if err := tbl.MapRange(0, 0, 100, FlagRead); err != nil {
+	tbl, _, cpu := newTable(t, Levels4)
+	if err := tbl.MapRange(cpu, 0, 0, 100, FlagRead); err != nil {
 		t.Fatal(err)
 	}
 	if err := tbl.CheckInvariants(); err != nil {
@@ -402,14 +404,14 @@ func TestFlagsString(t *testing.T) {
 // TestMapLookupQuickProperty: walk(insert(va, frame)) == frame for
 // arbitrary page-aligned addresses within reach.
 func TestMapLookupQuickProperty(t *testing.T) {
-	tbl, _, _ := newTable(t, Levels4)
+	tbl, _, cpu := newTable(t, Levels4)
 	mapped := make(map[mem.VirtAddr]mem.Frame)
 	f := func(vpn uint64, frame uint32) bool {
 		va := mem.VirtAddr(vpn % (1 << 36) << mem.FrameShift)
 		if _, dup := mapped[va]; dup {
 			return true
 		}
-		if err := tbl.Map(va, mem.Frame(frame), FlagRead); err != nil {
+		if err := tbl.Map(cpu, va, mem.Frame(frame), FlagRead); err != nil {
 			return false
 		}
 		mapped[va] = mem.Frame(frame)

@@ -23,7 +23,8 @@ func TestReferenceModelProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		tbl, err := New(clock, &params, bud, Levels4)
+		cpu := sim.MachineOf(clock, &params).BootCPU()
+		tbl, err := New(cpu, &params, bud, Levels4)
 		if err != nil {
 			return false
 		}
@@ -64,7 +65,7 @@ func TestReferenceModelProperty(t *testing.T) {
 			case 0: // map 4K
 				va := randVA()
 				frame := mem.Frame(rng.Intn(1 << 20))
-				err := tbl.Map(va, frame, FlagRead|FlagWrite)
+				err := tbl.Map(cpu, va, frame, FlagRead|FlagWrite)
 				if overlapsModel(va.VPN(), 1) {
 					if err == nil {
 						t.Logf("step %d: double map of %#x accepted", step, uint64(va))
@@ -79,7 +80,7 @@ func TestReferenceModelProperty(t *testing.T) {
 			case 1: // map 2M
 				va := randHugeVA()
 				frame := mem.Frame(rng.Intn(1<<11)) * 512
-				err := tbl.Map2M(va, frame, FlagRead)
+				err := tbl.Map2M(cpu, va, frame, FlagRead)
 				if overlapsModel(va.VPN(), 512) {
 					if err == nil {
 						t.Logf("step %d: overlapping 2M map accepted", step)
@@ -94,7 +95,7 @@ func TestReferenceModelProperty(t *testing.T) {
 			case 2: // unmap a random live mapping
 				for base := range model {
 					va := mem.VirtAddr(base) << mem.FrameShift
-					frame, span, err := tbl.Unmap(va)
+					frame, span, err := tbl.Unmap(cpu, va)
 					if err != nil {
 						t.Logf("step %d: unmap failed: %v", step, err)
 						return false
@@ -115,7 +116,7 @@ func TestReferenceModelProperty(t *testing.T) {
 				for base, m := range model {
 					va := mem.VirtAddr(base) << mem.FrameShift
 					newFlags := m.flags ^ FlagWrite
-					if err := tbl.Protect(va, newFlags); err != nil {
+					if err := tbl.Protect(cpu, va, newFlags); err != nil {
 						t.Logf("step %d: protect failed: %v", step, err)
 						return false
 					}

@@ -59,16 +59,18 @@ type Process interface {
 
 // Manager owns one machine with both backends.
 type Manager struct {
-	Clock  *sim.Clock
-	Params *sim.Params
-	Memory *mem.Memory
-	Kernel *vm.Kernel   // baseline backend
-	FOM    *core.System // file-only-memory backend
-	Tmpfs  *memfs.FS    // page-granular fs used by the baseline for files
+	Machine *sim.Machine
+	Clock   *sim.Clock // the machine's kernel clock
+	Params  *sim.Params
+	Memory  *mem.Memory
+	Kernel  *vm.Kernel   // baseline backend
+	FOM     *core.System // file-only-memory backend
+	Tmpfs   *memfs.FS    // page-granular fs used by the baseline for files
 }
 
 // MachineConfig sizes the simulated machine.
 type MachineConfig struct {
+	CPUs        int    // simulated processors (default 1)
 	DRAMFrames  uint64 // baseline pool + page tables (default 64 Ki = 256 MiB)
 	NVMFrames   uint64 // file systems (default 512 Ki = 2 GiB)
 	TmpfsFrames uint64 // slice of NVM handed to tmpfs (default quarter)
@@ -88,8 +90,15 @@ func NewManager(cfg MachineConfig) (*Manager, error) {
 	if cfg.TmpfsFrames >= cfg.NVMFrames {
 		return nil, fmt.Errorf("proc: tmpfs (%d) must be smaller than NVM (%d)", cfg.TmpfsFrames, cfg.NVMFrames)
 	}
-	clock := &sim.Clock{}
+	if cfg.CPUs == 0 {
+		cfg.CPUs = 1
+	}
 	params := sim.DefaultParams()
+	machine := sim.NewMachine(&params, cfg.CPUs, 0)
+	// Subsystems charge through the kernel clock, so their work lands on
+	// whichever CPU is executing; both backends recover the machine from
+	// it (sim.MachineOf) and schedule processes round-robin across CPUs.
+	clock := machine.Clock()
 	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: cfg.DRAMFrames, NVMFrames: cfg.NVMFrames})
 	if err != nil {
 		return nil, err
@@ -111,12 +120,13 @@ func NewManager(cfg MachineConfig) (*Manager, error) {
 		return nil, err
 	}
 	return &Manager{
-		Clock:  clock,
-		Params: &params,
-		Memory: memory,
-		Kernel: kernel,
-		FOM:    fom,
-		Tmpfs:  tmpfs,
+		Machine: machine,
+		Clock:   clock,
+		Params:  &params,
+		Memory:  memory,
+		Kernel:  kernel,
+		FOM:     fom,
+		Tmpfs:   tmpfs,
 	}, nil
 }
 

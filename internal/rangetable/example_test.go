@@ -41,13 +41,14 @@ func Example() {
 func ExampleRTLB() {
 	clock := &sim.Clock{}
 	params := sim.DefaultParams()
-	rtlb := rangetable.NewRTLB(clock, &params, 8)
+	cpu := sim.MachineOf(clock, &params).BootCPU()
+	rtlb := rangetable.NewRTLB(cpu, &params, 8)
 
-	rtlb.Insert(rangetable.Entry{VBase: 0, Pages: 1 << 18, PBase: 0})
+	rtlb.Insert(0, rangetable.Entry{VBase: 0, Pages: 1 << 18, PBase: 0})
 	hits := 0
 	for i := 0; i < 1000; i++ {
 		va := mem.VirtAddr(i*104729%(1<<18)) * mem.FrameSize
-		if _, ok := rtlb.Lookup(va); ok {
+		if _, ok := rtlb.Lookup(0, va); ok {
 			hits++
 		}
 	}

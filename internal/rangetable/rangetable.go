@@ -167,10 +167,12 @@ func (t *Table) CheckInvariants() error {
 	return nil
 }
 
-// RTLB is the fully associative range TLB: a handful of entries, each
-// covering an arbitrarily large range, with LRU replacement.
+// RTLB is the fully associative range TLB of one simulated CPU: a
+// handful of entries, each covering an arbitrarily large range, with
+// LRU replacement. Entries are tagged with an address-space ID so all
+// processes scheduled on the CPU share the structure.
 type RTLB struct {
-	clock  *sim.Clock
+	cpu    *sim.CPU
 	params *sim.Params
 
 	capacity int
@@ -181,46 +183,62 @@ type RTLB struct {
 }
 
 type rtlbEntry struct {
-	e   Entry
-	lru uint64
+	asid int
+	e    Entry
+	lru  uint64
 }
 
 // DefaultRTLBEntries matches the modest size proposed for range TLBs.
 const DefaultRTLBEntries = 32
 
-// NewRTLB creates a range TLB with the given entry count.
-func NewRTLB(clock *sim.Clock, params *sim.Params, capacity int) *RTLB {
+// NewRTLB creates the range TLB of one CPU with the given entry count.
+// Costs are charged to that CPU's clock.
+func NewRTLB(cpu *sim.CPU, params *sim.Params, capacity int) *RTLB {
 	if capacity <= 0 {
 		capacity = DefaultRTLBEntries
 	}
-	return &RTLB{clock: clock, params: params, capacity: capacity, stats: metrics.NewSet()}
+	return &RTLB{cpu: cpu, params: params, capacity: capacity, stats: metrics.NewSet()}
 }
 
 // Stats exposes counters: "hits", "misses", "evictions".
 func (r *RTLB) Stats() *metrics.Set { return r.stats }
 
+// CPU returns the CPU this range TLB belongs to.
+func (r *RTLB) CPU() *sim.CPU { return r.cpu }
+
 // Lookup probes the range TLB. A hit charges RangeTLBHit; on a miss the
 // caller walks the range table and Inserts the result.
-func (r *RTLB) Lookup(va mem.VirtAddr) (Entry, bool) {
+func (r *RTLB) Lookup(asid int, va mem.VirtAddr) (Entry, bool) {
 	for i := range r.entries {
-		if r.entries[i].e.Contains(va) {
+		if r.entries[i].asid == asid && r.entries[i].e.Contains(va) {
 			r.stamp++
 			r.entries[i].lru = r.stamp
-			r.clock.Advance(r.params.RangeTLBHit)
+			r.cpu.Advance(r.params.RangeTLBHit)
 			r.stats.Counter("hits").Inc()
 			return r.entries[i].e, true
 		}
 	}
-	r.clock.Advance(r.params.RangeTLBHit) // probe cost, hit or miss
+	r.cpu.Advance(r.params.RangeTLBHit) // probe cost, hit or miss
 	r.stats.Counter("misses").Inc()
 	return Entry{}, false
 }
 
+// Peek reports whether the range TLB caches a translation for va,
+// without cost or LRU side effects (diagnostic).
+func (r *RTLB) Peek(asid int, va mem.VirtAddr) (Entry, bool) {
+	for i := range r.entries {
+		if r.entries[i].asid == asid && r.entries[i].e.Contains(va) {
+			return r.entries[i].e, true
+		}
+	}
+	return Entry{}, false
+}
+
 // Insert caches a range translation, evicting the LRU entry if full.
-func (r *RTLB) Insert(e Entry) {
+func (r *RTLB) Insert(asid int, e Entry) {
 	r.stamp++
 	if len(r.entries) < r.capacity {
-		r.entries = append(r.entries, rtlbEntry{e: e, lru: r.stamp})
+		r.entries = append(r.entries, rtlbEntry{asid: asid, e: e, lru: r.stamp})
 		return
 	}
 	victim := 0
@@ -229,28 +247,29 @@ func (r *RTLB) Insert(e Entry) {
 			victim = i
 		}
 	}
-	r.entries[victim] = rtlbEntry{e: e, lru: r.stamp}
+	r.entries[victim] = rtlbEntry{asid: asid, e: e, lru: r.stamp}
 	r.stats.Counter("evictions").Inc()
 }
 
-// Invalidate drops any cached entry whose range starts at vbase — the
-// O(1) shootdown of a whole mapping the paper highlights.
-func (r *RTLB) Invalidate(vbase mem.VirtAddr) {
+// Invalidate drops any cached entry of the address space whose range
+// starts at vbase — the O(1) shootdown of a whole mapping the paper
+// highlights: one entry per CPU, regardless of mapping size.
+func (r *RTLB) Invalidate(asid int, vbase mem.VirtAddr) {
 	for i := 0; i < len(r.entries); i++ {
-		if r.entries[i].e.VBase == vbase {
+		if r.entries[i].asid == asid && r.entries[i].e.VBase == vbase {
 			r.entries[i] = r.entries[len(r.entries)-1]
 			r.entries = r.entries[:len(r.entries)-1]
 			i--
 		}
 	}
-	r.clock.Advance(r.params.TLBFlushEntry)
+	r.cpu.Advance(r.params.TLBFlushEntry)
 }
 
-// FlushAll empties the range TLB.
+// FlushAll empties the range TLB (every address space) at the flat
+// full-flush cost.
 func (r *RTLB) FlushAll() {
-	n := len(r.entries)
 	r.entries = r.entries[:0]
-	r.clock.Advance(sim.Time(n) * r.params.TLBFlushEntry)
+	r.cpu.Advance(r.params.TLBFullFlush)
 }
 
 // ValidEntries returns the number of cached ranges.

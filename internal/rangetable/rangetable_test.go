@@ -152,16 +152,16 @@ func TestManyRangesSortedLookup(t *testing.T) {
 func TestRTLBHitMiss(t *testing.T) {
 	clock := &sim.Clock{}
 	params := sim.DefaultParams()
-	r := NewRTLB(clock, &params, 4)
+	r := NewRTLB(sim.MachineOf(clock, &params).BootCPU(), &params, 4)
 	e := Entry{VBase: 0x100000, Pages: 1 << 18, PBase: 0} // 1 GiB range
-	if _, ok := r.Lookup(0x100000); ok {
+	if _, ok := r.Lookup(0, 0x100000); ok {
 		t.Fatal("hit on empty RTLB")
 	}
-	r.Insert(e)
+	r.Insert(0, e)
 	// One entry covers a gigabyte of sparse touches.
 	for i := 0; i < 100; i++ {
 		va := e.VBase + mem.VirtAddr(i*104729)*mem.FrameSize%mem.VirtAddr(e.Pages*mem.FrameSize)
-		if _, ok := r.Lookup(va); !ok {
+		if _, ok := r.Lookup(0, va); !ok {
 			t.Fatalf("miss inside cached range at step %d", i)
 		}
 	}
@@ -173,9 +173,9 @@ func TestRTLBHitMiss(t *testing.T) {
 func TestRTLBEviction(t *testing.T) {
 	clock := &sim.Clock{}
 	params := sim.DefaultParams()
-	r := NewRTLB(clock, &params, 2)
+	r := NewRTLB(sim.MachineOf(clock, &params).BootCPU(), &params, 2)
 	for i := 0; i < 3; i++ {
-		r.Insert(Entry{VBase: mem.VirtAddr(i << 30), Pages: 1, PBase: mem.Frame(i)})
+		r.Insert(0, Entry{VBase: mem.VirtAddr(i << 30), Pages: 1, PBase: mem.Frame(i)})
 	}
 	if r.ValidEntries() != 2 {
 		t.Fatalf("ValidEntries = %d, want 2", r.ValidEntries())
@@ -184,7 +184,7 @@ func TestRTLBEviction(t *testing.T) {
 		t.Fatalf("evictions = %d", r.Stats().Value("evictions"))
 	}
 	// LRU: entry 0 was oldest, should be gone.
-	if _, ok := r.Lookup(0); ok {
+	if _, ok := r.Lookup(0, 0); ok {
 		t.Fatal("LRU entry survived")
 	}
 }
@@ -192,14 +192,14 @@ func TestRTLBEviction(t *testing.T) {
 func TestRTLBInvalidate(t *testing.T) {
 	clock := &sim.Clock{}
 	params := sim.DefaultParams()
-	r := NewRTLB(clock, &params, 8)
+	r := NewRTLB(sim.MachineOf(clock, &params).BootCPU(), &params, 8)
 	e := Entry{VBase: 0x40000000, Pages: 1 << 18, PBase: 0}
-	r.Insert(e)
-	r.Invalidate(e.VBase)
-	if _, ok := r.Lookup(e.VBase); ok {
+	r.Insert(0, e)
+	r.Invalidate(0, e.VBase)
+	if _, ok := r.Lookup(0, e.VBase); ok {
 		t.Fatal("entry survived invalidate")
 	}
-	r.Insert(e)
+	r.Insert(0, e)
 	r.FlushAll()
 	if r.ValidEntries() != 0 {
 		t.Fatal("FlushAll left entries")
@@ -209,9 +209,9 @@ func TestRTLBInvalidate(t *testing.T) {
 func TestRTLBDefaultCapacity(t *testing.T) {
 	clock := &sim.Clock{}
 	params := sim.DefaultParams()
-	r := NewRTLB(clock, &params, 0)
+	r := NewRTLB(sim.MachineOf(clock, &params).BootCPU(), &params, 0)
 	for i := 0; i < DefaultRTLBEntries+5; i++ {
-		r.Insert(Entry{VBase: mem.VirtAddr(i << 30), Pages: 1, PBase: mem.Frame(i)})
+		r.Insert(0, Entry{VBase: mem.VirtAddr(i << 30), Pages: 1, PBase: mem.Frame(i)})
 	}
 	if r.ValidEntries() != DefaultRTLBEntries {
 		t.Fatalf("ValidEntries = %d, want %d", r.ValidEntries(), DefaultRTLBEntries)

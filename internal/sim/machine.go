@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// CPU is one simulated processor: an execution context with its own
+// virtual clock, its own deterministic random stream, and its own event
+// counters. Every translation, fault, and map/unmap in the simulator is
+// charged to the CPU that performed it.
+type CPU struct {
+	id    int
+	mach  *Machine
+	clock *Clock
+	rng   *RNG
+	stats *metrics.Set
+}
+
+// ID returns the CPU number, 0..NumCPUs-1.
+func (c *CPU) ID() int { return c.id }
+
+// Machine returns the machine this CPU belongs to.
+func (c *CPU) Machine() *Machine { return c.mach }
+
+// Clock returns this CPU's own (non-forwarding) clock.
+func (c *CPU) Clock() *Clock { return c.clock }
+
+// RNG returns this CPU's deterministic random stream. Streams of
+// distinct CPUs are decorrelated by seeding.
+func (c *CPU) RNG() *RNG { return c.rng }
+
+// Stats exposes per-CPU event counters: "ipis_sent", "ipis_received".
+func (c *CPU) Stats() *metrics.Set { return c.stats }
+
+// Now returns this CPU's current virtual time.
+func (c *CPU) Now() Time { return c.clock.Now() }
+
+// Advance moves this CPU's clock forward by d.
+func (c *CPU) Advance(d Time) { c.clock.Advance(d) }
+
+// AdvanceTo moves this CPU's clock forward to t if t is in the future.
+func (c *CPU) AdvanceTo(t Time) { c.clock.AdvanceTo(t) }
+
+// Machine is an N-CPU simulated machine. CPU clocks advance
+// independently as work is charged to them and only synchronize at
+// explicit communication points (IPI delivery and acknowledgement),
+// giving a deterministic Lamport-style partial order of events.
+//
+// The simulation itself is still single-threaded: at any moment exactly
+// one CPU is "executing" (the current CPU), and the machine's kernel
+// clock — Clock() — forwards charges to it. Subsystems that predate the
+// multi-core refactor keep their single *sim.Clock and transparently
+// charge the right CPU.
+type Machine struct {
+	params *Params
+	cpus   []*CPU
+	cur    *CPU
+	kclock *Clock
+}
+
+// NewMachine builds a machine with n CPUs (n >= 1). All CPU clocks
+// start at zero; CPU 0 is the boot CPU and is current. Each CPU's RNG
+// stream is derived deterministically from seed and the CPU number.
+func NewMachine(params *Params, n int, seed uint64) *Machine {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: machine needs at least one CPU, got %d", n))
+	}
+	m := &Machine{params: params}
+	m.kclock = &Clock{mach: m, fwd: true}
+	for i := 0; i < n; i++ {
+		m.cpus = append(m.cpus, &CPU{
+			id:    i,
+			mach:  m,
+			clock: &Clock{mach: m},
+			// The golden-ratio stride decorrelates per-CPU streams
+			// while keeping them a pure function of (seed, id).
+			rng:   NewRNG(seed + uint64(i)*0x9E3779B97F4A7C15),
+			stats: metrics.NewSet(),
+		})
+	}
+	m.cur = m.cpus[0]
+	return m
+}
+
+// MachineOf returns the machine that owns clock. A free-standing clock
+// (one not created by NewMachine) is adopted as the sole CPU of a new
+// implicit single-CPU machine, which keeps the pre-SMP construction
+// style — build a &sim.Clock{} and hand it to every subsystem —
+// working unchanged.
+func MachineOf(clock *Clock, params *Params) *Machine {
+	if clock.mach != nil {
+		return clock.mach
+	}
+	m := &Machine{params: params}
+	m.kclock = &Clock{mach: m, fwd: true}
+	cpu := &CPU{id: 0, mach: m, clock: clock, rng: NewRNG(0), stats: metrics.NewSet()}
+	clock.mach = m
+	m.cpus = []*CPU{cpu}
+	m.cur = cpu
+	return m
+}
+
+// Params returns the machine's cost table.
+func (m *Machine) Params() *Params { return m.params }
+
+// NumCPUs returns the number of CPUs.
+func (m *Machine) NumCPUs() int { return len(m.cpus) }
+
+// CPU returns CPU i.
+func (m *Machine) CPU(i int) *CPU { return m.cpus[i] }
+
+// CPUs returns all CPUs in ID order. The slice is shared; do not modify.
+func (m *Machine) CPUs() []*CPU { return m.cpus }
+
+// BootCPU returns CPU 0.
+func (m *Machine) BootCPU() *CPU { return m.cpus[0] }
+
+// Current returns the CPU currently executing.
+func (m *Machine) Current() *CPU { return m.cur }
+
+// SetCurrent switches execution to c. Subsequent charges through the
+// kernel clock land on c. c must belong to this machine.
+func (m *Machine) SetCurrent(c *CPU) {
+	if c.mach != m {
+		panic("sim: SetCurrent with a CPU from another machine")
+	}
+	m.cur = c
+}
+
+// Clock returns the machine's kernel clock: a forwarding clock whose
+// operations apply to the current CPU's clock.
+func (m *Machine) Clock() *Clock { return m.kclock }
+
+// Time returns the machine-wide virtual time: the maximum over all CPU
+// clocks. Benchmarks measure elapsed machine time so that work fanned
+// out to many CPUs (e.g. shootdown handlers) is reflected in the total.
+func (m *Machine) Time() Time {
+	t := m.cpus[0].clock.now
+	for _, c := range m.cpus[1:] {
+		if c.clock.now > t {
+			t = c.clock.now
+		}
+	}
+	return t
+}
+
+// Sync advances every CPU's clock to the machine-wide maximum,
+// modeling a synchronization barrier. Measurements of elapsed machine
+// time (Time() deltas) must start from a synchronized state: work
+// charged to a CPU that lags the global maximum would otherwise be
+// masked by it. A no-op on a single-CPU machine.
+func (m *Machine) Sync() {
+	t := m.Time()
+	for _, c := range m.cpus {
+		c.clock.AdvanceTo(t)
+	}
+}
+
+// Others returns every CPU except c, in ID order.
+func (m *Machine) Others(c *CPU) []*CPU {
+	out := make([]*CPU, 0, len(m.cpus)-1)
+	for _, o := range m.cpus {
+		if o != c {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// IPI models a synchronous inter-processor interrupt from one CPU to a
+// set of targets, as used by TLB shootdown:
+//
+//   - the sender pays IPISend per target,
+//   - each target's clock merges forward to the send time (it cannot
+//     observe the interrupt before it was sent), pays IPIReceive, and
+//     runs handler as the executing CPU,
+//   - the sender then waits for all acknowledgements: its clock merges
+//     forward to the latest target finish time.
+//
+// The merges are deterministic (targets are visited in ID order), so
+// the resulting clock values are a pure function of the event history —
+// a Lamport-style clock union. An empty target set costs nothing.
+func (m *Machine) IPI(from *CPU, targets []*CPU, handler func(*CPU)) {
+	if len(targets) == 0 {
+		return
+	}
+	from.Advance(Time(len(targets)) * m.params.IPISend)
+	send := from.Now()
+	end := send
+	prev := m.cur
+	for _, t := range targets {
+		if t == from {
+			panic("sim: IPI target includes the sender")
+		}
+		t.AdvanceTo(send)
+		t.Advance(m.params.IPIReceive)
+		t.stats.Counter("ipis_received").Inc()
+		if handler != nil {
+			m.cur = t
+			handler(t)
+		}
+		if t.Now() > end {
+			end = t.Now()
+		}
+	}
+	m.cur = prev
+	from.stats.Counter("ipis_sent").Add(uint64(len(targets)))
+	from.AdvanceTo(end)
+}
+
+// Broadcast sends an IPI from from to every other CPU.
+func (m *Machine) Broadcast(from *CPU, handler func(*CPU)) {
+	m.IPI(from, m.Others(from), handler)
+}

@@ -46,15 +46,31 @@ func (t Time) String() string {
 // Microseconds returns t expressed in fractional microseconds.
 func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
 
-// Clock is the virtual clock of one simulated machine. The zero value is
-// a clock at time zero, ready to use. Clock is not safe for concurrent
-// use; the simulator models a single CPU.
+// Clock is a virtual clock. The zero value is a free-standing clock at
+// time zero, ready to use — the pre-SMP single-CPU model, still used by
+// subsystem unit tests. Clocks owned by a Machine come in two flavours:
+// each CPU has its own clock, and the machine's kernel clock forwards
+// every operation to the clock of the CPU currently executing (see
+// Machine.SetCurrent), so shared subsystems written against a single
+// *Clock charge whichever CPU is driving them. Clock is not safe for
+// concurrent use; the simulation is single-threaded by design.
 type Clock struct {
-	now Time
+	now  Time
+	mach *Machine // non-nil for machine-owned clocks
+	fwd  bool     // kernel clock: operate on the current CPU's clock
+}
+
+// self resolves forwarding: the kernel clock of a Machine delegates to
+// the clock of the CPU currently executing.
+func (c *Clock) self() *Clock {
+	if c.fwd {
+		return c.mach.cur.clock
+	}
+	return c
 }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() Time { return c.now }
+func (c *Clock) Now() Time { return c.self().now }
 
 // Advance moves the clock forward by d. Negative advances are a
 // programming error and panic.
@@ -62,11 +78,35 @@ func (c *Clock) Advance(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative clock advance %d", d))
 	}
-	c.now += d
+	c.self().now += d
 }
 
-// Since returns the virtual time elapsed since start.
-func (c *Clock) Since(start Time) Time { return c.now - start }
+// AdvanceTo moves the clock forward to time t if t is in the future;
+// earlier times are a no-op. This is the Lamport-style merge used when
+// CPUs synchronize (IPI delivery, ack waits).
+func (c *Clock) AdvanceTo(t Time) {
+	s := c.self()
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Since returns the virtual time elapsed since start. A start later
+// than now is a programming error (a clock can never run backwards)
+// and panics, mirroring the Advance guard.
+func (c *Clock) Since(start Time) Time {
+	now := c.self().now
+	if start > now {
+		panic(fmt.Sprintf("sim: Since start %d is after now %d", start, now))
+	}
+	return now - start
+}
+
+// Machine returns the machine that owns this clock, or nil for a
+// free-standing clock that has not been adopted by MachineOf yet.
+// Callers that measure elapsed time across operations which may switch
+// the executing CPU should use Machine().Time() rather than Now().
+func (c *Clock) Machine() *Machine { return c.mach }
 
 // Params is the calibrated cost table. Every simulated micro-operation
 // charges exactly one (or a small documented combination) of these
@@ -121,11 +161,28 @@ type Params struct {
 	TLBHit  Time
 	TLBMiss Time
 
-	// TLBShootdown is the inter-processor-interrupt cost of invalidating
-	// a translation on other cores; TLBFlushEntry is the local
-	// single-entry invalidation cost.
+	// TLBShootdown is retained for cost-table compatibility: it was the
+	// flat stand-in charge for notifying other cores before shootdowns
+	// were modeled as real IPIs (IPISend/IPIReceive below). Nothing
+	// charges it anymore. TLBFlushEntry is the local single-entry
+	// invalidation cost (one INVLPG).
 	TLBShootdown  Time
 	TLBFlushEntry Time
+
+	// TLBFullFlush is the flat cost of discarding the whole TLB (a CR3
+	// write). It is deliberately not per-entry: hardware drops every
+	// entry in one operation, the cost shows up later as refill misses.
+	TLBFullFlush Time
+
+	// IPISend is the initiating CPU's cost per shootdown target: APIC
+	// register writes plus the wait contribution folded into the
+	// Lamport merge with the target clocks. IPIReceive is each target's
+	// interrupt entry/exit cost, paid before the requested invalidation
+	// work. Together they replace the old flat TLBShootdown /
+	// IPIBroadcast stand-ins; IPISend+IPIReceive+TLBFlushEntry ≈ the
+	// old TLBShootdown value, so single-target costs stay calibrated.
+	IPISend    Time
+	IPIReceive Time
 
 	// RangeTLBHit is the lookup cost in the range TLB; RangeTableOp is
 	// the cost of one range-table insert/remove/lookup step.
@@ -178,7 +235,10 @@ type Params struct {
 	// kernel copy (charged in addition to SyscallOverhead).
 	ReadPerByte Time
 
-	// IPIBroadcast is the cost of a broadcast shootdown to all cores.
+	// IPIBroadcast is retained for cost-table compatibility: it was the
+	// flat broadcast-shootdown stand-in used before per-CPU clocks.
+	// Nothing charges it anymore; broadcasts now cost IPISend per
+	// target on the sender plus IPIReceive per target.
 	IPIBroadcast Time
 }
 
@@ -198,6 +258,9 @@ func DefaultParams() Params {
 		TLBMiss:         4,
 		TLBShootdown:    1500,
 		TLBFlushEntry:   40,
+		TLBFullFlush:    500,
+		IPISend:         800,
+		IPIReceive:      600,
 		RangeTLBHit:     2,
 		RangeTableOp:    60,
 		BuddyOp:         40,
@@ -246,6 +309,9 @@ func (p *Params) Validate() error {
 		{"InodeOp", p.InodeOp},
 		{"VMAOp", p.VMAOp},
 		{"RangeTableOp", p.RangeTableOp},
+		{"TLBFullFlush", p.TLBFullFlush},
+		{"IPISend", p.IPISend},
+		{"IPIReceive", p.IPIReceive},
 	}
 	for _, c := range checks {
 		if c.v <= 0 {

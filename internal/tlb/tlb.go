@@ -88,6 +88,7 @@ func (tr Translation) Translate(va mem.VirtAddr) mem.PhysAddr {
 
 type entryT struct {
 	valid bool
+	asid  int    // address-space tag (PCID analogue)
 	vpn   uint64 // va >> size-dependent shift
 	tr    Translation
 	lru   uint64
@@ -115,12 +116,12 @@ func vpnFor(va mem.VirtAddr, size PageSize) uint64 {
 	}
 }
 
-func (a *array) lookup(vpn uint64) (*entryT, bool) {
+func (a *array) lookup(asid int, vpn uint64) (*entryT, bool) {
 	set := int(vpn % uint64(a.sets))
 	base := set * a.ways
 	for i := 0; i < a.ways; i++ {
 		e := &a.data[base+i]
-		if e.valid && e.vpn == vpn {
+		if e.valid && e.asid == asid && e.vpn == vpn {
 			a.stamp++
 			e.lru = a.stamp
 			return e, true
@@ -129,13 +130,31 @@ func (a *array) lookup(vpn uint64) (*entryT, bool) {
 	return nil, false
 }
 
+// peek is lookup without LRU side effects (diagnostic).
+func (a *array) peek(asid int, vpn uint64) (*entryT, bool) {
+	set := int(vpn % uint64(a.sets))
+	base := set * a.ways
+	for i := 0; i < a.ways; i++ {
+		e := &a.data[base+i]
+		if e.valid && e.asid == asid && e.vpn == vpn {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
 // insert returns true if an existing valid entry was evicted.
-func (a *array) insert(vpn uint64, tr Translation) (evicted entryT, wasEvict bool) {
+func (a *array) insert(asid int, vpn uint64, tr Translation) (evicted entryT, wasEvict bool) {
 	set := int(vpn % uint64(a.sets))
 	base := set * a.ways
 	victim := base
 	for i := 0; i < a.ways; i++ {
 		e := &a.data[base+i]
+		if e.valid && e.asid == asid && e.vpn == vpn {
+			// Re-insert over the existing entry.
+			victim = base + i
+			break
+		}
 		if !e.valid {
 			victim = base + i
 			break
@@ -145,20 +164,20 @@ func (a *array) insert(vpn uint64, tr Translation) (evicted entryT, wasEvict boo
 		}
 	}
 	v := &a.data[victim]
-	if v.valid {
+	if v.valid && !(v.asid == asid && v.vpn == vpn) {
 		evicted, wasEvict = *v, true
 	}
 	a.stamp++
-	*v = entryT{valid: true, vpn: vpn, tr: tr, lru: a.stamp}
+	*v = entryT{valid: true, asid: asid, vpn: vpn, tr: tr, lru: a.stamp}
 	return evicted, wasEvict
 }
 
-func (a *array) invalidate(vpn uint64) bool {
+func (a *array) invalidate(asid int, vpn uint64) bool {
 	set := int(vpn % uint64(a.sets))
 	base := set * a.ways
 	for i := 0; i < a.ways; i++ {
 		e := &a.data[base+i]
-		if e.valid && e.vpn == vpn {
+		if e.valid && e.asid == asid && e.vpn == vpn {
 			e.valid = false
 			return true
 		}
@@ -195,9 +214,12 @@ func DefaultConfig() Config {
 	}
 }
 
-// TLB is the translation cache of one simulated core.
+// TLB is the translation cache of one simulated CPU. Entries are
+// tagged with an address-space ID (a PCID analogue), so processes
+// scheduled on the same CPU share the arrays without aliasing and
+// without full flushes on switch.
 type TLB struct {
-	clock  *sim.Clock
+	cpu    *sim.CPU
 	params *sim.Params
 
 	l14k   *array
@@ -207,10 +229,13 @@ type TLB struct {
 	stats *metrics.Set
 }
 
-// New creates a TLB with the given geometry.
-func New(clock *sim.Clock, params *sim.Params, cfg Config) *TLB {
+// New creates the TLB of one CPU with the given geometry. Lookup and
+// invalidation costs are charged to that CPU's clock regardless of
+// which CPU initiated the operation (shootdown handlers run on the
+// target).
+func New(cpu *sim.CPU, params *sim.Params, cfg Config) *TLB {
 	return &TLB{
-		clock:  clock,
+		cpu:    cpu,
 		params: params,
 		l14k:   newArray(cfg.L1Sets4K, cfg.L1Ways4K),
 		l1huge: newArray(cfg.L1SetsHuge, cfg.L1WaysHuge),
@@ -220,8 +245,11 @@ func New(clock *sim.Clock, params *sim.Params, cfg Config) *TLB {
 }
 
 // Stats exposes counters: "l1_hits", "l2_hits", "misses",
-// "evictions", "flushes", "shootdowns".
+// "evictions", "flushes".
 func (t *TLB) Stats() *metrics.Set { return t.stats }
+
+// CPU returns the CPU this TLB belongs to.
+func (t *TLB) CPU() *sim.CPU { return t.cpu }
 
 // l2key folds the page size into the key so differently sized entries
 // cannot alias in the unified array.
@@ -232,7 +260,7 @@ func l2key(vpn uint64, size PageSize) uint64 {
 // Lookup probes the TLB for va. On a hit it charges TLBHit and returns
 // the translation; on a miss it charges the miss-probe cost and the
 // caller must walk the page table and Insert the result.
-func (t *TLB) Lookup(va mem.VirtAddr) (Translation, bool) {
+func (t *TLB) Lookup(asid int, va mem.VirtAddr) (Translation, bool) {
 	// L1 probes happen in parallel in hardware; charge a single hit.
 	for _, probe := range []struct {
 		arr  *array
@@ -242,72 +270,92 @@ func (t *TLB) Lookup(va mem.VirtAddr) (Translation, bool) {
 		{t.l1huge, Size2M},
 		{t.l1huge, Size1G},
 	} {
-		if e, ok := probe.arr.lookup(vpnFor(va, probe.size)); ok && e.tr.Size == probe.size {
-			t.clock.Advance(t.params.TLBHit)
+		if e, ok := probe.arr.lookup(asid, vpnFor(va, probe.size)); ok && e.tr.Size == probe.size {
+			t.cpu.Advance(t.params.TLBHit)
 			t.stats.Counter("l1_hits").Inc()
 			return e.tr, true
 		}
 	}
 	// L2 probe.
 	for _, size := range []PageSize{Size4K, Size2M, Size1G} {
-		if e, ok := t.l2.lookup(l2key(vpnFor(va, size), size)); ok {
-			t.clock.Advance(t.params.TLBHit + t.params.TLBMiss)
+		if e, ok := t.l2.lookup(asid, l2key(vpnFor(va, size), size)); ok {
+			t.cpu.Advance(t.params.TLBHit + t.params.TLBMiss)
 			t.stats.Counter("l2_hits").Inc()
 			// Promote to L1.
-			t.insertL1(va, e.tr)
+			t.insertL1(asid, va, e.tr)
 			return e.tr, true
 		}
 	}
-	t.clock.Advance(t.params.TLBMiss)
+	t.cpu.Advance(t.params.TLBMiss)
 	t.stats.Counter("misses").Inc()
 	return Translation{}, false
 }
 
-func (t *TLB) insertL1(va mem.VirtAddr, tr Translation) {
+// Peek reports whether the TLB holds a translation for va without
+// charging cost or touching LRU state. Tests use it to assert
+// post-shootdown staleness invariants.
+func (t *TLB) Peek(asid int, va mem.VirtAddr) (Translation, bool) {
+	for _, probe := range []struct {
+		arr  *array
+		size PageSize
+	}{
+		{t.l14k, Size4K},
+		{t.l1huge, Size2M},
+		{t.l1huge, Size1G},
+	} {
+		if e, ok := probe.arr.peek(asid, vpnFor(va, probe.size)); ok && e.tr.Size == probe.size {
+			return e.tr, true
+		}
+	}
+	for _, size := range []PageSize{Size4K, Size2M, Size1G} {
+		if e, ok := t.l2.peek(asid, l2key(vpnFor(va, size), size)); ok {
+			return e.tr, true
+		}
+	}
+	return Translation{}, false
+}
+
+func (t *TLB) insertL1(asid int, va mem.VirtAddr, tr Translation) {
 	arr := t.l14k
 	if tr.Size != Size4K {
 		arr = t.l1huge
 	}
-	if _, evict := arr.insert(vpnFor(va, tr.Size), tr); evict {
+	if _, evict := arr.insert(asid, vpnFor(va, tr.Size), tr); evict {
 		t.stats.Counter("evictions").Inc()
 	}
 }
 
 // Insert caches a translation for va (typically after a page walk).
 // Entries are installed in both L1 and L2, as on inclusive designs.
-func (t *TLB) Insert(va mem.VirtAddr, tr Translation) {
-	t.insertL1(va, tr)
-	if _, evict := t.l2.insert(l2key(vpnFor(va, tr.Size), tr.Size), tr); evict {
+func (t *TLB) Insert(asid int, va mem.VirtAddr, tr Translation) {
+	t.insertL1(asid, va, tr)
+	if _, evict := t.l2.insert(asid, l2key(vpnFor(va, tr.Size), tr.Size), tr); evict {
 		t.stats.Counter("evictions").Inc()
 	}
 }
 
-// InvalidateVA drops any entry covering va (all sizes, both levels),
-// charging the single-entry invalidation cost.
-func (t *TLB) InvalidateVA(va mem.VirtAddr) {
-	t.l14k.invalidate(vpnFor(va, Size4K))
-	t.l1huge.invalidate(vpnFor(va, Size2M))
-	t.l1huge.invalidate(vpnFor(va, Size1G))
+// InvalidateVA drops any entry covering va in the given address space
+// (all sizes, both levels), charging the single-entry invalidation
+// cost to this TLB's CPU.
+func (t *TLB) InvalidateVA(asid int, va mem.VirtAddr) {
+	t.l14k.invalidate(asid, vpnFor(va, Size4K))
+	t.l1huge.invalidate(asid, vpnFor(va, Size2M))
+	t.l1huge.invalidate(asid, vpnFor(va, Size1G))
 	for _, size := range []PageSize{Size4K, Size2M, Size1G} {
-		t.l2.invalidate(l2key(vpnFor(va, size), size))
+		t.l2.invalidate(asid, l2key(vpnFor(va, size), size))
 	}
-	t.clock.Advance(t.params.TLBFlushEntry)
+	t.cpu.Advance(t.params.TLBFlushEntry)
 }
 
-// FlushAll invalidates the entire TLB (a CR3 write), charging the
-// per-entry flush cost for every valid entry.
+// FlushAll invalidates the entire TLB — every address space — at the
+// flat full-flush cost (a non-PCID CR3 write drops everything in one
+// operation; the real cost resurfaces later as refill misses).
 func (t *TLB) FlushAll() {
-	n := t.l14k.flush() + t.l1huge.flush() + t.l2.flush()
-	t.clock.Advance(sim.Time(n) * t.params.TLBFlushEntry)
+	t.l14k.flush()
+	t.l1huge.flush()
+	t.l2.flush()
+	t.cpu.Advance(t.params.TLBFullFlush)
 	t.stats.Counter("flushes").Inc()
-}
-
-// Shootdown models notifying other cores to invalidate va: one IPI
-// broadcast plus the local invalidation.
-func (t *TLB) Shootdown(va mem.VirtAddr) {
-	t.clock.Advance(t.params.TLBShootdown)
-	t.InvalidateVA(va)
-	t.stats.Counter("shootdowns").Inc()
 }
 
 // ValidEntries returns the number of valid entries across both levels

@@ -12,7 +12,8 @@ func newTLB(t *testing.T) (*TLB, *sim.Clock, sim.Params) {
 	t.Helper()
 	clock := &sim.Clock{}
 	params := sim.DefaultParams()
-	return New(clock, &params, DefaultConfig()), clock, params
+	cpu := sim.MachineOf(clock, &params).BootCPU()
+	return New(cpu, &params, DefaultConfig()), clock, params
 }
 
 func TestPageSizeHelpers(t *testing.T) {
@@ -46,11 +47,11 @@ func TestTranslationTranslate(t *testing.T) {
 func TestMissThenHit(t *testing.T) {
 	tl, _, _ := newTLB(t)
 	va := mem.VirtAddr(0x7000)
-	if _, ok := tl.Lookup(va); ok {
+	if _, ok := tl.Lookup(0, va); ok {
 		t.Fatal("hit on empty TLB")
 	}
-	tl.Insert(va, Translation{Frame: 7, Size: Size4K, Flags: pagetable.FlagRead})
-	tr, ok := tl.Lookup(va)
+	tl.Insert(0, va, Translation{Frame: 7, Size: Size4K, Flags: pagetable.FlagRead})
+	tr, ok := tl.Lookup(0, va)
 	if !ok || tr.Frame != 7 {
 		t.Fatalf("lookup after insert: ok=%v frame=%d", ok, tr.Frame)
 	}
@@ -62,12 +63,12 @@ func TestMissThenHit(t *testing.T) {
 func TestHitIsCheaperThanMiss(t *testing.T) {
 	tl, clock, params := newTLB(t)
 	va := mem.VirtAddr(0x9000)
-	tl.Insert(va, Translation{Frame: 9, Size: Size4K})
+	tl.Insert(0, va, Translation{Frame: 9, Size: Size4K})
 	t0 := clock.Now()
-	tl.Lookup(va)
+	tl.Lookup(0, va)
 	hitCost := clock.Since(t0)
 	t1 := clock.Now()
-	tl.Lookup(0xFFFF000)
+	tl.Lookup(0, 0xFFFF000)
 	missCost := clock.Since(t1)
 	if hitCost != params.TLBHit {
 		t.Fatalf("hit cost %v, want %v", hitCost, params.TLBHit)
@@ -80,25 +81,25 @@ func TestHitIsCheaperThanMiss(t *testing.T) {
 func TestHugeEntryCoversWholePage(t *testing.T) {
 	tl, _, _ := newTLB(t)
 	base := mem.VirtAddr(2 << 20)
-	tl.Insert(base, Translation{Frame: 512, Size: Size2M})
+	tl.Insert(0, base, Translation{Frame: 512, Size: Size2M})
 	// Any address inside the 2M page must hit.
-	tr, ok := tl.Lookup(base + 1234567%((2<<20)-1))
+	tr, ok := tl.Lookup(0, base + 1234567%((2<<20)-1))
 	if !ok || tr.Size != Size2M {
 		t.Fatalf("huge lookup: ok=%v size=%v", ok, tr.Size)
 	}
 	// An address in the next 2M page must miss.
-	if _, ok := tl.Lookup(base + 2<<20); ok {
+	if _, ok := tl.Lookup(0, base + 2<<20); ok {
 		t.Fatal("hit outside huge page")
 	}
 }
 
 func Test1GEntry(t *testing.T) {
 	tl, _, _ := newTLB(t)
-	tl.Insert(0, Translation{Frame: 0, Size: Size1G})
-	if _, ok := tl.Lookup(512 << 20); !ok {
+	tl.Insert(0, 0, Translation{Frame: 0, Size: Size1G})
+	if _, ok := tl.Lookup(0, 512 << 20); !ok {
 		t.Fatal("1G entry did not cover interior address")
 	}
-	if _, ok := tl.Lookup(1 << 30); ok {
+	if _, ok := tl.Lookup(0, 1 << 30); ok {
 		t.Fatal("1G entry covered next gigabyte")
 	}
 }
@@ -106,42 +107,49 @@ func Test1GEntry(t *testing.T) {
 func TestInvalidateVA(t *testing.T) {
 	tl, _, _ := newTLB(t)
 	va := mem.VirtAddr(0x4000)
-	tl.Insert(va, Translation{Frame: 4, Size: Size4K})
-	tl.InvalidateVA(va)
-	if _, ok := tl.Lookup(va); ok {
+	tl.Insert(0, va, Translation{Frame: 4, Size: Size4K})
+	tl.InvalidateVA(0, va)
+	if _, ok := tl.Lookup(0, va); ok {
 		t.Fatal("entry survived invalidation")
 	}
 }
 
 func TestFlushAll(t *testing.T) {
-	tl, clock, _ := newTLB(t)
+	tl, clock, params := newTLB(t)
 	for i := 0; i < 20; i++ {
-		tl.Insert(mem.VirtAddr(i)<<12, Translation{Frame: mem.Frame(i), Size: Size4K})
+		tl.Insert(0, mem.VirtAddr(i)<<12, Translation{Frame: mem.Frame(i), Size: Size4K})
 	}
 	if tl.ValidEntries() == 0 {
 		t.Fatal("no entries before flush")
 	}
 	t0 := clock.Now()
 	tl.FlushAll()
-	if clock.Since(t0) <= 0 {
-		t.Fatal("flush charged no time")
+	if got := clock.Since(t0); got != params.TLBFullFlush {
+		t.Fatalf("flush charged %v, want flat %v", got, params.TLBFullFlush)
 	}
 	if tl.ValidEntries() != 0 {
 		t.Fatalf("%d entries survived flush", tl.ValidEntries())
 	}
 }
 
-func TestShootdownCost(t *testing.T) {
-	tl, clock, params := newTLB(t)
+func TestASIDIsolation(t *testing.T) {
+	tl, _, _ := newTLB(t)
 	va := mem.VirtAddr(0x8000)
-	tl.Insert(va, Translation{Frame: 8, Size: Size4K})
-	t0 := clock.Now()
-	tl.Shootdown(va)
-	if clock.Since(t0) < params.TLBShootdown {
-		t.Fatal("shootdown cheaper than IPI cost")
+	tl.Insert(1, va, Translation{Frame: 8, Size: Size4K})
+	if _, ok := tl.Lookup(2, va); ok {
+		t.Fatal("ASID 2 hit ASID 1's entry")
 	}
-	if _, ok := tl.Lookup(va); ok {
-		t.Fatal("entry survived shootdown")
+	if tr, ok := tl.Lookup(1, va); !ok || tr.Frame != 8 {
+		t.Fatalf("ASID 1 lookup: ok=%v tr=%+v", ok, tr)
+	}
+	// Invalidation is per-ASID too.
+	tl.Insert(2, va, Translation{Frame: 9, Size: Size4K})
+	tl.InvalidateVA(1, va)
+	if _, ok := tl.Lookup(1, va); ok {
+		t.Fatal("ASID 1 entry survived invalidation")
+	}
+	if _, ok := tl.Lookup(2, va); !ok {
+		t.Fatal("ASID 2 entry lost to ASID 1's invalidation")
 	}
 }
 
@@ -152,14 +160,14 @@ func TestL2CatchesL1Evictions(t *testing.T) {
 	n := 300
 	for i := 0; i < n; i++ {
 		va := mem.VirtAddr(i) * mem.FrameSize
-		tl.Insert(va, Translation{Frame: mem.Frame(i), Size: Size4K})
+		tl.Insert(0, va, Translation{Frame: mem.Frame(i), Size: Size4K})
 	}
 	// Early entries should have been evicted from L1 but still hit L2.
 	tl.Stats().Reset()
 	hits := 0
 	for i := 0; i < n; i++ {
 		va := mem.VirtAddr(i) * mem.FrameSize
-		if tr, ok := tl.Lookup(va); ok && tr.Frame == mem.Frame(i) {
+		if tr, ok := tl.Lookup(0, va); ok && tr.Frame == mem.Frame(i) {
 			hits++
 		}
 	}
@@ -177,7 +185,7 @@ func TestCapacityEviction(t *testing.T) {
 	n := 4000
 	for i := 0; i < n; i++ {
 		va := mem.VirtAddr(i) * mem.FrameSize
-		tl.Insert(va, Translation{Frame: mem.Frame(i), Size: Size4K})
+		tl.Insert(0, va, Translation{Frame: mem.Frame(i), Size: Size4K})
 	}
 	if tl.Stats().Value("evictions") == 0 {
 		t.Fatal("no evictions after overflowing capacity")
@@ -188,7 +196,7 @@ func TestCapacityEviction(t *testing.T) {
 	misses := 0
 	for i := 0; i < 100; i++ {
 		va := mem.VirtAddr(n+i*7919) * mem.FrameSize
-		if _, ok := tl.Lookup(va); !ok {
+		if _, ok := tl.Lookup(0, va); !ok {
 			misses++
 		}
 	}
@@ -199,13 +207,13 @@ func TestCapacityEviction(t *testing.T) {
 
 func TestMixedSizesDoNotAlias(t *testing.T) {
 	tl, _, _ := newTLB(t)
-	tl.Insert(0, Translation{Frame: 1, Size: Size4K})
-	tl.Insert(2<<20, Translation{Frame: 512, Size: Size2M})
-	tr, ok := tl.Lookup(0)
+	tl.Insert(0, 0, Translation{Frame: 1, Size: Size4K})
+	tl.Insert(0, 2<<20, Translation{Frame: 512, Size: Size2M})
+	tr, ok := tl.Lookup(0, 0)
 	if !ok || tr.Size != Size4K || tr.Frame != 1 {
 		t.Fatalf("4K entry wrong: %+v ok=%v", tr, ok)
 	}
-	tr, ok = tl.Lookup(2<<20 + 0x5000)
+	tr, ok = tl.Lookup(0, 2<<20 + 0x5000)
 	if !ok || tr.Size != Size2M {
 		t.Fatalf("2M entry wrong: %+v ok=%v", tr, ok)
 	}

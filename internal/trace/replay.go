@@ -60,21 +60,33 @@ func Replay(t *Trace, target Target, clock *sim.Clock) (Report, error) {
 		return Report{}, err
 	}
 	rep := Report{Backend: target.Name(), Ops: len(t.Ops)}
+	// Measure machine-wide time when the clock belongs to a machine: an
+	// op may switch the executing CPU or fan work out to other CPUs
+	// (shootdown IPIs), which per-CPU Now() would miss.
+	now := clock.Now
+	sync := func() {}
+	if mach := clock.Machine(); mach != nil {
+		now = mach.Time
+		// Each op starts from a synchronized machine so that work
+		// charged to a lagging CPU is never masked by the global max.
+		sync = mach.Sync
+	}
 	for i, op := range t.Ops {
-		start := clock.Now()
+		sync()
+		start := now()
 		var err error
 		switch op.Kind {
 		case OpAlloc:
 			err = target.Alloc(op.ID, op.Pages)
-			rep.AllocTime += clock.Since(start)
+			rep.AllocTime += now() - start
 			rep.Allocs++
 		case OpFree:
 			err = target.Free(op.ID)
-			rep.FreeTime += clock.Since(start)
+			rep.FreeTime += now() - start
 			rep.Frees++
 		case OpTouch:
 			err = target.Touch(op.ID, op.Page, op.Write)
-			rep.TouchTime += clock.Since(start)
+			rep.TouchTime += now() - start
 			rep.Touches++
 		}
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/memfs"
 	"repro/internal/metrics"
 	"repro/internal/pagetable"
+	"repro/internal/sim"
 	"repro/internal/tlb"
 )
 
@@ -53,14 +54,21 @@ func (v *VMA) Pages() uint64 { return uint64(v.End-v.Start) / mem.FrameSize }
 // Contains reports whether va falls inside the VMA.
 func (v *VMA) Contains(va mem.VirtAddr) bool { return va >= v.Start && va < v.End }
 
-// AddressSpace is one process's baseline-VM address space.
+// AddressSpace is one process's baseline-VM address space. It is
+// scheduled on one CPU at a time (its home CPU); cpuMask records every
+// CPU it has ever run on, the mm_cpumask analogue that bounds TLB
+// shootdown broadcasts.
 type AddressSpace struct {
 	kernel *Kernel
 	asid   int
+	cpu    *sim.CPU
+
+	// cpuMask[i] is true if this address space has run on CPU i since
+	// creation, i.e. CPU i's TLB may cache its translations.
+	cpuMask []bool
 
 	vmas []*VMA // sorted by Start, non-overlapping
 	pt   *pagetable.Table
-	tlb  *tlb.TLB
 
 	// swapped records pages that have been swapped out: va -> slot.
 	swapped map[mem.VirtAddr]int
@@ -69,21 +77,81 @@ type AddressSpace struct {
 }
 
 // NewAddressSpace creates an empty address space with its own page
-// table and TLB state.
+// table, scheduled round-robin onto the machine's CPUs.
 func (k *Kernel) NewAddressSpace() (*AddressSpace, error) {
-	pt, err := pagetable.New(k.Clock, k.Params, k.pool, k.levels)
+	cpu := k.Machine.CPU(k.nextCPU % k.Machine.NumCPUs())
+	k.nextCPU++
+	return k.NewAddressSpaceOn(cpu)
+}
+
+// NewAddressSpaceOn creates an empty address space homed on cpu; the
+// page-table setup cost is charged to that CPU.
+func (k *Kernel) NewAddressSpaceOn(cpu *sim.CPU) (*AddressSpace, error) {
+	pt, err := pagetable.New(cpu, k.Params, k.pool, k.levels)
 	if err != nil {
 		return nil, err
 	}
 	k.nextASID++
-	return &AddressSpace{
+	a := &AddressSpace{
 		kernel:  k,
 		asid:    k.nextASID,
+		cpu:     cpu,
+		cpuMask: make([]bool, k.Machine.NumCPUs()),
 		pt:      pt,
-		tlb:     tlb.New(k.Clock, k.Params, tlb.DefaultConfig()),
 		swapped: make(map[mem.VirtAddr]int),
 		stats:   metrics.NewSet(),
-	}, nil
+	}
+	a.cpuMask[cpu.ID()] = true
+	return a, nil
+}
+
+// CPU returns the address space's current home CPU.
+func (a *AddressSpace) CPU() *sim.CPU { return a.cpu }
+
+// RunOn migrates the address space to cpu: subsequent operations
+// execute (and are charged) there. The previous CPU stays in the
+// shootdown mask — its TLB may still hold entries.
+func (a *AddressSpace) RunOn(cpu *sim.CPU) {
+	a.cpu = cpu
+	a.cpuMask[cpu.ID()] = true
+}
+
+// run makes the home CPU current, so all work charged through the
+// kernel clock lands on it. Called at every syscall/fault entry point.
+func (a *AddressSpace) run() { a.kernel.Machine.SetCurrent(a.cpu) }
+
+// curTLB returns the TLB of the CPU currently executing.
+func (a *AddressSpace) curTLB() *tlb.TLB {
+	return a.kernel.tlbs[a.kernel.Machine.Current().ID()]
+}
+
+// shootdownVA invalidates the translation for va on every CPU that may
+// cache it: an invalidation on the executing CPU, plus one modeled IPI
+// round to the other CPUs in the mask — each target pays IPIReceive
+// and the per-entry invalidation on its own clock, and the initiator
+// synchronizes to the slowest target (Lamport merge). With one CPU (or
+// a single-CPU mask) no IPIs are sent and only the local invalidation
+// is charged, reproducing the pre-SMP behaviour.
+func (a *AddressSpace) shootdownVA(va mem.VirtAddr) {
+	k := a.kernel
+	from := k.Machine.Current()
+	if a.cpuMask[from.ID()] {
+		k.tlbs[from.ID()].InvalidateVA(a.asid, va)
+	}
+	k.Machine.IPI(from, a.remoteCPUs(from), func(t *sim.CPU) {
+		k.tlbs[t.ID()].InvalidateVA(a.asid, va)
+	})
+}
+
+// remoteCPUs returns the CPUs in the shootdown mask other than from.
+func (a *AddressSpace) remoteCPUs(from *sim.CPU) []*sim.CPU {
+	var out []*sim.CPU
+	for i, in := range a.cpuMask {
+		if in && i != from.ID() {
+			out = append(out, a.kernel.Machine.CPU(i))
+		}
+	}
+	return out
 }
 
 // Stats exposes per-address-space counters: "mmaps", "munmaps",
@@ -94,8 +162,12 @@ func (a *AddressSpace) Stats() *metrics.Set { return a.stats }
 // the ablation benches).
 func (a *AddressSpace) PageTable() *pagetable.Table { return a.pt }
 
-// TLB exposes the address space's TLB.
-func (a *AddressSpace) TLB() *tlb.TLB { return a.tlb }
+// TLB exposes the TLB of the address space's home CPU.
+func (a *AddressSpace) TLB() *tlb.TLB { return a.kernel.tlbs[a.cpu.ID()] }
+
+// ASID returns the address space identifier tagging this space's TLB
+// entries.
+func (a *AddressSpace) ASID() int { return a.asid }
 
 // VMACount returns the number of VMAs.
 func (a *AddressSpace) VMACount() int { return len(a.vmas) }
@@ -197,6 +269,7 @@ type MmapRequest struct {
 // pays the per-page population loop that Figure 6a measures.
 func (a *AddressSpace) Mmap(req MmapRequest) (mem.VirtAddr, error) {
 	k := a.kernel
+	a.run()
 	k.Clock.Advance(k.Params.SyscallOverhead + k.Params.MmapFixed)
 	if req.Pages == 0 {
 		return 0, fmt.Errorf("vm: empty mapping")
@@ -377,7 +450,7 @@ func (a *AddressSpace) populateHuge(v *VMA) error {
 			return fmt.Errorf("vm: no contiguous 2 MiB block: %w", err)
 		}
 		k.Memory.ZeroFrames(run, mem.HugeFrames2M)
-		if err := a.pt.Map2M(va, run, v.Prot); err != nil {
+		if err := a.pt.Map2M(k.Machine.Current(), va, run, v.Prot); err != nil {
 			return err
 		}
 		pi := k.trackPage(run, PGAnon|PGCompound)
@@ -391,6 +464,7 @@ func (a *AddressSpace) populateHuge(v *VMA) error {
 // only (like the common munmap use); partial unmaps split VMAs.
 func (a *AddressSpace) Munmap(addr mem.VirtAddr, pages uint64) error {
 	k := a.kernel
+	a.run()
 	k.Clock.Advance(k.Params.SyscallOverhead)
 	end := addr + mem.VirtAddr(pages*mem.FrameSize)
 	var kept []*VMA
@@ -467,24 +541,24 @@ func (a *AddressSpace) zapVMA(v *VMA) error {
 	return nil
 }
 
-// zapRange unmaps pages and releases anonymous frames. The per-page
-// loop is the linear teardown cost of the baseline design.
+// zapRange unmaps pages and releases anonymous frames. Every page
+// pays a PTE clear plus a TLB shootdown across the address space's CPU
+// mask — the pages × CPUs teardown cost of the baseline design that
+// file-only memory replaces with one range invalidation per CPU.
 func (a *AddressSpace) zapRange(v *VMA, start mem.VirtAddr, pages uint64) error {
 	k := a.kernel
-	flushAll := pages > 64
+	cur := k.Machine.Current()
 	end := start + mem.VirtAddr(pages*mem.FrameSize)
 	for va := start; va < end; {
 		if sz := a.pt.PageSize(va); sz == 0 {
 			va += mem.FrameSize
 			continue
 		}
-		frame, span, err := a.pt.Unmap(va)
+		frame, span, err := a.pt.Unmap(cur, va)
 		if err != nil {
 			return err
 		}
-		if !flushAll {
-			a.tlb.InvalidateVA(va)
-		}
+		a.shootdownVA(va)
 		if pi, tracked := k.page(frame); tracked {
 			if err := k.delRmap(pi, a, va); err != nil {
 				return err
@@ -505,12 +579,6 @@ func (a *AddressSpace) zapRange(v *VMA, start mem.VirtAddr, pages uint64) error 
 		}
 		va += mem.VirtAddr(span * mem.FrameSize)
 	}
-	if flushAll {
-		// A ranged teardown this large broadcasts one IPI and flushes,
-		// instead of shooting down entry by entry.
-		k.Clock.Advance(k.Params.IPIBroadcast)
-		a.tlb.FlushAll()
-	}
 	return nil
 }
 
@@ -518,6 +586,7 @@ func (a *AddressSpace) zapRange(v *VMA, start mem.VirtAddr, pages uint64) error 
 // per-page PTE update plus TLB invalidation.
 func (a *AddressSpace) Mprotect(addr mem.VirtAddr, pages uint64, prot pagetable.Flags) error {
 	k := a.kernel
+	a.run()
 	k.Clock.Advance(k.Params.SyscallOverhead)
 	v, ok := a.findVMA(addr)
 	if !ok || addr+mem.VirtAddr(pages*mem.FrameSize) > v.End {
@@ -531,6 +600,7 @@ func (a *AddressSpace) Mprotect(addr mem.VirtAddr, pages uint64, prot pagetable.
 	if v.Huge {
 		step = mem.HugeFrames2M
 	}
+	cur := k.Machine.Current()
 	for p := uint64(0); p < pages; p += step {
 		va := addr + mem.VirtAddr(p*mem.FrameSize)
 		if _, f, ok := a.pt.Lookup(va); ok {
@@ -538,10 +608,10 @@ func (a *AddressSpace) Mprotect(addr mem.VirtAddr, pages uint64, prot pagetable.
 			if f&pagetable.FlagCOW != 0 {
 				newFlags = (prot &^ pagetable.FlagWrite) | pagetable.FlagCOW
 			}
-			if err := a.pt.Protect(va, newFlags); err != nil {
+			if err := a.pt.Protect(cur, va, newFlags); err != nil {
 				return err
 			}
-			a.tlb.InvalidateVA(va)
+			a.shootdownVA(va)
 		}
 	}
 	return nil
@@ -551,6 +621,7 @@ func (a *AddressSpace) Mprotect(addr mem.VirtAddr, pages uint64, prot pagetable.
 // VMA, as MADV_DONTNEED does: the heap's way of returning memory.
 func (a *AddressSpace) MadviseDontneed(addr mem.VirtAddr, pages uint64) error {
 	k := a.kernel
+	a.run()
 	k.Clock.Advance(k.Params.SyscallOverhead)
 	v, ok := a.findVMA(addr)
 	if !ok || addr+mem.VirtAddr(pages*mem.FrameSize) > v.End {
@@ -562,6 +633,7 @@ func (a *AddressSpace) MadviseDontneed(addr mem.VirtAddr, pages uint64) error {
 // Mlock pins the VMA's pages (populating them first, as mlock must).
 func (a *AddressSpace) Mlock(addr mem.VirtAddr) error {
 	k := a.kernel
+	a.run()
 	k.Clock.Advance(k.Params.SyscallOverhead)
 	v, ok := a.findVMA(addr)
 	if !ok {
@@ -585,6 +657,7 @@ func (a *AddressSpace) Mlock(addr mem.VirtAddr) error {
 
 // Destroy tears down the whole address space (process exit).
 func (a *AddressSpace) Destroy() error {
+	a.run()
 	for _, v := range a.vmas {
 		if err := a.zapVMA(v); err != nil {
 			return err

@@ -38,14 +38,16 @@ func (a *AddressSpace) Touch(va mem.VirtAddr, write bool) error {
 // faulting is needed, and charges the access costs.
 func (a *AddressSpace) translate(va mem.VirtAddr, write bool) (mem.PhysAddr, error) {
 	k := a.kernel
+	a.run()
+	cur := k.Machine.Current()
 	a.stats.Counter("touches").Inc()
 
 	// 1. TLB.
-	if tr, hit := a.tlb.Lookup(va); hit {
+	if tr, hit := a.curTLB().Lookup(a.asid, va); hit {
 		if write && tr.Flags&pagetable.FlagCOW != 0 {
 			// COW break goes through the fault path; drop the stale
-			// entry first.
-			a.tlb.InvalidateVA(va)
+			// entry first (local: the stale entry is this CPU's).
+			a.curTLB().InvalidateVA(a.asid, va)
 		} else if write && tr.Flags&pagetable.FlagWrite == 0 {
 			return 0, &AccessError{VA: va, Write: write, Cause: "write to read-only mapping"}
 		} else {
@@ -57,7 +59,7 @@ func (a *AddressSpace) translate(va mem.VirtAddr, write bool) (mem.PhysAddr, err
 	}
 
 	// 2. Page walk.
-	if pa, flags, _, ok := a.pt.Walk(va); ok {
+	if pa, flags, _, ok := a.pt.Walk(cur, va); ok {
 		if write && flags&pagetable.FlagCOW != 0 {
 			pa2, err := a.cowBreak(va)
 			if err != nil {
@@ -72,7 +74,7 @@ func (a *AddressSpace) translate(va mem.VirtAddr, write bool) (mem.PhysAddr, err
 		}
 		size, _ := tlb.SizeForFrames(a.pt.PageSize(va) / mem.FrameSize)
 		base := pa - mem.PhysAddr(uint64(va)%a.pt.PageSize(va))
-		a.tlb.Insert(va, tlb.Translation{Frame: base.Frame(), Size: size, Flags: flags})
+		a.curTLB().Insert(a.asid, va, tlb.Translation{Frame: base.Frame(), Size: size, Flags: flags})
 		a.chargeDataRef(pa, write)
 		a.markAccess(pa, write)
 		return pa, nil
@@ -105,7 +107,7 @@ func (a *AddressSpace) translate(va mem.VirtAddr, write bool) (mem.PhysAddr, err
 		a.markAccess(pa, write)
 		return pa, nil
 	}
-	a.tlb.Insert(page, tlb.Translation{Frame: pa.Frame(), Size: tlb.Size4K, Flags: flags})
+	a.curTLB().Insert(a.asid, page, tlb.Translation{Frame: pa.Frame(), Size: tlb.Size4K, Flags: flags})
 	pa += mem.PhysAddr(va.PageOffset())
 	a.chargeDataRef(pa, write)
 	a.markAccess(pa, write)
@@ -199,7 +201,7 @@ func (a *AddressSpace) installPage(v *VMA, va mem.VirtAddr, fault bool) error {
 		// Private file mapping: writes must COW.
 		prot = (prot &^ pagetable.FlagWrite) | pagetable.FlagCOW
 	}
-	if err := a.pt.Map(va, frame, prot); err != nil {
+	if err := a.pt.Map(k.Machine.Current(), va, frame, prot); err != nil {
 		return err
 	}
 	pi := k.trackPage(frame, flags)
@@ -224,6 +226,7 @@ func (a *AddressSpace) cowBreak(va mem.VirtAddr) (mem.PhysAddr, error) {
 	off := mem.PhysAddr(va.PageOffset())
 	va = va.PageBase()
 	k := a.kernel
+	cur := k.Machine.Current()
 	k.Clock.Advance(k.Params.FaultOverhead)
 	k.stats.Counter("cow_breaks").Inc()
 	pa, flags, ok := a.pt.Lookup(va)
@@ -241,20 +244,20 @@ func (a *AddressSpace) cowBreak(va mem.VirtAddr) (mem.PhysAddr, error) {
 			return 0, err
 		}
 		k.Memory.CopyFrames(nf, frame, 1)
-		if _, _, err := a.pt.Unmap(va); err != nil {
+		if _, _, err := a.pt.Unmap(cur, va); err != nil {
 			return 0, err
 		}
 		if err := k.delRmap(pi, a, va); err != nil {
 			return 0, err
 		}
-		if err := a.pt.Map(va, nf, writable); err != nil {
+		if err := a.pt.Map(cur, va, nf, writable); err != nil {
 			return 0, err
 		}
 		npi := k.trackPage(nf, PGAnon|PGSwapBacked|PGDirty)
 		k.addRmap(npi, a, va)
 		k.lruInsert(npi)
-		a.tlb.InvalidateVA(va)
-		a.tlb.Insert(va, tlb.Translation{Frame: nf, Size: tlb.Size4K, Flags: writable})
+		a.shootdownVA(va)
+		a.curTLB().Insert(a.asid, va, tlb.Translation{Frame: nf, Size: tlb.Size4K, Flags: writable})
 		return nf.Addr() + off, nil
 	}
 
@@ -267,7 +270,7 @@ func (a *AddressSpace) cowBreak(va mem.VirtAddr) (mem.PhysAddr, error) {
 			return 0, err
 		}
 		k.Memory.CopyFrames(nf, frame, 1)
-		if _, _, err := a.pt.Unmap(va); err != nil {
+		if _, _, err := a.pt.Unmap(cur, va); err != nil {
 			return 0, err
 		}
 		if err := k.delRmap(pi, a, va); err != nil {
@@ -276,22 +279,22 @@ func (a *AddressSpace) cowBreak(va mem.VirtAddr) (mem.PhysAddr, error) {
 		if !pi.Mapped() {
 			k.forgetPage(pi)
 		}
-		if err := a.pt.Map(va, nf, writable); err != nil {
+		if err := a.pt.Map(cur, va, nf, writable); err != nil {
 			return 0, err
 		}
 		npi := k.trackPage(nf, PGAnon|PGSwapBacked|PGDirty)
 		k.addRmap(npi, a, va)
 		k.lruInsert(npi)
-		a.tlb.InvalidateVA(va)
-		a.tlb.Insert(va, tlb.Translation{Frame: nf, Size: tlb.Size4K, Flags: writable})
+		a.shootdownVA(va)
+		a.curTLB().Insert(a.asid, va, tlb.Translation{Frame: nf, Size: tlb.Size4K, Flags: writable})
 		return nf.Addr() + off, nil
 	}
 
-	if err := a.pt.Protect(va, writable); err != nil {
+	if err := a.pt.Protect(cur, va, writable); err != nil {
 		return 0, err
 	}
-	a.tlb.InvalidateVA(va)
-	a.tlb.Insert(va, tlb.Translation{Frame: frame, Size: tlb.Size4K, Flags: writable})
+	a.shootdownVA(va)
+	a.curTLB().Insert(a.asid, va, tlb.Translation{Frame: frame, Size: tlb.Size4K, Flags: writable})
 	if tracked {
 		pi.Flags |= PGDirty
 	}
@@ -313,7 +316,7 @@ func (a *AddressSpace) swapIn(v *VMA, va mem.VirtAddr, slot int, fault bool) err
 	k.Clock.Advance(k.Params.SwapPageIO)
 	k.swap.free(slot)
 	delete(a.swapped, va)
-	if err := a.pt.Map(va, f, v.Prot); err != nil {
+	if err := a.pt.Map(k.Machine.Current(), va, f, v.Prot); err != nil {
 		return err
 	}
 	pi := k.trackPage(f, PGAnon|PGSwapBacked)

@@ -13,11 +13,15 @@ import (
 // entry by entry — the linear fork cost of the baseline design.
 func (a *AddressSpace) Fork() (*AddressSpace, error) {
 	k := a.kernel
-	k.Clock.Advance(k.Params.SyscallOverhead)
+	a.run()
+	cur := k.Machine.Current()
 	child, err := k.NewAddressSpace()
 	if err != nil {
 		return nil, err
 	}
+	// The fork itself executes on the parent's CPU.
+	k.Machine.SetCurrent(cur)
+	k.Clock.Advance(k.Params.SyscallOverhead)
 	for _, v := range a.vmas {
 		if v.Huge {
 			// Real kernels split or COW-share huge pages on fork; this
@@ -43,15 +47,15 @@ func (a *AddressSpace) Fork() (*AddressSpace, error) {
 			if !sharedWrites && flags&pagetable.FlagWrite != 0 {
 				// Downgrade to COW on both sides.
 				cow := (flags &^ pagetable.FlagWrite) | pagetable.FlagCOW
-				if err := a.pt.Protect(va, cow); err != nil {
+				if err := a.pt.Protect(cur, va, cow); err != nil {
 					return nil, err
 				}
-				a.tlb.InvalidateVA(va)
+				a.shootdownVA(va)
 				childFlags = cow
 			} else if !sharedWrites && flags&pagetable.FlagCOW != 0 {
 				childFlags = flags
 			}
-			if err := child.pt.Map(va, frame, childFlags); err != nil {
+			if err := child.pt.Map(cur, va, frame, childFlags); err != nil {
 				return nil, err
 			}
 			if pi, tracked := k.page(frame); tracked {
@@ -68,12 +72,12 @@ func (a *AddressSpace) Fork() (*AddressSpace, error) {
 				pa, flags, _ := a.pt.Lookup(va)
 				if !sharedWrites && flags&pagetable.FlagWrite != 0 {
 					flags = (flags &^ pagetable.FlagWrite) | pagetable.FlagCOW
-					if err := a.pt.Protect(va, flags); err != nil {
+					if err := a.pt.Protect(cur, va, flags); err != nil {
 						return nil, err
 					}
-					a.tlb.InvalidateVA(va)
+					a.shootdownVA(va)
 				}
-				if err := child.pt.Map(va, pa.Frame(), flags); err != nil {
+				if err := child.pt.Map(cur, va, pa.Frame(), flags); err != nil {
 					return nil, err
 				}
 				if pi, tracked := k.page(pa.Frame()); tracked {

@@ -21,15 +21,26 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/tlb"
 )
 
 // Kernel is the machine-global memory-management state shared by all
 // address spaces: the anonymous-page pool, per-frame metadata, the LRU
-// lists, and the swap device.
+// lists, the swap device, and the per-CPU TLBs of the machine it runs
+// on. Clock is the machine's kernel clock; charges through it land on
+// whichever CPU is currently executing (see Machine.SetCurrent).
 type Kernel struct {
-	Clock  *sim.Clock
-	Params *sim.Params
-	Memory *mem.Memory
+	Clock   *sim.Clock
+	Params  *sim.Params
+	Memory  *mem.Memory
+	Machine *sim.Machine
+
+	// tlbs[i] is CPU i's TLB. Address spaces scheduled on a CPU share
+	// its TLB, with ASID-tagged entries.
+	tlbs []*tlb.TLB
+
+	// nextCPU round-robins new address spaces across CPUs.
+	nextCPU int
 
 	// pool allocates anonymous pages and page-table nodes (the DRAM
 	// region in the default machine).
@@ -71,11 +82,15 @@ type Config struct {
 	PageTableLevels int
 }
 
-// NewKernel creates the global VM state.
+// NewKernel creates the global VM state. The machine is derived from
+// clock: the kernel clock of a sim.Machine yields that machine's CPU
+// set, while a free-standing clock models the classic single-CPU
+// machine (see sim.MachineOf).
 func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Config) (*Kernel, error) {
 	if cfg.PoolFrames == 0 {
 		return nil, fmt.Errorf("vm: empty page pool")
 	}
+	machine := sim.MachineOf(clock, params)
 	pool, err := buddy.New(clock, params, cfg.PoolBase, cfg.PoolFrames)
 	if err != nil {
 		return nil, err
@@ -92,10 +107,11 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 	default:
 		return nil, fmt.Errorf("vm: unsupported page-table depth %d", levels)
 	}
-	return &Kernel{
+	k := &Kernel{
 		Clock:    clock,
 		Params:   params,
 		Memory:   memory,
+		Machine:  machine,
 		levels:   levels,
 		pool:     pool,
 		pages:    make(map[mem.Frame]*PageInfo),
@@ -104,8 +120,15 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 		swap:     newSwapDevice(cfg.SwapFrames),
 		lowWater: low,
 		stats:    metrics.NewSet(),
-	}, nil
+	}
+	for _, cpu := range machine.CPUs() {
+		k.tlbs = append(k.tlbs, tlb.New(cpu, params, tlb.DefaultConfig()))
+	}
+	return k, nil
 }
+
+// TLBFor returns the TLB of the given CPU.
+func (k *Kernel) TLBFor(cpu *sim.CPU) *tlb.TLB { return k.tlbs[cpu.ID()] }
 
 // Stats exposes kernel counters: "minor_faults", "major_faults",
 // "cow_breaks", "swapouts", "swapins", "reclaim_scans",

@@ -128,11 +128,14 @@ func (k *Kernel) evictPage(p *PageInfo) (uint64, error) {
 		k.stats.Counter("swapouts").Inc()
 	}
 
+	cur := k.Machine.Current()
 	for _, e := range rmap {
-		if _, _, err := e.as.pt.Unmap(e.va); err != nil {
+		if _, _, err := e.as.pt.Unmap(cur, e.va); err != nil {
 			return 0, err
 		}
-		e.as.tlb.Shootdown(e.va)
+		// The reclaiming CPU shoots the translation down on every CPU
+		// the victim address space has run on.
+		e.as.shootdownVA(e.va)
 		if err := k.delRmap(p, e.as, e.va); err != nil {
 			return 0, err
 		}
