@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments results clean
+.PHONY: all build test vet bench experiments results profile clean
 
 all: build vet test
 
@@ -15,9 +15,17 @@ vet:
 test:
 	$(GO) test ./...
 
-# One testing.B benchmark per paper table/figure (repository root).
+# One testing.B benchmark per paper table/figure (repository root),
+# plus the tracked wall-clock baseline (serial, so allocation counts
+# attribute to individual experiments).
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) run ./cmd/o1bench -parallel 1 -benchjson BENCH_wallclock.json > /dev/null
+
+# CPU and heap profiles of the full suite (inspect with `go tool pprof`).
+profile:
+	$(GO) run ./cmd/o1bench -parallel 1 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof; try: go tool pprof -top cpu.pprof"
 
 # Regenerate every experiment as terminal tables.
 experiments:

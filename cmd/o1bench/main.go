@@ -3,30 +3,50 @@
 // machine, runs the paper's workload on both the baseline VM and
 // file-only memory, and prints the rows the paper reports.
 //
+// Experiments are independent, so the suite runs on a worker pool
+// (-parallel, default GOMAXPROCS). Scheduling cannot change any
+// simulated number — results are printed in selection order and are
+// byte-identical to a serial run.
+//
 // Usage:
 //
 //	o1bench -list             # show available experiments
 //	o1bench                   # run everything
 //	o1bench -e fig6a,fig9     # run selected experiments
+//	o1bench -parallel 1 -benchjson BENCH_wallclock.json
+//	o1bench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/sim"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "o1bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	list := flag.Bool("list", false, "list experiments and exit")
 	exps := flag.String("e", "all", "comma-separated experiment IDs, or 'all'")
 	format := flag.String("format", "text", "output format: text | md")
 	paramsFile := flag.String("params", "", "JSON cost-table file overriding the calibrated defaults")
 	dumpParams := flag.Bool("dump-params", false, "print the default cost table as JSON and exit")
 	cpus := flag.Int("cpus", 1, "simulated CPU count for every experiment machine")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker count (1 = serial, enables per-experiment alloc counts)")
+	benchJSON := flag.String("benchjson", "", "write per-experiment wall-clock times as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the suite) to this file")
 	flag.Parse()
 
 	bench.SetCPUs(*cpus)
@@ -35,23 +55,20 @@ func main() {
 		def := sim.DefaultParams()
 		data, err := sim.MarshalParams(&def)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "o1bench:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println(string(data))
-		return
+		return nil
 	}
 	if *paramsFile != "" {
 		f, err := os.Open(*paramsFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "o1bench:", err)
-			os.Exit(1)
+			return err
 		}
 		p, err := sim.LoadParams(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "o1bench:", err)
-			os.Exit(1)
+			return err
 		}
 		bench.SetParams(&p)
 	}
@@ -61,39 +78,75 @@ func main() {
 		for _, e := range bench.All() {
 			fmt.Printf("  %-14s %s\n                 reproduces: %s\n", e.ID, e.Title, e.Paper)
 		}
-		return
+		return nil
 	}
 
-	var selected []bench.Experiment
-	if *exps == "all" {
-		selected = bench.All()
-	} else {
-		for _, id := range strings.Split(*exps, ",") {
-			id = strings.TrimSpace(id)
-			e, ok := bench.ByID(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "o1bench: unknown experiment %q (try -list)\n", id)
-				os.Exit(1)
-			}
-			selected = append(selected, e)
-		}
+	selected, err := bench.Select(*exps)
+	if err != nil {
+		return fmt.Errorf("%v (try -list)", err)
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	t0 := time.Now()
+	reports := bench.RunSuite(selected, *parallel)
+	total := time.Since(t0)
 
 	failed := 0
-	for _, e := range selected {
-		r, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "o1bench: %s failed: %v\n", e.ID, err)
+	for _, r := range reports {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "o1bench: %s failed: %v\n", r.ID, r.Err)
 			failed++
 			continue
 		}
 		if *format == "md" {
-			fmt.Println(r.Markdown())
+			fmt.Println(r.Result.Markdown())
 		} else {
-			fmt.Println(r.String())
+			fmt.Println(r.Result.String())
 		}
 	}
-	if failed > 0 {
-		os.Exit(1)
+
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			return err
+		}
+		werr := bench.NewSuiteReport(reports, *parallel, total).WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
 }

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Select resolves a comma-separated experiment spec — "all" or a list
+// of IDs like "fig6a,fig9" — into experiments in the order given,
+// dropping duplicates. Unknown IDs are an error.
+func Select(spec string) ([]Experiment, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return All(), nil
+	}
+	seen := make(map[string]bool)
+	var out []Experiment
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" || seen[id] {
+			continue
+		}
+		e, ok := ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		seen[id] = true
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// RunReport is one experiment's outcome plus its host-side cost. The
+// simulated numbers inside Result are independent of how the suite is
+// scheduled; the wall-clock fields are what this layer adds.
+type RunReport struct {
+	ID    string
+	Title string
+
+	Result *Result
+	Err    error
+
+	// WallNanos is the host wall-clock time of Run.
+	WallNanos int64
+	// AllocBytes/AllocObjects are the host heap allocations of Run,
+	// measured with runtime.ReadMemStats. Only a serial suite can
+	// attribute heap deltas to one experiment, so these are valid only
+	// when AllocsValid is set (RunSuite with parallel <= 1).
+	AllocBytes   uint64
+	AllocObjects uint64
+	AllocsValid  bool
+}
+
+// RunSuite runs the experiments on min(parallel, len(exps)) workers
+// and returns their reports in input order. Experiments share no
+// mutable state — each Run builds a fresh machine — so scheduling
+// cannot change any simulated number; only wall-clock time varies.
+// With parallel <= 1 the suite runs serially on the calling goroutine
+// and per-experiment allocation counts are measured.
+func RunSuite(exps []Experiment, parallel int) []*RunReport {
+	reports := make([]*RunReport, len(exps))
+	if parallel <= 1 || len(exps) <= 1 {
+		for i, e := range exps {
+			reports[i] = runOne(e, true)
+		}
+		return reports
+	}
+	if parallel > len(exps) {
+		parallel = len(exps)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				reports[i] = runOne(exps[i], false)
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return reports
+}
+
+func runOne(e Experiment, measureAllocs bool) *RunReport {
+	rep := &RunReport{ID: e.ID, Title: e.Title}
+	var m0 runtime.MemStats
+	if measureAllocs {
+		runtime.ReadMemStats(&m0)
+	}
+	t0 := time.Now()
+	rep.Result, rep.Err = e.Run()
+	rep.WallNanos = time.Since(t0).Nanoseconds()
+	if measureAllocs {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		rep.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+		rep.AllocObjects = m1.Mallocs - m0.Mallocs
+		rep.AllocsValid = true
+	}
+	return rep
+}
+
+// SuiteReport is the JSON document behind -benchjson: the tracked
+// wall-clock baseline of the whole evaluation. Simulated results live
+// in RESULTS.md; this file only records what the suite costs to run.
+type SuiteReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	HostCPUs  int    `json:"host_cpus"`
+	SimCPUs   int    `json:"sim_cpus"`
+	Parallel  int    `json:"parallel"`
+
+	TotalWallNanos int64 `json:"total_wall_ns"`
+
+	Experiments []ExperimentReport `json:"experiments"`
+}
+
+// ExperimentReport is one experiment's row in the SuiteReport.
+type ExperimentReport struct {
+	ID        string  `json:"id"`
+	Title     string  `json:"title"`
+	WallNanos int64   `json:"wall_ns"`
+	WallMS    float64 `json:"wall_ms"`
+	// Heap allocations of the experiment's Run (serial suites only).
+	AllocBytes   *uint64 `json:"alloc_bytes,omitempty"`
+	AllocObjects *uint64 `json:"alloc_objects,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// NewSuiteReport assembles the JSON document from the suite's reports.
+// totalWall is the wall-clock time of the whole suite (under a parallel
+// runner it is less than the sum of the per-experiment times).
+func NewSuiteReport(reports []*RunReport, parallel int, totalWall time.Duration) *SuiteReport {
+	s := &SuiteReport{
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		HostCPUs:       runtime.NumCPU(),
+		SimCPUs:        CPUCount(),
+		Parallel:       parallel,
+		TotalWallNanos: totalWall.Nanoseconds(),
+	}
+	for _, r := range reports {
+		er := ExperimentReport{
+			ID:        r.ID,
+			Title:     r.Title,
+			WallNanos: r.WallNanos,
+			WallMS:    float64(r.WallNanos) / 1e6,
+		}
+		if r.AllocsValid {
+			b, o := r.AllocBytes, r.AllocObjects
+			er.AllocBytes = &b
+			er.AllocObjects = &o
+		}
+		if r.Err != nil {
+			er.Error = r.Err.Error()
+		}
+		s.Experiments = append(s.Experiments, er)
+	}
+	return s
+}
+
+// WriteJSON writes the report, indented, to w.
+func (s *SuiteReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSelectAll(t *testing.T) {
+	for _, spec := range []string{"all", "", "  all  "} {
+		got, err := Select(spec)
+		if err != nil {
+			t.Fatalf("Select(%q): %v", spec, err)
+		}
+		if len(got) != len(All()) {
+			t.Fatalf("Select(%q) = %d experiments, want %d", spec, len(got), len(All()))
+		}
+	}
+}
+
+func TestSelectIDs(t *testing.T) {
+	got, err := Select("fig9, fig6a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "fig9" || got[1].ID != "fig6a" {
+		t.Fatalf("Select preserves order: got %v", ids(got))
+	}
+}
+
+func TestSelectDedupes(t *testing.T) {
+	got, err := Select("fig6a,fig6a, ,fig6a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "fig6a" {
+		t.Fatalf("Select dedupe: got %v", ids(got))
+	}
+}
+
+func TestSelectUnknown(t *testing.T) {
+	if _, err := Select("fig6a,nosuch"); err == nil {
+		t.Fatal("Select accepted unknown experiment ID")
+	}
+}
+
+func ids(exps []Experiment) []string {
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// TestParallelDeterminism is the scheduling-independence guarantee of
+// the suite: every simulated number, rendered to text, must be
+// byte-identical whether experiments run serially or on 8 workers.
+func TestParallelDeterminism(t *testing.T) {
+	spec := "fig6a,readvsmap,zero,walkdepth,ablate-extent"
+	if !testing.Short() {
+		spec += ",fig6b,ablate-pt,ablate-huge,heapchurn"
+	}
+	exps, err := Select(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := RunSuite(exps, 1)
+	par := RunSuite(exps, 8)
+	if len(serial) != len(par) {
+		t.Fatalf("report counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("%s: serial err=%v parallel err=%v", exps[i].ID, serial[i].Err, par[i].Err)
+		}
+		if serial[i].ID != par[i].ID {
+			t.Fatalf("report %d out of order: %s vs %s", i, serial[i].ID, par[i].ID)
+		}
+		s, p := serial[i].Result.String(), par[i].Result.String()
+		if s != p {
+			t.Errorf("%s: serial and parallel runs render differently:\n--- serial\n%s\n--- parallel\n%s", exps[i].ID, s, p)
+		}
+		if m1, m2 := serial[i].Result.Markdown(), par[i].Result.Markdown(); m1 != m2 {
+			t.Errorf("%s: markdown rendering differs between serial and parallel runs", exps[i].ID)
+		}
+	}
+}
+
+func TestRunSuiteMeasuresSerialAllocs(t *testing.T) {
+	exps, err := Select("zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := RunSuite(exps, 1)
+	if !reports[0].AllocsValid {
+		t.Fatal("serial suite did not measure allocations")
+	}
+	if reports[0].WallNanos <= 0 {
+		t.Fatal("missing wall-clock measurement")
+	}
+	two, err := Select("zero,walkdepth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range RunSuite(two, 4) {
+		if r.AllocsValid {
+			t.Fatal("parallel suite cannot attribute allocations to one experiment")
+		}
+	}
+}
+
+func TestSuiteReportJSON(t *testing.T) {
+	exps, err := Select("zero,walkdepth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := RunSuite(exps, 1)
+	s := NewSuiteReport(reports, 1, 5*time.Millisecond)
+	if len(s.Experiments) != 2 {
+		t.Fatalf("report rows = %d, want 2", len(s.Experiments))
+	}
+	if s.Experiments[0].ID != "zero" || s.Experiments[1].ID != "walkdepth" {
+		t.Fatalf("rows out of order: %s, %s", s.Experiments[0].ID, s.Experiments[1].ID)
+	}
+	if s.Experiments[0].AllocObjects == nil {
+		t.Fatal("serial report dropped alloc counts")
+	}
+	if s.TotalWallNanos != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("total wall = %d", s.TotalWallNanos)
+	}
+}

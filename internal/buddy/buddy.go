@@ -42,6 +42,8 @@ type Allocator struct {
 	freeCount uint64
 
 	stats *metrics.Set
+	// Cached counters for the per-block hot paths.
+	cAllocs, cFrees, cSplits, cCoalesces *metrics.Counter
 }
 
 type listNode struct {
@@ -67,6 +69,10 @@ func New(clock *sim.Clock, params *sim.Params, base mem.Frame, size uint64) (*Al
 		allocated: make(map[mem.Frame]int),
 		stats:     metrics.NewSet(),
 	}
+	a.cAllocs = a.stats.Counter("allocs")
+	a.cFrees = a.stats.Counter("frees")
+	a.cSplits = a.stats.Counter("splits")
+	a.cCoalesces = a.stats.Counter("coalesces")
 	for i := range a.heads {
 		a.heads[i] = noFrame
 	}
@@ -186,11 +192,11 @@ func (a *Allocator) Alloc(order int) (mem.Frame, error) {
 		buddy := f + mem.Frame(uint64(1)<<o)
 		a.pushFree(buddy, o)
 		a.charge(1)
-		a.stats.Counter("splits").Inc()
+		a.cSplits.Inc()
 	}
 	a.allocated[f] = order
 	a.freeCount -= uint64(1) << order
-	a.stats.Counter("allocs").Inc()
+	a.cAllocs.Inc()
 	return f, nil
 }
 
@@ -208,7 +214,7 @@ func (a *Allocator) Free(f mem.Frame) error {
 	}
 	delete(a.allocated, f)
 	a.freeCount += uint64(1) << order
-	a.stats.Counter("frees").Inc()
+	a.cFrees.Inc()
 
 	for order < MaxOrder {
 		buddy := a.buddyOf(f, order)
@@ -218,7 +224,7 @@ func (a *Allocator) Free(f mem.Frame) error {
 		}
 		a.removeFree(buddy)
 		a.charge(1)
-		a.stats.Counter("coalesces").Inc()
+		a.cCoalesces.Inc()
 		if buddy < f {
 			f = buddy
 		}
@@ -343,14 +349,14 @@ func (a *Allocator) FreeRange(start mem.Frame, count uint64) error {
 			a.runAllocated(blk, n)
 			a.freeCount -= n
 			a.charge(1)
-			a.stats.Counter("splits").Inc()
+			a.cSplits.Inc()
 		}
 		if segEnd < blkEnd {
 			n := uint64(blkEnd - segEnd)
 			a.runAllocated(segEnd, n)
 			a.freeCount -= n
 			a.charge(1)
-			a.stats.Counter("splits").Inc()
+			a.cSplits.Inc()
 		}
 		// Free the middle segment block by block so buddies coalesce.
 		n := uint64(segEnd - cur)

@@ -35,7 +35,7 @@ func (p *Process) Touch(va mem.VirtAddr, write bool) error {
 
 func (p *Process) translate(va mem.VirtAddr, write bool) (mem.PhysAddr, error) {
 	p.run()
-	p.stats.Counter("touches").Inc()
+	p.cTouches.Inc()
 	switch p.mode {
 	case Ranges:
 		return p.translateRanges(va, write)

@@ -45,6 +45,9 @@ type Process struct {
 	exited   bool
 
 	stats *metrics.Set
+	// cTouches is the cached per-access counter (translate is the
+	// hottest loop in the range experiments).
+	cTouches *metrics.Counter
 }
 
 // NewProcess creates a process using the given translation mode,
@@ -66,6 +69,7 @@ func (s *System) NewProcessOn(cpu *sim.CPU, mode TranslationMode) (*Process, err
 		mappings: make(map[mem.VirtAddr]*Mapping),
 		stats:    metrics.NewSet(),
 	}
+	p.cTouches = p.stats.Counter("touches")
 	s.machine.SetCurrent(cpu)
 	switch mode {
 	case Ranges:

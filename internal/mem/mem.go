@@ -124,8 +124,19 @@ type Memory struct {
 	// in DRAM regions and keeps frames in NVM regions.
 	data map[Frame]*[FrameSize]byte
 
+	// spare recycles backing arrays of erased frames so churn-heavy
+	// workloads (alloc/erase loops) do not allocate a fresh 4 KiB array
+	// per materialization. Bounded so the host footprint of a machine
+	// that erased a huge range once does not stay at its peak.
+	spare []*[FrameSize]byte
+
 	stats *metrics.Set
+	// cMaterialized is the cached first-touch counter.
+	cMaterialized *metrics.Counter
 }
+
+// maxSpareFrames bounds the recycled-array pool (32 MiB of host memory).
+const maxSpareFrames = 8192
 
 // New creates the physical memory described by cfg.
 func New(clock *sim.Clock, params *sim.Params, cfg Config) (*Memory, error) {
@@ -138,6 +149,7 @@ func New(clock *sim.Clock, params *sim.Params, cfg Config) (*Memory, error) {
 		data:   make(map[Frame]*[FrameSize]byte),
 		stats:  metrics.NewSet(),
 	}
+	m.cMaterialized = m.stats.Counter("materialized_frames")
 	next := Frame(0)
 	if cfg.DRAMFrames > 0 {
 		m.regions = append(m.regions, Region{Start: next, Count: cfg.DRAMFrames, Kind: DRAM})
@@ -200,10 +212,50 @@ func (m *Memory) frame(f Frame, write bool) *[FrameSize]byte {
 	if !write {
 		return nil
 	}
-	d := new([FrameSize]byte)
+	var d *[FrameSize]byte
+	if n := len(m.spare); n > 0 {
+		d = m.spare[n-1]
+		m.spare[n-1] = nil
+		m.spare = m.spare[:n-1]
+	} else {
+		d = new([FrameSize]byte)
+	}
 	m.data[f] = d
-	m.stats.Counter("materialized_frames").Inc()
+	m.cMaterialized.Inc()
 	return d
+}
+
+// dropFrame removes f's backing array, recycling it (zeroed) into the
+// spare pool.
+func (m *Memory) dropFrame(f Frame) {
+	d, ok := m.data[f]
+	if !ok {
+		return
+	}
+	delete(m.data, f)
+	if len(m.spare) < maxSpareFrames {
+		*d = [FrameSize]byte{}
+		m.spare = append(m.spare, d)
+	}
+}
+
+// dropRange removes the backing arrays of [start, start+count). The
+// host cost is O(min(count, materialized frames)): huge sparsely
+// materialized ranges — the terabyte-scale sweeps — are erased by
+// scanning the map rather than the range.
+func (m *Memory) dropRange(start Frame, count uint64) {
+	if count > uint64(len(m.data)) {
+		end := start + Frame(count)
+		for f := range m.data {
+			if f >= start && f < end {
+				m.dropFrame(f)
+			}
+		}
+		return
+	}
+	for i := uint64(0); i < count; i++ {
+		m.dropFrame(start + Frame(i))
+	}
 }
 
 // ReadAt copies len(buf) bytes starting at pa into buf. It panics if
@@ -292,9 +344,7 @@ func (m *Memory) ZeroFrames(start Frame, count uint64) {
 	if !m.Valid(start, count) {
 		panic(fmt.Sprintf("mem: ZeroFrames [%d,+%d) out of range", start, count))
 	}
-	for i := uint64(0); i < count; i++ {
-		delete(m.data, start+Frame(i))
-	}
+	m.dropRange(start, count)
 	m.clock.Advance(sim.Time(count) * m.params.ZeroPage)
 	m.stats.Counter("zeroed_frames").Add(count)
 }
@@ -307,9 +357,7 @@ func (m *Memory) EraseRangeEpoch(start Frame, count uint64) {
 	if !m.Valid(start, count) {
 		panic(fmt.Sprintf("mem: EraseRangeEpoch [%d,+%d) out of range", start, count))
 	}
-	for i := uint64(0); i < count; i++ {
-		delete(m.data, start+Frame(i))
-	}
+	m.dropRange(start, count)
 	m.clock.Advance(m.params.ZeroEpoch)
 	m.stats.Counter("epoch_erases").Inc()
 }
@@ -320,7 +368,7 @@ func (m *Memory) EraseRangeEpoch(start Frame, count uint64) {
 func (m *Memory) Crash() {
 	for f := range m.data {
 		if m.Kind(f) == DRAM {
-			delete(m.data, f)
+			m.dropFrame(f)
 		}
 	}
 	m.stats.Counter("crashes").Inc()
@@ -336,7 +384,7 @@ func (m *Memory) CopyFrames(dst, src Frame, count uint64) {
 	for i := uint64(0); i < count; i++ {
 		s := m.frame(src+Frame(i), false)
 		if s == nil {
-			delete(m.data, dst+Frame(i))
+			m.dropFrame(dst + Frame(i))
 			continue
 		}
 		d := m.frame(dst+Frame(i), true)

@@ -1,0 +1,50 @@
+package pagetable
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// The page walk is the hottest loop of the page-granular experiments;
+// it must not allocate host memory per simulated translation.
+func TestWalkAllocFree(t *testing.T) {
+	tbl, _, cpu := newTable(t, Levels4)
+	va := mem.VirtAddr(0x7f0000001000)
+	if err := tbl.Map(cpu, va, 1234, FlagRead|FlagWrite); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, _, ok := tbl.Walk(cpu, va); !ok {
+			t.Fatal("walk missed a mapped page")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Walk allocates %v objects per translation, want 0", allocs)
+	}
+}
+
+// Map/Unmap churn at a single address must run entirely off the
+// table's recycled-node pool after the first cycle.
+func TestMapUnmapChurnAllocFree(t *testing.T) {
+	tbl, _, cpu := newTable(t, Levels4)
+	va := mem.VirtAddr(0x7f0000001000)
+	// Prime the spare-node pool with one full cycle.
+	if err := tbl.Map(cpu, va, 1, FlagRead); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if _, _, err := tbl.Unmap(cpu, va); err != nil {
+		t.Fatalf("Unmap: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := tbl.Map(cpu, va, 1, FlagRead); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := tbl.Unmap(cpu, va); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("map/unmap churn allocates %v objects per cycle, want 0", allocs)
+	}
+}

@@ -137,8 +137,19 @@ type Table struct {
 
 	mapped uint64 // present leaf pages (4 KiB units, huge counted by span)
 
+	// spare recycles freed node structs, slab-style, so map/unmap churn
+	// does not allocate a ~20 KiB host object per page-table page. The
+	// simulated cost (PTNodeAlloc, the buddy frame) is unaffected.
+	spare []*node
+
 	stats *metrics.Set
+	// Cached counters for the per-access paths (a map lookup per PTE
+	// write or walk is measurable at this call frequency).
+	cPTEWrites, cNodeAllocs, cNodeFrees, cWalks *metrics.Counter
 }
+
+// maxSpareNodes bounds the per-table recycled-node pool.
+const maxSpareNodes = 512
 
 // New creates an empty table with the given number of levels (Levels4
 // or Levels5). The root node is allocated immediately, as in a real
@@ -153,6 +164,10 @@ func New(cpu *sim.CPU, params *sim.Params, bud *buddy.Allocator, levels int) (*T
 		levels: levels,
 		stats:  metrics.NewSet(),
 	}
+	t.cPTEWrites = t.stats.Counter("pte_writes")
+	t.cNodeAllocs = t.stats.Counter("node_allocs")
+	t.cNodeFrees = t.stats.Counter("node_frees")
+	t.cWalks = t.stats.Counter("walks")
 	root, err := t.newNode(cpu, levels)
 	if err != nil {
 		return nil, err
@@ -211,7 +226,16 @@ func (t *Table) newNode(cpu *sim.CPU, level int) (*node, error) {
 		return nil, fmt.Errorf("pagetable: node allocation: %w", err)
 	}
 	cpu.Advance(t.params.PTNodeAlloc)
-	t.stats.Counter("node_allocs").Inc()
+	t.cNodeAllocs.Inc()
+	if n := len(t.spare); n > 0 {
+		nd := t.spare[n-1]
+		t.spare[n-1] = nil
+		t.spare = t.spare[:n-1]
+		nd.level = level
+		nd.frame = f
+		nd.refs = 1
+		return nd, nil
+	}
 	return &node{level: level, frame: f, refs: 1}, nil
 }
 
@@ -221,7 +245,7 @@ func (t *Table) newNode(cpu *sim.CPU, level int) (*node, error) {
 // by whichever table releases them last.
 func (t *Table) freeNode(n *node) error {
 	n.refs--
-	t.stats.Counter("node_frees").Inc()
+	t.cNodeFrees.Inc()
 	if n.refs > 0 {
 		return nil // another table still references it
 	}
@@ -235,7 +259,14 @@ func (t *Table) freeNode(n *node) error {
 			}
 		}
 	}
-	return t.bud.Free(n.frame)
+	if err := t.bud.Free(n.frame); err != nil {
+		return err
+	}
+	if len(t.spare) < maxSpareNodes {
+		*n = node{}
+		t.spare = append(t.spare, n)
+	}
+	return nil
 }
 
 func (t *Table) checkVA(va mem.VirtAddr) error {
@@ -319,7 +350,7 @@ func (t *Table) mapEntry(cpu *sim.CPU, va mem.VirtAddr, frame mem.Frame, flags F
 
 func (t *Table) chargePTE(cpu *sim.CPU) {
 	cpu.Advance(t.params.PTEWrite)
-	t.stats.Counter("pte_writes").Inc()
+	t.cPTEWrites.Inc()
 }
 
 // MapRange maps count contiguous pages starting at va to contiguous
@@ -339,7 +370,7 @@ func (t *Table) MapRange(cpu *sim.CPU, va mem.VirtAddr, frame mem.Frame, count u
 // address, the mapping's flags, and the number of levels referenced.
 // ok is false if no translation exists.
 func (t *Table) Walk(cpu *sim.CPU, va mem.VirtAddr) (pa mem.PhysAddr, flags Flags, levels int, ok bool) {
-	t.stats.Counter("walks").Inc()
+	t.cWalks.Inc()
 	n := t.root
 	for {
 		levels++

@@ -49,11 +49,17 @@ type Table struct {
 
 	entries []Entry
 	stats   *metrics.Set
+	// Cached counters for the per-operation paths.
+	cInserts, cRemoves, cWalks *metrics.Counter
 }
 
 // New creates an empty range table.
 func New(clock *sim.Clock, params *sim.Params) *Table {
-	return &Table{clock: clock, params: params, stats: metrics.NewSet()}
+	t := &Table{clock: clock, params: params, stats: metrics.NewSet()}
+	t.cInserts = t.stats.Counter("inserts")
+	t.cRemoves = t.stats.Counter("removes")
+	t.cWalks = t.stats.Counter("walks")
+	return t
 }
 
 // Stats exposes counters: "inserts", "removes", "walks".
@@ -87,7 +93,7 @@ func (t *Table) Insert(e Entry) error {
 		return fmt.Errorf("rangetable: base %#x not page aligned", uint64(e.VBase))
 	}
 	t.clock.Advance(t.params.RangeTableOp)
-	t.stats.Counter("inserts").Inc()
+	t.cInserts.Inc()
 	i := t.search(e.VBase)
 	// Check the neighbours for overlap.
 	if i > 0 && t.entries[i-1].VEnd() > e.VBase {
@@ -108,7 +114,7 @@ func (t *Table) Insert(e Entry) error {
 // Like Insert, the charged cost is one table operation.
 func (t *Table) Remove(vbase mem.VirtAddr) (Entry, error) {
 	t.clock.Advance(t.params.RangeTableOp)
-	t.stats.Counter("removes").Inc()
+	t.cRemoves.Inc()
 	i := t.search(vbase)
 	if i == 0 || t.entries[i-1].VBase != vbase {
 		return Entry{}, fmt.Errorf("rangetable: no range starts at %#x", uint64(vbase))
@@ -122,7 +128,7 @@ func (t *Table) Remove(vbase mem.VirtAddr) (Entry, error) {
 // operation. It is the miss path of the range TLB.
 func (t *Table) Lookup(va mem.VirtAddr) (Entry, bool) {
 	t.clock.Advance(t.params.RangeTableOp)
-	t.stats.Counter("walks").Inc()
+	t.cWalks.Inc()
 	i := t.search(va)
 	if i == 0 {
 		return Entry{}, false
@@ -180,6 +186,8 @@ type RTLB struct {
 	stamp    uint64
 
 	stats *metrics.Set
+	// Cached counters for the per-access probe path.
+	cHits, cMisses, cEvictions *metrics.Counter
 }
 
 type rtlbEntry struct {
@@ -197,7 +205,11 @@ func NewRTLB(cpu *sim.CPU, params *sim.Params, capacity int) *RTLB {
 	if capacity <= 0 {
 		capacity = DefaultRTLBEntries
 	}
-	return &RTLB{cpu: cpu, params: params, capacity: capacity, stats: metrics.NewSet()}
+	r := &RTLB{cpu: cpu, params: params, capacity: capacity, stats: metrics.NewSet()}
+	r.cHits = r.stats.Counter("hits")
+	r.cMisses = r.stats.Counter("misses")
+	r.cEvictions = r.stats.Counter("evictions")
+	return r
 }
 
 // Stats exposes counters: "hits", "misses", "evictions".
@@ -214,12 +226,12 @@ func (r *RTLB) Lookup(asid int, va mem.VirtAddr) (Entry, bool) {
 			r.stamp++
 			r.entries[i].lru = r.stamp
 			r.cpu.Advance(r.params.RangeTLBHit)
-			r.stats.Counter("hits").Inc()
+			r.cHits.Inc()
 			return r.entries[i].e, true
 		}
 	}
 	r.cpu.Advance(r.params.RangeTLBHit) // probe cost, hit or miss
-	r.stats.Counter("misses").Inc()
+	r.cMisses.Inc()
 	return Entry{}, false
 }
 
@@ -248,7 +260,7 @@ func (r *RTLB) Insert(asid int, e Entry) {
 		}
 	}
 	r.entries[victim] = rtlbEntry{asid: asid, e: e, lru: r.stamp}
-	r.stats.Counter("evictions").Inc()
+	r.cEvictions.Inc()
 }
 
 // Invalidate drops any cached entry of the address space whose range

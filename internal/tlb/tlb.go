@@ -227,6 +227,9 @@ type TLB struct {
 	l2     *array // unified; vpn keyed at the entry's native size, tagged by size in flags bits — we key by (vpn, size) folded
 
 	stats *metrics.Set
+	// Cached counters: Lookup runs once per simulated memory access, so
+	// the per-call map lookup in Set.Counter is worth avoiding.
+	cL1Hits, cL2Hits, cMisses, cEvictions, cFlushes *metrics.Counter
 }
 
 // New creates the TLB of one CPU with the given geometry. Lookup and
@@ -234,7 +237,7 @@ type TLB struct {
 // which CPU initiated the operation (shootdown handlers run on the
 // target).
 func New(cpu *sim.CPU, params *sim.Params, cfg Config) *TLB {
-	return &TLB{
+	t := &TLB{
 		cpu:    cpu,
 		params: params,
 		l14k:   newArray(cfg.L1Sets4K, cfg.L1Ways4K),
@@ -242,6 +245,12 @@ func New(cpu *sim.CPU, params *sim.Params, cfg Config) *TLB {
 		l2:     newArray(cfg.L2Sets, cfg.L2Ways),
 		stats:  metrics.NewSet(),
 	}
+	t.cL1Hits = t.stats.Counter("l1_hits")
+	t.cL2Hits = t.stats.Counter("l2_hits")
+	t.cMisses = t.stats.Counter("misses")
+	t.cEvictions = t.stats.Counter("evictions")
+	t.cFlushes = t.stats.Counter("flushes")
+	return t
 }
 
 // Stats exposes counters: "l1_hits", "l2_hits", "misses",
@@ -262,32 +271,35 @@ func l2key(vpn uint64, size PageSize) uint64 {
 // caller must walk the page table and Insert the result.
 func (t *TLB) Lookup(asid int, va mem.VirtAddr) (Translation, bool) {
 	// L1 probes happen in parallel in hardware; charge a single hit.
-	for _, probe := range []struct {
-		arr  *array
-		size PageSize
-	}{
-		{t.l14k, Size4K},
-		{t.l1huge, Size2M},
-		{t.l1huge, Size1G},
-	} {
-		if e, ok := probe.arr.lookup(asid, vpnFor(va, probe.size)); ok && e.tr.Size == probe.size {
-			t.cpu.Advance(t.params.TLBHit)
-			t.stats.Counter("l1_hits").Inc()
-			return e.tr, true
-		}
+	// The probes are written out (not ranged over a probe table) so the
+	// per-access path allocates nothing and stays branch-predictable.
+	if e, ok := t.l14k.lookup(asid, vpnFor(va, Size4K)); ok && e.tr.Size == Size4K {
+		t.cpu.Advance(t.params.TLBHit)
+		t.cL1Hits.Inc()
+		return e.tr, true
 	}
-	// L2 probe.
-	for _, size := range []PageSize{Size4K, Size2M, Size1G} {
+	if e, ok := t.l1huge.lookup(asid, vpnFor(va, Size2M)); ok && e.tr.Size == Size2M {
+		t.cpu.Advance(t.params.TLBHit)
+		t.cL1Hits.Inc()
+		return e.tr, true
+	}
+	if e, ok := t.l1huge.lookup(asid, vpnFor(va, Size1G)); ok && e.tr.Size == Size1G {
+		t.cpu.Advance(t.params.TLBHit)
+		t.cL1Hits.Inc()
+		return e.tr, true
+	}
+	// L2 probe, smallest page size first, as in the L1 pass.
+	for size := Size4K; size <= Size1G; size++ {
 		if e, ok := t.l2.lookup(asid, l2key(vpnFor(va, size), size)); ok {
 			t.cpu.Advance(t.params.TLBHit + t.params.TLBMiss)
-			t.stats.Counter("l2_hits").Inc()
+			t.cL2Hits.Inc()
 			// Promote to L1.
 			t.insertL1(asid, va, e.tr)
 			return e.tr, true
 		}
 	}
 	t.cpu.Advance(t.params.TLBMiss)
-	t.stats.Counter("misses").Inc()
+	t.cMisses.Inc()
 	return Translation{}, false
 }
 
@@ -295,19 +307,16 @@ func (t *TLB) Lookup(asid int, va mem.VirtAddr) (Translation, bool) {
 // charging cost or touching LRU state. Tests use it to assert
 // post-shootdown staleness invariants.
 func (t *TLB) Peek(asid int, va mem.VirtAddr) (Translation, bool) {
-	for _, probe := range []struct {
-		arr  *array
-		size PageSize
-	}{
-		{t.l14k, Size4K},
-		{t.l1huge, Size2M},
-		{t.l1huge, Size1G},
-	} {
-		if e, ok := probe.arr.peek(asid, vpnFor(va, probe.size)); ok && e.tr.Size == probe.size {
-			return e.tr, true
-		}
+	if e, ok := t.l14k.peek(asid, vpnFor(va, Size4K)); ok && e.tr.Size == Size4K {
+		return e.tr, true
 	}
-	for _, size := range []PageSize{Size4K, Size2M, Size1G} {
+	if e, ok := t.l1huge.peek(asid, vpnFor(va, Size2M)); ok && e.tr.Size == Size2M {
+		return e.tr, true
+	}
+	if e, ok := t.l1huge.peek(asid, vpnFor(va, Size1G)); ok && e.tr.Size == Size1G {
+		return e.tr, true
+	}
+	for size := Size4K; size <= Size1G; size++ {
 		if e, ok := t.l2.peek(asid, l2key(vpnFor(va, size), size)); ok {
 			return e.tr, true
 		}
@@ -321,7 +330,7 @@ func (t *TLB) insertL1(asid int, va mem.VirtAddr, tr Translation) {
 		arr = t.l1huge
 	}
 	if _, evict := arr.insert(asid, vpnFor(va, tr.Size), tr); evict {
-		t.stats.Counter("evictions").Inc()
+		t.cEvictions.Inc()
 	}
 }
 
@@ -330,7 +339,7 @@ func (t *TLB) insertL1(asid int, va mem.VirtAddr, tr Translation) {
 func (t *TLB) Insert(asid int, va mem.VirtAddr, tr Translation) {
 	t.insertL1(asid, va, tr)
 	if _, evict := t.l2.insert(asid, l2key(vpnFor(va, tr.Size), tr.Size), tr); evict {
-		t.stats.Counter("evictions").Inc()
+		t.cEvictions.Inc()
 	}
 }
 
@@ -341,7 +350,7 @@ func (t *TLB) InvalidateVA(asid int, va mem.VirtAddr) {
 	t.l14k.invalidate(asid, vpnFor(va, Size4K))
 	t.l1huge.invalidate(asid, vpnFor(va, Size2M))
 	t.l1huge.invalidate(asid, vpnFor(va, Size1G))
-	for _, size := range []PageSize{Size4K, Size2M, Size1G} {
+	for size := Size4K; size <= Size1G; size++ {
 		t.l2.invalidate(asid, l2key(vpnFor(va, size), size))
 	}
 	t.cpu.Advance(t.params.TLBFlushEntry)
@@ -355,7 +364,7 @@ func (t *TLB) FlushAll() {
 	t.l1huge.flush()
 	t.l2.flush()
 	t.cpu.Advance(t.params.TLBFullFlush)
-	t.stats.Counter("flushes").Inc()
+	t.cFlushes.Inc()
 }
 
 // ValidEntries returns the number of valid entries across both levels

@@ -73,7 +73,13 @@ type AddressSpace struct {
 	// swapped records pages that have been swapped out: va -> slot.
 	swapped map[mem.VirtAddr]int
 
+	// shootScratch is the reusable target list for shootdown IPIs, so
+	// per-page unmap loops do not allocate a slice per page.
+	shootScratch []*sim.CPU
+
 	stats *metrics.Set
+	// Cached counters for the per-access and per-page paths.
+	cTouches, cPopulated *metrics.Counter
 }
 
 // NewAddressSpace creates an empty address space with its own page
@@ -101,6 +107,8 @@ func (k *Kernel) NewAddressSpaceOn(cpu *sim.CPU) (*AddressSpace, error) {
 		swapped: make(map[mem.VirtAddr]int),
 		stats:   metrics.NewSet(),
 	}
+	a.cTouches = a.stats.Counter("touches")
+	a.cPopulated = a.stats.Counter("populated_pages")
 	a.cpuMask[cpu.ID()] = true
 	return a, nil
 }
@@ -144,13 +152,16 @@ func (a *AddressSpace) shootdownVA(va mem.VirtAddr) {
 }
 
 // remoteCPUs returns the CPUs in the shootdown mask other than from.
+// The returned slice is a.shootScratch: valid until the next call,
+// which is fine because Machine.IPI only iterates it.
 func (a *AddressSpace) remoteCPUs(from *sim.CPU) []*sim.CPU {
-	var out []*sim.CPU
+	out := a.shootScratch[:0]
 	for i, in := range a.cpuMask {
 		if in && i != from.ID() {
 			out = append(out, a.kernel.Machine.CPU(i))
 		}
 	}
+	a.shootScratch = out
 	return out
 }
 
@@ -431,7 +442,7 @@ func (a *AddressSpace) populateVMA(v *VMA) error {
 		if err := a.installPage(v, va, false); err != nil {
 			return err
 		}
-		a.stats.Counter("populated_pages").Inc()
+		a.cPopulated.Inc()
 	}
 	return nil
 }
@@ -455,7 +466,7 @@ func (a *AddressSpace) populateHuge(v *VMA) error {
 		}
 		pi := k.trackPage(run, PGAnon|PGCompound)
 		k.addRmap(pi, a, va)
-		a.stats.Counter("populated_pages").Add(mem.HugeFrames2M)
+		a.cPopulated.Add(mem.HugeFrames2M)
 	}
 	return nil
 }
@@ -564,13 +575,14 @@ func (a *AddressSpace) zapRange(v *VMA, start mem.VirtAddr, pages uint64) error 
 				return err
 			}
 			if !pi.Mapped() {
+				flags := pi.Flags
 				k.forgetPage(pi)
 				switch {
-				case pi.Flags&PGCompound != 0:
+				case flags&PGCompound != 0:
 					if err := k.pool.Free(frame); err != nil {
 						return err
 					}
-				case pi.Flags&PGAnon != 0:
+				case flags&PGAnon != 0:
 					if err := k.freeAnonFrame(frame); err != nil {
 						return err
 					}

@@ -1,0 +1,63 @@
+package vm
+
+import (
+	"testing"
+)
+
+// Touch with a warm TLB is the innermost loop of every "access one
+// byte of each page" experiment; the whole path — TLB probe, data
+// reference charge, referenced-bit update — must not allocate host
+// memory.
+func TestTouchTLBHitAllocFree(t *testing.T) {
+	m := newMachine(t, 4096)
+	as, err := m.kernel.NewAddressSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := as.Mmap(MmapRequest{Pages: 1, Prot: rw, Anon: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the TLB so the measured iterations all hit.
+	if err := as.Touch(va, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, write := range []bool{false, true} {
+		allocs := testing.AllocsPerRun(1000, func() {
+			if err := as.Touch(va, write); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("Touch(write=%v) on TLB hit allocates %v objects per access, want 0", write, allocs)
+		}
+	}
+}
+
+// The TLB-miss/page-walk path (flush between accesses) may touch the
+// TLB's insert machinery but must also stay allocation-free once the
+// page is mapped.
+func TestTouchWalkAllocFree(t *testing.T) {
+	m := newMachine(t, 4096)
+	as, err := m.kernel.NewAddressSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := as.Mmap(MmapRequest{Pages: 1, Prot: rw, Anon: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Touch(va, false); err != nil {
+		t.Fatal(err)
+	}
+	tlb := m.kernel.TLBFor(m.kernel.Machine.Current())
+	allocs := testing.AllocsPerRun(1000, func() {
+		tlb.FlushAll()
+		if err := as.Touch(va, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Touch via page walk allocates %v objects per access, want 0", allocs)
+	}
+}

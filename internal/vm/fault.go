@@ -40,7 +40,7 @@ func (a *AddressSpace) translate(va mem.VirtAddr, write bool) (mem.PhysAddr, err
 	k := a.kernel
 	a.run()
 	cur := k.Machine.Current()
-	a.stats.Counter("touches").Inc()
+	a.cTouches.Inc()
 
 	// 1. TLB.
 	if tr, hit := a.curTLB().Lookup(a.asid, va); hit {
@@ -213,7 +213,7 @@ func (a *AddressSpace) installPage(v *VMA, va mem.VirtAddr, fault bool) error {
 		k.lruInsert(pi)
 	}
 	if fault {
-		k.stats.Counter("minor_faults").Inc()
+		k.cMinorFaults.Inc()
 	}
 	return nil
 }

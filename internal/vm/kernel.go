@@ -49,6 +49,15 @@ type Kernel struct {
 	// pages holds the struct-page analogue for tracked frames.
 	pages map[mem.Frame]*PageInfo
 
+	// sparePages recycles PageInfo records, slab-style: fault-heavy
+	// experiments track and forget millions of frames, and a fresh host
+	// allocation per fault (record plus rmap array) dominated the
+	// profile. Recycled records keep their rmap capacity.
+	sparePages []*PageInfo
+
+	// rmapScratch is evictPage's reusable reverse-map snapshot buffer.
+	rmapScratch []rmapEntry
+
 	// Two-list reclaim state.
 	active   *pageList
 	inactive *pageList
@@ -64,6 +73,8 @@ type Kernel struct {
 	nextASID int
 
 	stats *metrics.Set
+	// Cached counters for the fault and reclaim hot paths.
+	cMinorFaults, cAnonAllocs, cReclaimScans *metrics.Counter
 }
 
 // Config configures the kernel.
@@ -121,6 +132,9 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 		lowWater: low,
 		stats:    metrics.NewSet(),
 	}
+	k.cMinorFaults = k.stats.Counter("minor_faults")
+	k.cAnonAllocs = k.stats.Counter("anon_allocs")
+	k.cReclaimScans = k.stats.Counter("reclaim_scans")
 	for _, cpu := range machine.CPUs() {
 		k.tlbs = append(k.tlbs, tlb.New(cpu, params, tlb.DefaultConfig()))
 	}
@@ -172,7 +186,7 @@ func (k *Kernel) allocAnonFrame() (mem.Frame, error) {
 		}
 	}
 	k.Memory.ZeroFrames(f, 1)
-	k.stats.Counter("anon_allocs").Inc()
+	k.cAnonAllocs.Inc()
 	return f, nil
 }
 

@@ -66,24 +66,41 @@ type rmapEntry struct {
 // Mapped reports whether any PTE references the frame.
 func (p *PageInfo) Mapped() bool { return p.MapCount > 0 }
 
+// maxSparePages bounds the kernel's recycled PageInfo pool.
+const maxSparePages = 65536
+
 // trackPage creates (or returns) metadata for a frame.
 func (k *Kernel) trackPage(f mem.Frame, flags PageFlags) *PageInfo {
 	if p, ok := k.pages[f]; ok {
 		return p
 	}
-	p := &PageInfo{Frame: f, Flags: flags}
+	var p *PageInfo
+	if n := len(k.sparePages); n > 0 {
+		p = k.sparePages[n-1]
+		k.sparePages[n-1] = nil
+		k.sparePages = k.sparePages[:n-1]
+		p.Frame = f
+		p.Flags = flags
+	} else {
+		p = &PageInfo{Frame: f, Flags: flags}
+	}
 	k.pages[f] = p
 	k.chargeMeta(1)
 	return p
 }
 
-// forgetPage drops a frame's metadata.
+// forgetPage drops a frame's metadata and recycles the record.
 func (k *Kernel) forgetPage(p *PageInfo) {
 	if p.list != nil {
 		p.list.remove(p)
 	}
 	delete(k.pages, p.Frame)
 	k.chargeMeta(1)
+	if len(k.sparePages) < maxSparePages {
+		rmap := p.rmap[:0]
+		*p = PageInfo{rmap: rmap}
+		k.sparePages = append(k.sparePages, p)
+	}
 }
 
 // page returns metadata for a tracked frame.

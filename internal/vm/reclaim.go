@@ -60,7 +60,7 @@ func (k *Kernel) ReclaimPages(want uint64) (uint64, error) {
 	budget := (k.active.len() + k.inactive.len()) * 3
 	for freed < want && budget > 0 {
 		budget--
-		k.stats.Counter("reclaim_scans").Inc()
+		k.cReclaimScans.Inc()
 		k.chargeMeta(1)
 		p := k.inactive.popFront()
 		if p == nil {
@@ -102,8 +102,12 @@ func (k *Kernel) ReclaimPages(want uint64) (uint64, error) {
 // evictPage unmaps a page everywhere and frees its frame, swapping out
 // anonymous contents first.
 func (k *Kernel) evictPage(p *PageInfo) (uint64, error) {
-	// Unmap from every address space via the reverse map.
-	rmap := append([]rmapEntry(nil), p.rmap...)
+	// Unmap from every address space via the reverse map. The snapshot
+	// lives in a kernel scratch buffer (delRmap below mutates p.rmap,
+	// and evictPage never nests).
+	rmap := append(k.rmapScratch[:0], p.rmap...)
+	k.rmapScratch = rmap[:0]
+	frame := p.Frame
 	anon := p.Flags&PGAnon != 0
 	if anon && len(rmap) > 1 {
 		// COW-shared anonymous page: swap-slot sharing is not worth
@@ -115,7 +119,7 @@ func (k *Kernel) evictPage(p *PageInfo) (uint64, error) {
 	var slot int
 	if anon {
 		data := make([]byte, mem.FrameSize)
-		k.Memory.ReadAt(p.Frame.Addr(), data)
+		k.Memory.ReadAt(frame.Addr(), data)
 		var err error
 		slot, err = k.swap.write(data)
 		if err != nil {
@@ -145,7 +149,7 @@ func (k *Kernel) evictPage(p *PageInfo) (uint64, error) {
 	}
 	k.forgetPage(p)
 	if anon {
-		if err := k.freeAnonFrame(p.Frame); err != nil {
+		if err := k.freeAnonFrame(frame); err != nil {
 			return 0, err
 		}
 		return 1, nil
