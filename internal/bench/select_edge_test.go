@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelectEdgeCases pins the table of spec-parsing corners: empty
+// and whitespace specs mean "all", trailing (and doubled) commas are
+// tolerated, duplicates collapse, and unknown IDs name themselves in
+// the error.
+func TestSelectEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		spec    string
+		wantIDs []string
+		wantAll bool
+		wantErr string
+	}{
+		{name: "empty means all", spec: "", wantAll: true},
+		{name: "whitespace means all", spec: "   ", wantAll: true},
+		{name: "lone comma selects nothing", spec: ",", wantIDs: []string{}},
+		{name: "trailing comma tolerated", spec: "fig6a,fig9,", wantIDs: []string{"fig6a", "fig9"}},
+		{name: "doubled comma tolerated", spec: "fig6a,,fig9", wantIDs: []string{"fig6a", "fig9"}},
+		{name: "spaces around IDs", spec: " fig9 , fig6a ", wantIDs: []string{"fig9", "fig6a"}},
+		{name: "duplicates collapse in first position", spec: "fig9,fig6a,fig9", wantIDs: []string{"fig9", "fig6a"}},
+		{name: "unknown ID named in error", spec: "fig6a,nosuch", wantErr: `unknown experiment "nosuch"`},
+		{name: "all plus ID is unknown", spec: "all,fig6a", wantErr: `unknown experiment "all"`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Select(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("Select(%q) succeeded, want error containing %q", tc.spec, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("Select(%q) error = %q, want it to contain %q", tc.spec, err.Error(), tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Select(%q): %v", tc.spec, err)
+			}
+			if tc.wantAll {
+				if len(got) != len(All()) {
+					t.Fatalf("Select(%q) = %v, want the full suite", tc.spec, ids(got))
+				}
+				return
+			}
+			gotIDs := ids(got)
+			if len(gotIDs) != len(tc.wantIDs) {
+				t.Fatalf("Select(%q) = %v, want %v", tc.spec, gotIDs, tc.wantIDs)
+			}
+			for i := range gotIDs {
+				if gotIDs[i] != tc.wantIDs[i] {
+					t.Fatalf("Select(%q) = %v, want %v", tc.spec, gotIDs, tc.wantIDs)
+				}
+			}
+		})
+	}
+}
+
+// TestRunSuiteOneWorkerEqualsSerial: RunSuite with one worker must be
+// indistinguishable — same results, same order, allocations measured —
+// from calling each experiment's Run directly.
+func TestRunSuiteOneWorkerEqualsSerial(t *testing.T) {
+	exps, err := Select("zero,walkdepth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := RunSuite(exps, 1)
+	if len(reports) != len(exps) {
+		t.Fatalf("RunSuite returned %d reports for %d experiments", len(reports), len(exps))
+	}
+	for i, e := range exps {
+		rep := reports[i]
+		if rep.ID != e.ID {
+			t.Fatalf("report %d is %q, want input order %q", i, rep.ID, e.ID)
+		}
+		if rep.Err != nil {
+			t.Fatalf("%s: %v", rep.ID, rep.Err)
+		}
+		if !rep.AllocsValid {
+			t.Errorf("%s: single-worker suite did not measure allocations", rep.ID)
+		}
+		direct, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s direct run: %v", e.ID, err)
+		}
+		if got, want := rep.Result.String(), direct.String(); got != want {
+			t.Errorf("%s: suite result diverges from direct serial run:\nsuite:  %s\ndirect: %s", e.ID, got, want)
+		}
+	}
+}

@@ -398,6 +398,27 @@ func (a *Allocator) FreeBlocksByOrder() [MaxOrder + 1]int {
 	return out
 }
 
+// VisitFree calls fn for every free block (start frame, frame count)
+// threaded on the free lists, in order-then-list order. It charges no
+// simulated cost; invariant checkers use it to assert free lists are
+// disjoint from mapped frames.
+func (a *Allocator) VisitFree(fn func(start mem.Frame, count uint64)) {
+	for o := 0; o <= MaxOrder; o++ {
+		for f := a.heads[o]; f != noFrame; f = a.nodes[f].next {
+			fn(f, uint64(1)<<o)
+		}
+	}
+}
+
+// VisitAllocated calls fn for every allocated block (start frame, frame
+// count). Iteration order is unspecified (map order); callers that need
+// determinism must collect and sort. No simulated cost is charged.
+func (a *Allocator) VisitAllocated(fn func(start mem.Frame, count uint64)) {
+	for f, o := range a.allocated {
+		fn(f, uint64(1)<<o)
+	}
+}
+
 // CheckInvariants validates internal consistency: free and allocated
 // accounting must exactly tile the managed range with no overlap. It is
 // exercised by tests and failure-injection harnesses.

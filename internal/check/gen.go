@@ -1,0 +1,268 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Generator capacity caps. They exist so no configuration can run out
+// of physical memory on a valid trace: SharedPT pads every object to
+// 512-page chunks, so the binding constraint is
+// maxLiveMappings × 512 pages = 20480 frames ≪ nvmFrames.
+// Object and process IDs are never reused (see Op), so the caps bound
+// live state, not trace length.
+const (
+	maxObjPages     = 32 // object size in pages
+	maxFilePages    = 64 // named-file size in pages
+	maxProcs        = 6
+	maxLiveObjects  = 24
+	maxLiveMappings = 40 // private mappings + shared objects, totalled
+	maxFiles        = 16
+)
+
+// genObj is the generator's view of a live object.
+type genObj struct {
+	id     int
+	pages  uint64
+	shared bool
+	procs  []int // processes mapping it, ascending
+}
+
+// genState tracks live entities while generating, mirroring the model
+// just enough to emit only-valid operations.
+type genState struct {
+	rng   *sim.RNG
+	cpus  int
+	procs []int
+	objs  []*genObj
+	files []string
+
+	nextObj, nextProc, nextFile int
+	mappings                    int // capacity cost: private mappings + shared objects
+}
+
+// generate produces a deterministic trace of n valid operations for
+// the seed.
+func generate(seed uint64, n, cpus int) []Op {
+	g := &genState{
+		rng:      sim.NewRNG(seed),
+		cpus:     cpus,
+		procs:    []int{0},
+		nextProc: 1,
+	}
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		if op, ok := g.next(); ok {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// next attempts to generate one operation; a false return means the
+// picked kind was not currently possible (the caller just retries —
+// OpReclaim is always possible, so generation always terminates).
+func (g *genState) next() (Op, bool) {
+	switch g.pickKind() {
+	case OpMap:
+		if len(g.objs) >= maxLiveObjects || g.mappings >= maxLiveMappings {
+			return Op{}, false
+		}
+		o := &genObj{
+			id:     g.nextObj,
+			pages:  1 + uint64(g.rng.Intn(maxObjPages)),
+			shared: g.rng.Intn(3) == 0,
+			procs:  []int{g.pickProc()},
+		}
+		g.nextObj++
+		g.objs = append(g.objs, o)
+		g.mappings++
+		return Op{Kind: OpMap, Proc: o.procs[0], Obj: o.id, Pages: o.pages, Shared: o.shared}, true
+
+	case OpUnmap:
+		o, ok := g.pickObj(nil)
+		if !ok {
+			return Op{}, false
+		}
+		proc := o.procs[g.rng.Intn(len(o.procs))]
+		g.dropMapping(o, proc)
+		return Op{Kind: OpUnmap, Proc: proc, Obj: o.id}, true
+
+	case OpWrite:
+		o, ok := g.pickObj(nil)
+		if !ok {
+			return Op{}, false
+		}
+		return Op{
+			Kind: OpWrite,
+			Proc: o.procs[g.rng.Intn(len(o.procs))],
+			Obj:  o.id,
+			Page: uint64(g.rng.Intn(int(o.pages))),
+			Val:  1 + byte(g.rng.Intn(255)),
+		}, true
+
+	case OpRead:
+		o, ok := g.pickObj(nil)
+		if !ok {
+			return Op{}, false
+		}
+		return Op{
+			Kind: OpRead,
+			Proc: o.procs[g.rng.Intn(len(o.procs))],
+			Obj:  o.id,
+			Page: uint64(g.rng.Intn(int(o.pages))),
+		}, true
+
+	case OpFork:
+		if len(g.procs) >= maxProcs {
+			return Op{}, false
+		}
+		parent := g.pickProc()
+		cost := 0
+		for _, o := range g.objs {
+			if !o.shared && contains(o.procs, parent) {
+				cost++
+			}
+		}
+		if g.mappings+cost > maxLiveMappings {
+			return Op{}, false
+		}
+		child := g.nextProc
+		g.nextProc++
+		g.procs = append(g.procs, child)
+		g.mappings += cost
+		for _, o := range g.objs {
+			if contains(o.procs, parent) {
+				o.procs = append(o.procs, child)
+			}
+		}
+		return Op{Kind: OpFork, Proc: parent, Child: child}, true
+
+	case OpShare:
+		proc := g.pickProc()
+		o, ok := g.pickObj(func(o *genObj) bool {
+			return o.shared && !contains(o.procs, proc)
+		})
+		if !ok {
+			return Op{}, false
+		}
+		o.procs = append(o.procs, proc)
+		return Op{Kind: OpShare, Proc: proc, Obj: o.id}, true
+
+	case OpReclaim:
+		return Op{Kind: OpReclaim}, true
+
+	case OpMigrate:
+		return Op{Kind: OpMigrate, Proc: g.pickProc(), CPU: g.rng.Intn(g.cpus)}, true
+
+	case OpFSCreate:
+		if len(g.files) >= maxFiles {
+			return Op{}, false
+		}
+		path := fmt.Sprintf("f%d", g.nextFile)
+		g.nextFile++
+		g.files = append(g.files, path)
+		return Op{Kind: OpFSCreate, Proc: g.pickProc(), Path: path}, true
+
+	case OpFSWrite:
+		if len(g.files) == 0 {
+			return Op{}, false
+		}
+		return Op{
+			Kind: OpFSWrite,
+			Proc: g.pickProc(),
+			Path: g.files[g.rng.Intn(len(g.files))],
+			Page: uint64(g.rng.Intn(maxFilePages)),
+			Val:  1 + byte(g.rng.Intn(255)),
+		}, true
+
+	case OpFSDelete:
+		if len(g.files) == 0 {
+			return Op{}, false
+		}
+		i := g.rng.Intn(len(g.files))
+		path := g.files[i]
+		g.files = append(g.files[:i], g.files[i+1:]...)
+		return Op{Kind: OpFSDelete, Proc: g.pickProc(), Path: path}, true
+	}
+	return Op{}, false
+}
+
+// pickKind draws an operation kind from a fixed weight table biased
+// toward data accesses.
+func (g *genState) pickKind() OpKind {
+	type weighted struct {
+		kind   OpKind
+		weight int
+	}
+	table := [...]weighted{
+		{OpWrite, 26}, {OpRead, 20}, {OpMap, 12}, {OpUnmap, 8},
+		{OpShare, 6}, {OpMigrate, 6}, {OpFork, 4}, {OpReclaim, 3},
+		{OpFSCreate, 4}, {OpFSWrite, 8}, {OpFSDelete, 3},
+	}
+	total := 0
+	for _, w := range table {
+		total += w.weight
+	}
+	n := g.rng.Intn(total)
+	for _, w := range table {
+		if n < w.weight {
+			return w.kind
+		}
+		n -= w.weight
+	}
+	return OpReclaim
+}
+
+func (g *genState) pickProc() int {
+	return g.procs[g.rng.Intn(len(g.procs))]
+}
+
+// pickObj draws a live object satisfying the filter (nil = any).
+func (g *genState) pickObj(filter func(*genObj) bool) (*genObj, bool) {
+	var cands []*genObj
+	for _, o := range g.objs {
+		if filter == nil || filter(o) {
+			cands = append(cands, o)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, false
+	}
+	return cands[g.rng.Intn(len(cands))], true
+}
+
+// dropMapping removes proc's mapping of o, deleting o when unmapped
+// everywhere, and releases the capacity it charged.
+func (g *genState) dropMapping(o *genObj, proc int) {
+	for i, p := range o.procs {
+		if p == proc {
+			o.procs = append(o.procs[:i], o.procs[i+1:]...)
+			break
+		}
+	}
+	if !o.shared {
+		g.mappings--
+	}
+	if len(o.procs) == 0 {
+		if o.shared {
+			g.mappings--
+		}
+		for i, c := range g.objs {
+			if c == o {
+				g.objs = append(g.objs[:i], g.objs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,259 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AllConfigs lists every configuration the harness can drive, in the
+// order runs report them.
+var AllConfigs = []string{"baseline", "fom", "pbm", "ranges"}
+
+// Options configure one stress run.
+type Options struct {
+	// Seed determines the trace completely.
+	Seed uint64
+	// Ops is the trace length (default 1000).
+	Ops int
+	// CPUs sizes each world's machine (default 2).
+	CPUs int
+	// Configs selects the worlds to run differentially (default all).
+	Configs []string
+	// CheckEvery runs every world's invariant sweep after each
+	// CheckEvery operations; 0 checks only at the end.
+	CheckEvery int
+	// Shrink reduces a failing trace to a minimal reproducer.
+	Shrink bool
+	// ShrinkBudget caps the number of shrink replays (default 400).
+	ShrinkBudget int
+	// Corrupt deliberately corrupts baseline rmap state after the last
+	// operation, via vm.(*Kernel).TestOnlyCorruptRmap. It exists to
+	// prove the checker and shrinker catch real metadata corruption;
+	// only tests set it.
+	Corrupt bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ops == 0 {
+		o.Ops = 1000
+	}
+	if o.CPUs == 0 {
+		o.CPUs = 2
+	}
+	if len(o.Configs) == 0 {
+		o.Configs = AllConfigs
+	}
+	if o.ShrinkBudget == 0 {
+		o.ShrinkBudget = 400
+	}
+	return o
+}
+
+// Failure describes one detected divergence or invariant violation.
+type Failure struct {
+	// OpIndex is the index of the operation after which the failure was
+	// detected; len(trace) means the end-of-run sweep.
+	OpIndex int
+	// World is the configuration that failed ("" for cross-world
+	// divergences reported against the model).
+	World string
+	// Reason is the human-readable diagnosis.
+	Reason string
+}
+
+func (f *Failure) Error() string {
+	where := "end of run"
+	if f.World != "" {
+		where = f.World
+	}
+	return fmt.Sprintf("op %d [%s]: %s", f.OpIndex, where, f.Reason)
+}
+
+// Report is the outcome of a Run.
+type Report struct {
+	Opts    Options
+	Trace   []Op     // the generated trace
+	Failure *Failure // nil on success
+	Shrunk  []Op     // minimal failing trace (with Opts.Shrink)
+}
+
+// Format renders the report for humans: the failure, the (shrunk)
+// trace, and the command reproducing it.
+func (r *Report) Format() string {
+	if r.Failure == nil {
+		return fmt.Sprintf("ok: seed=%d ops=%d cpus=%d configs=%s",
+			r.Opts.Seed, len(r.Trace), r.Opts.CPUs, strings.Join(r.Opts.Configs, ","))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "FAIL: seed=%d: %v\n", r.Opts.Seed, r.Failure)
+	trace := r.Shrunk
+	label := "shrunk trace"
+	if trace == nil {
+		trace = r.Trace
+		label = "trace"
+	}
+	fmt.Fprintf(&b, "%s (%d ops):\n", label, len(trace))
+	for i, op := range trace {
+		fmt.Fprintf(&b, "  %4d: %s\n", i, op)
+	}
+	fmt.Fprintf(&b, "reproduce: o1check -seed %d -ops %d -cpus %d -config %s\n",
+		r.Opts.Seed, r.Opts.Ops, r.Opts.CPUs, strings.Join(r.Opts.Configs, ","))
+	return b.String()
+}
+
+// Run generates the seeded trace, replays it differentially against
+// every selected configuration, and (on failure, when requested)
+// shrinks the trace to a minimal reproducer. The returned error
+// reports setup problems only; test outcomes are in the Report.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	for _, cfg := range opts.Configs {
+		if _, err := newWorld(cfg, 1, 0); err != nil {
+			return nil, err
+		}
+	}
+	trace := generate(opts.Seed, opts.Ops, opts.CPUs)
+	report := &Report{Opts: opts, Trace: trace}
+	report.Failure = replay(trace, opts)
+	if report.Failure == nil || !opts.Shrink {
+		return report, nil
+	}
+
+	// Shrink on the failing prefix: operations past the failure point
+	// cannot matter.
+	prefix := trace
+	if report.Failure.OpIndex < len(trace) {
+		prefix = trace[:report.Failure.OpIndex+1]
+	}
+	budget := opts.ShrinkBudget
+	report.Shrunk = shrinkTrace(prefix, func(cand []Op) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return replay(cand, opts) != nil
+	})
+	return report, nil
+}
+
+// replay builds fresh worlds and applies the trace, checking
+// invariants at the configured interval, comparing reads as they
+// happen, and sweeping invariants plus final contents at the end. A
+// nil return means the trace passes.
+func replay(trace []Op, opts Options) *Failure {
+	mdl := newModel(opts.CPUs)
+	worlds := make([]world, len(opts.Configs))
+	for i, cfg := range opts.Configs {
+		w, err := newWorld(cfg, opts.CPUs, opts.Seed)
+		if err != nil {
+			return &Failure{World: cfg, Reason: fmt.Sprintf("world setup: %v", err)}
+		}
+		worlds[i] = w
+	}
+
+	for i, op := range trace {
+		valid, want := mdl.apply(op)
+		if !valid {
+			continue // prerequisite removed by the shrinker: skip everywhere
+		}
+		for _, w := range worlds {
+			if op.Kind == OpRead {
+				got, err := w.readback(op)
+				if err != nil {
+					return &Failure{OpIndex: i, World: w.name(), Reason: fmt.Sprintf("%s: %v", op, err)}
+				}
+				if got != want {
+					return &Failure{OpIndex: i, World: w.name(),
+						Reason: fmt.Sprintf("%s: read %#02x, model (and every agreeing configuration) says %#02x", op, got, want)}
+				}
+				continue
+			}
+			if err := w.apply(op); err != nil {
+				return &Failure{OpIndex: i, World: w.name(), Reason: fmt.Sprintf("%s: %v", op, err)}
+			}
+		}
+		if opts.CheckEvery > 0 && (i+1)%opts.CheckEvery == 0 {
+			for _, w := range worlds {
+				if err := w.check(); err != nil {
+					return &Failure{OpIndex: i, World: w.name(), Reason: err.Error()}
+				}
+			}
+		}
+	}
+
+	if opts.Corrupt {
+		for _, w := range worlds {
+			if bw, ok := w.(*vmWorld); ok {
+				bw.k.TestOnlyCorruptRmap()
+			}
+		}
+	}
+
+	end := len(trace)
+	for _, w := range worlds {
+		if err := w.check(); err != nil {
+			return &Failure{OpIndex: end, World: w.name(), Reason: err.Error()}
+		}
+	}
+	return finalCompare(mdl, worlds, end)
+}
+
+// finalCompare verifies that every world's observable end state —
+// byte 0 of every page of every live object, per mapping process, and
+// of every live file — matches the model.
+func finalCompare(mdl *model, worlds []world, end int) *Failure {
+	for _, obj := range sortedKeys(mdl.objects) {
+		o := mdl.objects[obj]
+		for _, proc := range sortedBoolKeys(o.procs) {
+			content := o.bytes(proc)
+			for page := uint64(0); page < o.pages; page++ {
+				for _, w := range worlds {
+					got, err := w.objectByte(obj, proc, page)
+					if err != nil {
+						return &Failure{OpIndex: end, World: w.name(),
+							Reason: fmt.Sprintf("final state: obj %d proc %d page %d: %v", obj, proc, page, err)}
+					}
+					if got != content[page] {
+						return &Failure{OpIndex: end, World: w.name(),
+							Reason: fmt.Sprintf("final state: obj %d proc %d page %d holds %#02x, want %#02x",
+								obj, proc, page, got, content[page])}
+					}
+				}
+			}
+		}
+	}
+	paths := make([]string, 0, len(mdl.files))
+	for p := range mdl.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		content := mdl.files[path]
+		for page := range content {
+			for _, w := range worlds {
+				got, err := w.fileByte(path, uint64(page))
+				if err != nil {
+					return &Failure{OpIndex: end, World: w.name(),
+						Reason: fmt.Sprintf("final state: file %q page %d: %v", path, page, err)}
+				}
+				if got != content[page] {
+					return &Failure{OpIndex: end, World: w.name(),
+						Reason: fmt.Sprintf("final state: file %q page %d holds %#02x, want %#02x",
+							path, page, got, content[page])}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sortedBoolKeys returns a set's keys in ascending order.
+func sortedBoolKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,162 @@
+package check
+
+// The model is the harness's oracle: a trivially-correct in-host
+// implementation of the operation semantics. Every world's observable
+// behaviour (read values, final contents) must match it exactly.
+//
+// All harness writes touch only byte 0 of a page, so the model stores
+// one byte per page. Private objects keep one byte array per mapping
+// process (fork copies, later writes diverge — exactly what COW must
+// preserve); shared objects keep a single array under sharedKey.
+
+// sharedKey indexes the single content copy of a shared object.
+const sharedKey = -1
+
+type modelObject struct {
+	pages  uint64
+	shared bool
+	data   map[int][]byte // proc (or sharedKey) -> one byte per page
+	procs  map[int]bool   // processes currently mapping the object
+}
+
+// bytes returns the content array the given process observes.
+func (o *modelObject) bytes(proc int) []byte {
+	if o.shared {
+		return o.data[sharedKey]
+	}
+	return o.data[proc]
+}
+
+type model struct {
+	ncpus   int
+	objects map[int]*modelObject
+	procs   map[int]bool
+	files   map[string][]byte // one byte per page, len = highest written page + 1
+}
+
+func newModel(ncpus int) *model {
+	return &model{
+		ncpus:   ncpus,
+		objects: make(map[int]*modelObject),
+		procs:   map[int]bool{0: true}, // the initial process
+		files:   make(map[string][]byte),
+	}
+}
+
+// apply advances the model by one operation. It reports whether the
+// operation is valid in the current state — invalid operations (which
+// only arise after the shrinker removes a prerequisite) are skipped by
+// every world too, keeping model and worlds in lockstep. For OpRead it
+// also returns the expected value.
+func (m *model) apply(op Op) (valid bool, read byte) {
+	switch op.Kind {
+	case OpMap:
+		if !m.procs[op.Proc] || m.objects[op.Obj] != nil || op.Pages == 0 {
+			return false, 0
+		}
+		o := &modelObject{
+			pages:  op.Pages,
+			shared: op.Shared,
+			data:   make(map[int][]byte),
+			procs:  map[int]bool{op.Proc: true},
+		}
+		if op.Shared {
+			o.data[sharedKey] = make([]byte, op.Pages)
+		} else {
+			o.data[op.Proc] = make([]byte, op.Pages)
+		}
+		m.objects[op.Obj] = o
+		return true, 0
+
+	case OpUnmap:
+		o := m.objects[op.Obj]
+		if o == nil || !o.procs[op.Proc] {
+			return false, 0
+		}
+		delete(o.procs, op.Proc)
+		if !o.shared {
+			delete(o.data, op.Proc)
+		}
+		if len(o.procs) == 0 {
+			delete(m.objects, op.Obj)
+		}
+		return true, 0
+
+	case OpWrite:
+		o := m.objects[op.Obj]
+		if o == nil || !o.procs[op.Proc] || op.Page >= o.pages {
+			return false, 0
+		}
+		o.bytes(op.Proc)[op.Page] = op.Val
+		return true, 0
+
+	case OpRead:
+		o := m.objects[op.Obj]
+		if o == nil || !o.procs[op.Proc] || op.Page >= o.pages {
+			return false, 0
+		}
+		return true, o.bytes(op.Proc)[op.Page]
+
+	case OpFork:
+		if !m.procs[op.Proc] || m.procs[op.Child] {
+			return false, 0
+		}
+		m.procs[op.Child] = true
+		for _, o := range m.objects {
+			if !o.procs[op.Proc] {
+				continue
+			}
+			o.procs[op.Child] = true
+			if !o.shared {
+				cp := make([]byte, o.pages)
+				copy(cp, o.data[op.Proc])
+				o.data[op.Child] = cp
+			}
+		}
+		return true, 0
+
+	case OpShare:
+		o := m.objects[op.Obj]
+		if o == nil || !o.shared || !m.procs[op.Proc] || o.procs[op.Proc] {
+			return false, 0
+		}
+		o.procs[op.Proc] = true
+		return true, 0
+
+	case OpReclaim:
+		return true, 0
+
+	case OpMigrate:
+		if !m.procs[op.Proc] || op.CPU < 0 || op.CPU >= m.ncpus {
+			return false, 0
+		}
+		return true, 0
+
+	case OpFSCreate:
+		if _, ok := m.files[op.Path]; ok {
+			return false, 0
+		}
+		m.files[op.Path] = []byte{}
+		return true, 0
+
+	case OpFSWrite:
+		data, ok := m.files[op.Path]
+		if !ok {
+			return false, 0
+		}
+		for uint64(len(data)) <= op.Page {
+			data = append(data, 0)
+		}
+		data[op.Page] = op.Val
+		m.files[op.Path] = data
+		return true, 0
+
+	case OpFSDelete:
+		if _, ok := m.files[op.Path]; !ok {
+			return false, 0
+		}
+		delete(m.files, op.Path)
+		return true, 0
+	}
+	return false, 0
+}

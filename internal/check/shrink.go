@@ -1,0 +1,43 @@
+package check
+
+// shrinkTrace greedily minimizes a failing trace: starting from large
+// chunks and halving down to single operations, it removes any chunk
+// whose absence still fails (delta debugging's reduce-to-subset step).
+// Removing prerequisites is safe because the model skips operations
+// made invalid, and every world skips them identically.
+//
+// fails must be pure with respect to the candidate (replay builds
+// fresh worlds each time); it may return false unconditionally once a
+// budget is exhausted, which simply stops further reduction.
+func shrinkTrace(trace []Op, fails func([]Op) bool) []Op {
+	cur := append([]Op(nil), trace...)
+	chunk := len(cur) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		removed := false
+		for start := 0; start < len(cur); {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Op, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) < len(cur) && fails(cand) {
+				cur = cand
+				removed = true
+				// Re-test the same position: the next chunk slid into it.
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 && !removed {
+			return cur
+		}
+		if chunk > 1 {
+			chunk /= 2
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+)
+
+// A world is one memory-system configuration under differential test.
+// Worlds receive only operations the model declared valid, so any
+// error is a divergence and fails the run.
+type world interface {
+	name() string
+	// apply executes one non-read operation.
+	apply(op Op) error
+	// readback executes an OpRead and returns the observed byte.
+	readback(op Op) (byte, error)
+	// objectByte reads byte 0 of one page of a live object through the
+	// given process's view (final-state comparison).
+	objectByte(obj, proc int, page uint64) (byte, error)
+	// fileByte reads byte 0 of one page of a named file.
+	fileByte(path string, page uint64) (byte, error)
+	// check runs the machine-wide invariant sweep.
+	check() error
+}
+
+// Machine sizing shared by all worlds. The generator's capacity caps
+// (gen.go) guarantee that no configuration — including SharedPT, which
+// pads every object to 512-page chunks — can exhaust these.
+const (
+	pageSize   = mem.FrameSize
+	dramFrames = 1 << 16 // 256 MiB: baseline page pool, core PT pool
+	nvmFrames  = 1 << 17 // 512 MiB: file stores
+)
+
+// rwProt is the protection every harness mapping uses.
+var rwProt = pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
+
+// newWorld builds the named configuration on a fresh machine.
+func newWorld(config string, cpus int, seed uint64) (world, error) {
+	switch config {
+	case "baseline":
+		return newVMWorld(cpus, seed)
+	case "fom":
+		return newFOMWorld(cpus, seed)
+	case "pbm":
+		return newCoreWorld("pbm", cpus, seed)
+	case "ranges":
+		return newCoreWorld("ranges", cpus, seed)
+	default:
+		return nil, fmt.Errorf("check: unknown configuration %q (want baseline, fom, pbm, or ranges)", config)
+	}
+}
+
+// newWorldMachine builds the shared machine skeleton: CPUs, params,
+// and a DRAM+NVM physical memory.
+func newWorldMachine(cpus int, seed uint64) (*sim.Machine, *sim.Params, *mem.Memory, error) {
+	params := sim.DefaultParams()
+	machine := sim.NewMachine(&params, cpus, seed)
+	memory, err := mem.New(machine.Clock(), &params, mem.Config{
+		DRAMFrames: dramFrames,
+		NVMFrames:  nvmFrames,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return machine, &params, memory, nil
+}
+
+// objPath names the backing file of a shared object in worlds that
+// materialize one.
+func objPath(obj int) string { return fmt.Sprintf("/obj%d", obj) }
+
+// fsPath prefixes harness file names so they never collide with
+// object backing files.
+func fsPath(path string) string { return "/" + path }
+
+// sortedKeys returns a map's integer keys in ascending order, so
+// world-internal iteration (fork copies, final sweeps) is
+// deterministic.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,241 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memfs"
+	"repro/internal/sim"
+)
+
+// coreWorld drives file-only memory with PBM translations, in either
+// SharedPT ("pbm") or Ranges ("ranges") mode. Objects are mapped
+// files accessed through virtual addresses; there is no page-fault
+// path, so fork copies private objects eagerly (allocate + copy the
+// observable byte of each page), while shared objects are simply
+// mapped again — every process maps a file at the same PBM address.
+type coreWorld struct {
+	cfg  string
+	m    *sim.Machine
+	sys  *core.System
+	mode core.TranslationMode
+
+	procs map[int]*core.Process
+	maps  map[int]map[int]*core.Mapping // proc -> obj -> mapping
+
+	sharedFiles map[int]*memfs.File
+	objPages    map[int]uint64
+	mapCount    map[int]int
+
+	files map[string]*memfs.File
+}
+
+func newCoreWorld(cfg string, cpus int, seed uint64) (*coreWorld, error) {
+	machine, params, memory, err := newWorldMachine(cpus, seed)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(machine.Clock(), params, memory, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	mode := core.SharedPT
+	if cfg == "ranges" {
+		mode = core.Ranges
+	}
+	w := &coreWorld{
+		cfg:         cfg,
+		m:           machine,
+		sys:         sys,
+		mode:        mode,
+		procs:       make(map[int]*core.Process),
+		maps:        make(map[int]map[int]*core.Mapping),
+		sharedFiles: make(map[int]*memfs.File),
+		objPages:    make(map[int]uint64),
+		mapCount:    make(map[int]int),
+		files:       make(map[string]*memfs.File),
+	}
+	p, err := sys.NewProcess(mode)
+	if err != nil {
+		return nil, err
+	}
+	w.procs[0] = p
+	w.maps[0] = make(map[int]*core.Mapping)
+	return w, nil
+}
+
+func (w *coreWorld) name() string { return w.cfg }
+
+func (w *coreWorld) apply(op Op) error {
+	switch op.Kind {
+	case OpMap:
+		p := w.procs[op.Proc]
+		var m *core.Mapping
+		var err error
+		if op.Shared {
+			f, ferr := w.sys.CreateContiguousFile(objPath(op.Obj), op.Pages,
+				memfs.CreateOptions{Mode: rwProt}, w.mode == core.SharedPT)
+			if ferr != nil {
+				return ferr
+			}
+			w.sharedFiles[op.Obj] = f
+			m, err = p.MapFile(f, rwProt)
+		} else {
+			m, err = p.AllocVolatile(op.Pages, rwProt)
+		}
+		if err != nil {
+			return err
+		}
+		w.maps[op.Proc][op.Obj] = m
+		w.objPages[op.Obj] = op.Pages
+		w.mapCount[op.Obj] = 1
+		return nil
+
+	case OpUnmap:
+		p := w.procs[op.Proc]
+		if err := p.Unmap(w.maps[op.Proc][op.Obj]); err != nil {
+			return err
+		}
+		delete(w.maps[op.Proc], op.Obj)
+		w.mapCount[op.Obj]--
+		if w.mapCount[op.Obj] > 0 {
+			return nil
+		}
+		delete(w.mapCount, op.Obj)
+		delete(w.objPages, op.Obj)
+		if f, ok := w.sharedFiles[op.Obj]; ok {
+			delete(w.sharedFiles, op.Obj)
+			if err := f.Close(); err != nil {
+				return err
+			}
+			return w.sys.FS().Unlink(objPath(op.Obj))
+		}
+		return nil
+
+	case OpWrite:
+		p := w.procs[op.Proc]
+		va, err := w.maps[op.Proc][op.Obj].VAForOffset(op.Page * pageSize)
+		if err != nil {
+			return err
+		}
+		return p.WriteByteAt(va, op.Val)
+
+	case OpFork:
+		parent := w.procs[op.Proc]
+		child, err := w.sys.NewProcess(w.mode)
+		if err != nil {
+			return err
+		}
+		w.procs[op.Child] = child
+		w.maps[op.Child] = make(map[int]*core.Mapping)
+		// Inherit objects in ID order so the simulated allocation layout
+		// is a pure function of the trace.
+		for _, obj := range sortedKeys(w.maps[op.Proc]) {
+			if f, isShared := w.sharedFiles[obj]; isShared {
+				m, err := child.MapFile(f, rwProt)
+				if err != nil {
+					return err
+				}
+				w.maps[op.Child][obj] = m
+			} else {
+				m, err := child.AllocVolatile(w.objPages[obj], rwProt)
+				if err != nil {
+					return err
+				}
+				if err := w.copyObject(parent, child, w.maps[op.Proc][obj], m, w.objPages[obj]); err != nil {
+					return err
+				}
+				w.maps[op.Child][obj] = m
+			}
+			w.mapCount[obj]++
+		}
+		return nil
+
+	case OpShare:
+		p := w.procs[op.Proc]
+		m, err := p.MapFile(w.sharedFiles[op.Obj], rwProt)
+		if err != nil {
+			return err
+		}
+		w.maps[op.Proc][op.Obj] = m
+		w.mapCount[op.Obj]++
+		return nil
+
+	case OpReclaim:
+		// File-only memory reclaims whole discardable files; the harness
+		// holds references to everything it creates, so there is nothing
+		// to discard — by design, not by accident, which the differential
+		// content comparison confirms.
+		return nil
+
+	case OpMigrate:
+		w.procs[op.Proc].RunOn(w.m.CPU(op.CPU))
+		return nil
+
+	case OpFSCreate:
+		f, err := w.sys.FS().Create(fsPath(op.Path), memfs.CreateOptions{})
+		if err != nil {
+			return err
+		}
+		w.files[op.Path] = f
+		return nil
+
+	case OpFSWrite:
+		_, err := w.files[op.Path].WriteAt([]byte{op.Val}, op.Page*pageSize)
+		return err
+
+	case OpFSDelete:
+		if err := w.files[op.Path].Close(); err != nil {
+			return err
+		}
+		delete(w.files, op.Path)
+		return w.sys.FS().Unlink(fsPath(op.Path))
+	}
+	return fmt.Errorf("check: %s world cannot apply %s", w.name(), op.Kind)
+}
+
+// copyObject copies byte 0 of each page from src to dst through the
+// processes' mapped views — the only bytes the harness observes.
+func (w *coreWorld) copyObject(from, to *core.Process, src, dst *core.Mapping, pages uint64) error {
+	for p := uint64(0); p < pages; p++ {
+		sva, err := src.VAForOffset(p * pageSize)
+		if err != nil {
+			return err
+		}
+		b, err := from.ReadByteAt(sva)
+		if err != nil {
+			return err
+		}
+		dva, err := dst.VAForOffset(p * pageSize)
+		if err != nil {
+			return err
+		}
+		if err := to.WriteByteAt(dva, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *coreWorld) readback(op Op) (byte, error) {
+	return w.objectByte(op.Obj, op.Proc, op.Page)
+}
+
+func (w *coreWorld) objectByte(obj, proc int, page uint64) (byte, error) {
+	p := w.procs[proc]
+	va, err := w.maps[proc][obj].VAForOffset(page * pageSize)
+	if err != nil {
+		return 0, err
+	}
+	return p.ReadByteAt(va)
+}
+
+func (w *coreWorld) fileByte(path string, page uint64) (byte, error) {
+	var b [1]byte
+	if _, err := w.files[path].ReadAt(b[:], page*pageSize); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (w *coreWorld) check() error { return w.m.CheckInvariants() }

@@ -1,0 +1,215 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/sim"
+)
+
+// fomWorld drives file-only memory through the syscall interface
+// alone: every object is an extent-based memfs file and every access
+// is a read/write at a byte offset. There are no translations, so
+// fork copies private objects eagerly (the harness's observable
+// surface is byte 0 of every page, which keeps the copy cheap),
+// reclaim and migration are no-ops, and the differential comparison
+// pins the mapped configurations to the same semantics.
+type fomWorld struct {
+	m  *sim.Machine
+	fs *memfs.FS // Extent policy over NVM
+
+	procs  map[int]bool
+	priv   map[int]map[int]*memfs.File // proc -> obj -> private copy
+	shared map[int]*memfs.File
+	mapped map[int]map[int]bool // obj -> procs mapping it
+	pages  map[int]uint64
+
+	files map[string]*memfs.File
+}
+
+func newFOMWorld(cpus int, seed uint64) (*fomWorld, error) {
+	machine, params, memory, err := newWorldMachine(cpus, seed)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := memfs.New("fom", memfs.Extent, machine.Clock(), params, memory,
+		mem.Frame(dramFrames), nvmFrames)
+	if err != nil {
+		return nil, err
+	}
+	return &fomWorld{
+		m:      machine,
+		fs:     fs,
+		procs:  map[int]bool{0: true},
+		priv:   map[int]map[int]*memfs.File{0: {}},
+		shared: make(map[int]*memfs.File),
+		mapped: make(map[int]map[int]bool),
+		pages:  make(map[int]uint64),
+		files:  make(map[string]*memfs.File),
+	}, nil
+}
+
+func (w *fomWorld) name() string { return "fom" }
+
+// newObjectFile allocates one single-extent anonymous file sized for
+// an object — the O(1) allocation path.
+func (w *fomWorld) newObjectFile(pages uint64) (*memfs.File, error) {
+	f, err := w.fs.CreateTemp("obj", memfs.CreateOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if err := f.EnsureContiguous(pages); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (w *fomWorld) apply(op Op) error {
+	switch op.Kind {
+	case OpMap:
+		f, err := w.newObjectFile(op.Pages)
+		if err != nil {
+			return err
+		}
+		if op.Shared {
+			w.shared[op.Obj] = f
+		} else {
+			w.priv[op.Proc][op.Obj] = f
+		}
+		w.mapped[op.Obj] = map[int]bool{op.Proc: true}
+		w.pages[op.Obj] = op.Pages
+		return nil
+
+	case OpUnmap:
+		if f, ok := w.priv[op.Proc][op.Obj]; ok {
+			delete(w.priv[op.Proc], op.Obj)
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		delete(w.mapped[op.Obj], op.Proc)
+		if len(w.mapped[op.Obj]) == 0 {
+			delete(w.mapped, op.Obj)
+			delete(w.pages, op.Obj)
+			if f, ok := w.shared[op.Obj]; ok {
+				delete(w.shared, op.Obj)
+				return f.Close()
+			}
+		}
+		return nil
+
+	case OpWrite:
+		f, err := w.objectFile(op.Obj, op.Proc)
+		if err != nil {
+			return err
+		}
+		_, err = f.WriteAt([]byte{op.Val}, op.Page*pageSize)
+		return err
+
+	case OpFork:
+		w.procs[op.Child] = true
+		w.priv[op.Child] = make(map[int]*memfs.File)
+		// Copy private objects in ID order: map iteration order would
+		// otherwise make the simulated allocation layout (and thus the
+		// replay) non-deterministic.
+		for _, obj := range sortedKeys(w.priv[op.Proc]) {
+			parent := w.priv[op.Proc][obj]
+			cp, err := w.newObjectFile(w.pages[obj])
+			if err != nil {
+				return err
+			}
+			if err := copyPageBytes(parent, cp, w.pages[obj]); err != nil {
+				return err
+			}
+			w.priv[op.Child][obj] = cp
+			w.mapped[obj][op.Child] = true
+		}
+		for obj, ps := range w.mapped {
+			if _, isShared := w.shared[obj]; isShared && ps[op.Proc] {
+				ps[op.Child] = true
+			}
+		}
+		return nil
+
+	case OpShare:
+		w.mapped[op.Obj][op.Proc] = true
+		return nil
+
+	case OpReclaim, OpMigrate:
+		return nil // no pages to reclaim, no per-CPU translation state
+
+	case OpFSCreate:
+		f, err := w.fs.Create(fsPath(op.Path), memfs.CreateOptions{})
+		if err != nil {
+			return err
+		}
+		w.files[op.Path] = f
+		return nil
+
+	case OpFSWrite:
+		_, err := w.files[op.Path].WriteAt([]byte{op.Val}, op.Page*pageSize)
+		return err
+
+	case OpFSDelete:
+		if err := w.files[op.Path].Close(); err != nil {
+			return err
+		}
+		delete(w.files, op.Path)
+		return w.fs.Unlink(fsPath(op.Path))
+	}
+	return fmt.Errorf("check: %s world cannot apply %s", w.name(), op.Kind)
+}
+
+// objectFile resolves the file holding the object's content as seen by
+// proc.
+func (w *fomWorld) objectFile(obj, proc int) (*memfs.File, error) {
+	if f, ok := w.shared[obj]; ok {
+		return f, nil
+	}
+	if f, ok := w.priv[proc][obj]; ok {
+		return f, nil
+	}
+	return nil, fmt.Errorf("check: fom world has no file for obj %d proc %d", obj, proc)
+}
+
+// copyPageBytes copies byte 0 of each page from src to dst — the only
+// bytes the harness ever writes, so dst becomes observably identical.
+func copyPageBytes(src, dst *memfs.File, pages uint64) error {
+	var b [1]byte
+	for p := uint64(0); p < pages; p++ {
+		if _, err := src.ReadAt(b[:], p*pageSize); err != nil {
+			return err
+		}
+		if _, err := dst.WriteAt(b[:], p*pageSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *fomWorld) readback(op Op) (byte, error) {
+	return w.objectByte(op.Obj, op.Proc, op.Page)
+}
+
+func (w *fomWorld) objectByte(obj, proc int, page uint64) (byte, error) {
+	f, err := w.objectFile(obj, proc)
+	if err != nil {
+		return 0, err
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], page*pageSize); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (w *fomWorld) fileByte(path string, page uint64) (byte, error) {
+	var b [1]byte
+	if _, err := w.files[path].ReadAt(b[:], page*pageSize); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (w *fomWorld) check() error { return w.m.CheckInvariants() }

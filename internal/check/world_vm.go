@@ -1,0 +1,205 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// vmWorld drives the baseline virtual-memory system: anonymous-private
+// objects are demand-faulted anon mappings (fork is a real COW fork),
+// shared objects are MAP_SHARED mappings of tmpfs files, and OpReclaim
+// runs the page-out scanner against an unlimited swap device.
+type vmWorld struct {
+	m  *sim.Machine
+	k  *vm.Kernel
+	fs *memfs.FS // PerPage (tmpfs) over NVM: shared objects + named files
+
+	procs map[int]*vm.AddressSpace
+	vas   map[int]map[int]mem.VirtAddr // proc -> obj -> mapping base
+
+	objFiles map[int]*memfs.File // shared objects' backing files
+	objPages map[int]uint64
+	mapCount map[int]int // live mappings per object (all procs)
+
+	files map[string]*memfs.File
+}
+
+func newVMWorld(cpus int, seed uint64) (*vmWorld, error) {
+	machine, params, memory, err := newWorldMachine(cpus, seed)
+	if err != nil {
+		return nil, err
+	}
+	k, err := vm.NewKernel(machine.Clock(), params, memory, vm.Config{
+		PoolBase:   0,
+		PoolFrames: dramFrames,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fs, err := memfs.New("tmpfs", memfs.PerPage, machine.Clock(), params, memory,
+		mem.Frame(dramFrames), nvmFrames)
+	if err != nil {
+		return nil, err
+	}
+	w := &vmWorld{
+		m:        machine,
+		k:        k,
+		fs:       fs,
+		procs:    make(map[int]*vm.AddressSpace),
+		vas:      make(map[int]map[int]mem.VirtAddr),
+		objFiles: make(map[int]*memfs.File),
+		objPages: make(map[int]uint64),
+		mapCount: make(map[int]int),
+		files:    make(map[string]*memfs.File),
+	}
+	as, err := k.NewAddressSpace()
+	if err != nil {
+		return nil, err
+	}
+	w.procs[0] = as
+	w.vas[0] = make(map[int]mem.VirtAddr)
+	return w, nil
+}
+
+func (w *vmWorld) name() string { return "baseline" }
+
+func (w *vmWorld) apply(op Op) error {
+	switch op.Kind {
+	case OpMap:
+		as := w.procs[op.Proc]
+		req := vm.MmapRequest{Pages: op.Pages, Prot: rwProt, Anon: true}
+		if op.Shared {
+			f, err := w.fs.Create(objPath(op.Obj), memfs.CreateOptions{})
+			if err != nil {
+				return err
+			}
+			if err := f.Truncate(op.Pages * pageSize); err != nil {
+				return err
+			}
+			w.objFiles[op.Obj] = f
+			req = vm.MmapRequest{Pages: op.Pages, Prot: rwProt, File: f}
+		}
+		va, err := as.Mmap(req)
+		if err != nil {
+			return err
+		}
+		w.vas[op.Proc][op.Obj] = va
+		w.objPages[op.Obj] = op.Pages
+		w.mapCount[op.Obj] = 1
+		return nil
+
+	case OpUnmap:
+		as := w.procs[op.Proc]
+		if err := as.Munmap(w.vas[op.Proc][op.Obj], w.objPages[op.Obj]); err != nil {
+			return err
+		}
+		delete(w.vas[op.Proc], op.Obj)
+		return w.objectUnmapped(op.Obj)
+
+	case OpWrite:
+		as := w.procs[op.Proc]
+		return as.WriteByteAt(w.vas[op.Proc][op.Obj]+mem.VirtAddr(op.Page*pageSize), op.Val)
+
+	case OpFork:
+		child, err := w.procs[op.Proc].Fork()
+		if err != nil {
+			return err
+		}
+		w.procs[op.Child] = child
+		inherited := make(map[int]mem.VirtAddr, len(w.vas[op.Proc]))
+		for obj, va := range w.vas[op.Proc] {
+			inherited[obj] = va
+			w.mapCount[obj]++
+		}
+		w.vas[op.Child] = inherited
+		return nil
+
+	case OpShare:
+		as := w.procs[op.Proc]
+		va, err := as.Mmap(vm.MmapRequest{
+			Pages: w.objPages[op.Obj],
+			Prot:  rwProt,
+			File:  w.objFiles[op.Obj],
+		})
+		if err != nil {
+			return err
+		}
+		w.vas[op.Proc][op.Obj] = va
+		w.mapCount[op.Obj]++
+		return nil
+
+	case OpReclaim:
+		_, err := w.k.ReclaimPages(reclaimWant)
+		return err
+
+	case OpMigrate:
+		w.procs[op.Proc].RunOn(w.m.CPU(op.CPU))
+		return nil
+
+	case OpFSCreate:
+		f, err := w.fs.Create(fsPath(op.Path), memfs.CreateOptions{})
+		if err != nil {
+			return err
+		}
+		w.files[op.Path] = f
+		return nil
+
+	case OpFSWrite:
+		_, err := w.files[op.Path].WriteAt([]byte{op.Val}, op.Page*pageSize)
+		return err
+
+	case OpFSDelete:
+		if err := w.files[op.Path].Close(); err != nil {
+			return err
+		}
+		delete(w.files, op.Path)
+		return w.fs.Unlink(fsPath(op.Path))
+	}
+	return fmt.Errorf("check: %s world cannot apply %s", w.name(), op.Kind)
+}
+
+// objectUnmapped drops the object's bookkeeping once its last mapping
+// is gone; for shared objects that also releases the backing file.
+func (w *vmWorld) objectUnmapped(obj int) error {
+	w.mapCount[obj]--
+	if w.mapCount[obj] > 0 {
+		return nil
+	}
+	delete(w.mapCount, obj)
+	delete(w.objPages, obj)
+	if f, ok := w.objFiles[obj]; ok {
+		delete(w.objFiles, obj)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return w.fs.Unlink(objPath(obj))
+	}
+	return nil
+}
+
+func (w *vmWorld) readback(op Op) (byte, error) {
+	return w.objectByte(op.Obj, op.Proc, op.Page)
+}
+
+func (w *vmWorld) objectByte(obj, proc int, page uint64) (byte, error) {
+	as := w.procs[proc]
+	return as.ReadByteAt(w.vas[proc][obj] + mem.VirtAddr(page*pageSize))
+}
+
+func (w *vmWorld) fileByte(path string, page uint64) (byte, error) {
+	var buf [1]byte
+	if _, err := w.files[path].ReadAt(buf[:], page*pageSize); err != nil {
+		return 0, err
+	}
+	return buf[0], nil
+}
+
+func (w *vmWorld) check() error { return w.m.CheckInvariants() }
+
+// reclaimWant is how many frames one OpReclaim asks the baseline
+// page-out scanner to free.
+const reclaimWant = 64

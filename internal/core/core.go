@@ -134,6 +134,13 @@ type System struct {
 
 	procs int
 
+	// live registers every non-exited process by PID so the invariant
+	// checker can audit range tables, linked page tables, and per-CPU
+	// translation caches machine-wide. PIDs are never reused, so a
+	// cached translation tagged with a PID absent here is provably
+	// stale.
+	live map[int]*Process
+
 	stats *metrics.Set
 }
 
@@ -184,12 +191,14 @@ func NewSystem(clock *sim.Clock, params *sim.Params, memory *mem.Memory, opts Op
 		ptPool:      pool,
 		masters:     make(map[pagetable.Flags]*masterTable),
 		rtlbEntries: opts.RTLBEntries,
+		live:        make(map[int]*Process),
 		stats:       metrics.NewSet(),
 	}
 	for _, cpu := range machine.CPUs() {
 		s.tlbs = append(s.tlbs, tlb.New(cpu, params, tlb.DefaultConfig()))
 		s.rtlbs = append(s.rtlbs, rangetable.NewRTLB(cpu, params, opts.RTLBEntries))
 	}
+	machine.RegisterInvariants("core", s.CheckInvariants)
 	return s, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/pagetable"
 	"repro/internal/rangetable"
 	"repro/internal/sim"
+	"repro/internal/tlb"
 )
 
 // ptPool allocates page-table node frames for SharedPT mode.
@@ -83,11 +84,18 @@ func (s *System) NewProcessOn(cpu *sim.CPU, mode TranslationMode) (*Process, err
 	default:
 		return nil, fmt.Errorf("core: unknown translation mode %d", mode)
 	}
+	s.live[p.pid] = p
 	return p, nil
 }
 
 // CPU returns the process's home CPU.
 func (p *Process) CPU() *sim.CPU { return p.cpu }
+
+// RunOn migrates the process to cpu: subsequent syscalls and accesses
+// execute (and are charged) there. No mask bookkeeping is needed —
+// shootdowns in this package broadcast unconditionally, because
+// file-grain translations are shareable machine-wide.
+func (p *Process) RunOn(cpu *sim.CPU) { p.cpu = cpu }
 
 // run switches machine execution to the process's home CPU: syscalls
 // and memory accesses below charge that CPU's clock.
@@ -109,21 +117,28 @@ func (p *Process) shootdownRange(vbase mem.VirtAddr) {
 }
 
 // shootdownUnits invalidates the given subtree-unit translations on
-// every CPU. All units of one segment batch into a single IPI round:
-// the sender pays one send per target and each target walks the unit
-// list in its handler, as a real kernel's flush-list shootdown would.
-func (p *Process) shootdownUnits(vas []mem.VirtAddr) {
+// every CPU. A unit spans at least 512 pages but the page TLB caches
+// individual 4 KiB translations within it, so each unit's whole range
+// must go — per-page below the single-page-flush ceiling, a full
+// flush above it (always, at subtree granularities). All units of one
+// segment batch into a single IPI round: the sender pays one send per
+// target and each target flushes in its handler, as a real kernel's
+// flush-list shootdown would.
+func (p *Process) shootdownUnits(units []linkUnit) {
 	s := p.sys
 	from := s.machine.Current()
-	local := s.tlbs[from.ID()]
-	for _, va := range vas {
-		local.InvalidateVA(p.pid, va)
-	}
-	s.machine.Broadcast(from, func(t *sim.CPU) {
-		remote := s.tlbs[t.ID()]
-		for _, va := range vas {
-			remote.InvalidateVA(p.pid, va)
+	flush := func(t *tlb.TLB) {
+		for _, u := range units {
+			t.InvalidateRange(p.pid, u.va, u.pages)
+			if u.pages > tlb.SinglePageFlushCeiling {
+				// The full flush emptied the TLB; further units are moot.
+				return
+			}
 		}
+	}
+	flush(s.tlbs[from.ID()])
+	s.machine.Broadcast(from, func(t *sim.CPU) {
+		flush(s.tlbs[t.ID()])
 	})
 }
 
@@ -403,14 +418,12 @@ func (p *Process) unmapSegment(seg Segment) error {
 		p.shootdownRange(seg.VA)
 	case SharedPT:
 		units := linkUnits(seg)
-		vas := make([]mem.VirtAddr, 0, len(units))
 		for _, u := range units {
 			if err := p.pt.UnlinkSubtree(cur, u.va, u.level); err != nil {
 				return err
 			}
-			vas = append(vas, u.va)
 		}
-		p.shootdownUnits(vas)
+		p.shootdownUnits(units)
 	}
 	return nil
 }
@@ -490,6 +503,7 @@ func (p *Process) Exit() error {
 	}
 	p.mappings = nil
 	p.exited = true
+	delete(p.sys.live, p.pid)
 	if p.pt != nil {
 		if err := p.pt.Destroy(); err != nil {
 			return err

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+)
+
+// TestRandomizedShootdownQuiesce drives random interleavings of
+// alloc/map-file/touch/protect/migrate/unmap across 4 CPUs and both
+// translation modes, then audits — mid-run and at the end — that no
+// CPU's page TLB or range TLB holds an entry for anything no longer
+// mapped (the stale-TLB sweep inside System.CheckInvariants). This is
+// exactly the property the SharedPT sub-unit stale-entry bug violated
+// before shootdownUnits learned to invalidate per page.
+func TestRandomizedShootdownQuiesce(t *testing.T) {
+	steps := 300
+	if testing.Short() {
+		steps = 100
+	}
+	for _, mode := range []TranslationMode{Ranges, SharedPT} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			fn := func(seed uint64) bool {
+				machine, sys := newStressSystem(t, 4, seed)
+				rng := sim.NewRNG(seed)
+
+				type binding struct {
+					p *Process
+					m *Mapping
+				}
+				var procs []*Process
+				var maps []binding
+				nextFile := 0
+				for i := 0; i < 3; i++ {
+					p, err := sys.NewProcess(mode)
+					if err != nil {
+						t.Log(err)
+						return false
+					}
+					procs = append(procs, p)
+				}
+				rwp := pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
+				rop := pagetable.FlagRead | pagetable.FlagUser
+
+				for step := 0; step < steps; step++ {
+					p := procs[rng.Intn(len(procs))]
+					switch rng.Intn(10) {
+					case 0, 1: // volatile anonymous mapping
+						if len(maps) >= 24 {
+							continue
+						}
+						m, err := p.AllocVolatile(uint64(1+rng.Intn(8)), rwp)
+						if err != nil {
+							t.Log(err)
+							return false
+						}
+						maps = append(maps, binding{p, m})
+					case 2: // file-backed mapping (contiguous, chunk-aligned for SharedPT)
+						if len(maps) >= 24 {
+							continue
+						}
+						f, err := sys.CreateContiguousFile(
+							stressPath(nextFile), uint64(1+rng.Intn(8)),
+							memfs.CreateOptions{Mode: rwp}, mode == SharedPT)
+						nextFile++
+						if err != nil {
+							t.Log(err)
+							return false
+						}
+						m, err := p.MapFile(f, rwp)
+						if err != nil {
+							t.Log(err)
+							return false
+						}
+						maps = append(maps, binding{p, m})
+					case 3: // unmap: must shoot down every cached translation
+						if len(maps) == 0 {
+							continue
+						}
+						i := rng.Intn(len(maps))
+						b := maps[i]
+						if err := b.p.Unmap(b.m); err != nil {
+							t.Log(err)
+							return false
+						}
+						maps = append(maps[:i], maps[i+1:]...)
+					case 4: // protection downgrade then restore
+						if len(maps) == 0 {
+							continue
+						}
+						b := maps[rng.Intn(len(maps))]
+						if err := b.p.Protect(b.m, rop); err != nil {
+							t.Log(err)
+							return false
+						}
+						if err := b.p.Protect(b.m, rwp); err != nil {
+							t.Log(err)
+							return false
+						}
+					case 5: // migrate, so later shootdowns span more CPUs
+						p.RunOn(machine.CPU(rng.Intn(machine.NumCPUs())))
+					default: // touch a random page, filling this CPU's TLBs
+						if len(maps) == 0 {
+							continue
+						}
+						b := maps[rng.Intn(len(maps))]
+						va, err := b.m.VAForOffset(uint64(rng.Intn(int(b.m.Pages()))) * mem.FrameSize)
+						if err != nil {
+							t.Log(err)
+							return false
+						}
+						if err := b.p.Touch(va, rng.Intn(2) == 0); err != nil {
+							t.Log(err)
+							return false
+						}
+					}
+					if step%20 == 19 {
+						if err := sys.CheckInvariants(); err != nil {
+							t.Logf("seed %d step %d: %v", seed, step, err)
+							return false
+						}
+					}
+				}
+				return sys.CheckInvariants() == nil
+			}
+			if err := quick.Check(fn, &quick.Config{MaxCount: 10}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// newStressSystem builds a System on an n-CPU machine, 1 GiB of NVM
+// file store, and a deterministic per-seed CPU layout.
+func newStressSystem(t *testing.T, ncpus int, seed uint64) (*sim.Machine, *System) {
+	t.Helper()
+	params := sim.DefaultParams()
+	machine := sim.NewMachine(&params, ncpus, seed)
+	memory, err := mem.New(machine.Clock(), &params, mem.Config{DRAMFrames: 16384, NVMFrames: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(machine.Clock(), &params, memory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return machine, sys
+}
+
+func stressPath(i int) string {
+	return "/stress" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}

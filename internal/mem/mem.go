@@ -122,17 +122,28 @@ type Memory struct {
 	// data holds materialized frame contents. Absent frames read as
 	// zero. The map is the persistence boundary: Crash discards frames
 	// in DRAM regions and keeps frames in NVM regions.
-	data map[Frame]*[FrameSize]byte
+	data map[Frame]*frameArray
 
 	// spare recycles backing arrays of erased frames so churn-heavy
 	// workloads (alloc/erase loops) do not allocate a fresh 4 KiB array
 	// per materialization. Bounded so the host footprint of a machine
 	// that erased a huge range once does not stay at its peak.
-	spare []*[FrameSize]byte
+	spare []*frameArray
 
 	stats *metrics.Set
 	// cMaterialized is the cached first-touch counter.
 	cMaterialized *metrics.Counter
+}
+
+// frameArray is the backing storage of one materialized frame. Frames
+// on the recycled pool must be fully zeroed — absent frames read as
+// zero, so a recycled array with residue would resurrect dead contents
+// on the next materialization.
+type frameArray [FrameSize]byte
+
+// reset scrubs the array before it enters the recycled pool.
+func (d *frameArray) reset() {
+	*d = frameArray{}
 }
 
 // maxSpareFrames bounds the recycled-array pool (32 MiB of host memory).
@@ -146,7 +157,7 @@ func New(clock *sim.Clock, params *sim.Params, cfg Config) (*Memory, error) {
 	m := &Memory{
 		clock:  clock,
 		params: params,
-		data:   make(map[Frame]*[FrameSize]byte),
+		data:   make(map[Frame]*frameArray),
 		stats:  metrics.NewSet(),
 	}
 	m.cMaterialized = m.stats.Counter("materialized_frames")
@@ -205,20 +216,20 @@ func (m *Memory) Stats() *metrics.Set { return m.stats }
 
 // frame returns the backing array for f, materializing it if write is
 // true. For reads of unmaterialized frames it returns nil (all-zero).
-func (m *Memory) frame(f Frame, write bool) *[FrameSize]byte {
+func (m *Memory) frame(f Frame, write bool) *frameArray {
 	if d, ok := m.data[f]; ok {
 		return d
 	}
 	if !write {
 		return nil
 	}
-	var d *[FrameSize]byte
+	var d *frameArray
 	if n := len(m.spare); n > 0 {
 		d = m.spare[n-1]
 		m.spare[n-1] = nil
 		m.spare = m.spare[:n-1]
 	} else {
-		d = new([FrameSize]byte)
+		d = new(frameArray)
 	}
 	m.data[f] = d
 	m.cMaterialized.Inc()
@@ -234,7 +245,7 @@ func (m *Memory) dropFrame(f Frame) {
 	}
 	delete(m.data, f)
 	if len(m.spare) < maxSpareFrames {
-		*d = [FrameSize]byte{}
+		d.reset()
 		m.spare = append(m.spare, d)
 	}
 }
@@ -397,3 +408,16 @@ func (m *Memory) CopyFrames(dst, src Frame, count uint64) {
 // MaterializedFrames returns how many frames currently have backing
 // arrays (a host-memory footprint diagnostic).
 func (m *Memory) MaterializedFrames() int { return len(m.data) }
+
+// SpareScrubbed verifies that every backing array on the recycled pool
+// is fully zeroed. A non-zero spare array would leak dead frame
+// contents into the next materialization.
+func (m *Memory) SpareScrubbed() error {
+	zero := frameArray{}
+	for i, d := range m.spare {
+		if *d != zero {
+			return fmt.Errorf("mem: spare frame array %d not scrubbed", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestDroppedFramesAreScrubbed writes recognizable data into DRAM,
+// crashes the machine (which drops and recycles every DRAM backing
+// array), and asserts the spare pool holds no trace of it.
+func TestDroppedFramesAreScrubbed(t *testing.T) {
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	m, err := New(clock, &params, Config{DRAMFrames: 64, NVMFrames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := Frame(0); f < 8; f++ {
+		m.WriteAt(f.Addr(), []byte{0xAA, 0xBB, 0xCC})
+	}
+	m.Crash()
+	if len(m.spare) == 0 {
+		t.Fatal("crash recycled no frame arrays")
+	}
+	if err := m.SpareScrubbed(); err != nil {
+		t.Fatalf("poison survived into the spare pool: %v", err)
+	}
+}
+
+// TestSpareScrubbedDetectsPoison is the negative control.
+func TestSpareScrubbedDetectsPoison(t *testing.T) {
+	clock := &sim.Clock{}
+	params := sim.DefaultParams()
+	m, err := New(clock, &params, Config{DRAMFrames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var poisoned frameArray
+	poisoned[123] = 0xEE
+	m.spare = append(m.spare, &poisoned)
+	if err := m.SpareScrubbed(); err == nil {
+		t.Fatal("poisoned spare frame array went undetected")
+	}
+}

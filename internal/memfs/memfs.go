@@ -218,6 +218,9 @@ func New(name string, policy AllocPolicy, clock *sim.Clock, params *sim.Params, 
 	}
 	fs.root = fs.newInode("", true, nil)
 	fs.root.nlink = 1
+	// Self-register with the machine so Machine.CheckInvariants audits
+	// this file system alongside every other subsystem.
+	sim.MachineOf(clock, params).RegisterInvariants("memfs:"+name, fs.CheckInvariants)
 	return fs, nil
 }
 

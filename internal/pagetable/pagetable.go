@@ -107,6 +107,13 @@ type node struct {
 	refs    int // owners: >1 when shared across tables
 }
 
+// reset returns a node to its zero state before it enters the recycled
+// pool. Keeping the scrub in one place lets the recycling invariant
+// checker (and its poison test) pin down exactly what "clean" means.
+func (n *node) reset() {
+	*n = node{}
+}
+
 // span returns the number of 4 KiB pages covered by one entry at the
 // given level (level 1 entry covers 1 page).
 func span(level int) uint64 {
@@ -263,7 +270,7 @@ func (t *Table) freeNode(n *node) error {
 		return err
 	}
 	if len(t.spare) < maxSpareNodes {
-		*n = node{}
+		n.reset()
 		t.spare = append(t.spare, n)
 	}
 	return nil
@@ -709,6 +716,48 @@ func (t *Table) Destroy() error {
 	}
 	t.root = nil
 	t.mapped = 0
+	return nil
+}
+
+// VisitLeaves calls fn for every present leaf mapping reachable from
+// the root — including leaves inside shared (refs > 1) subtrees — with
+// the mapping's virtual base address, first frame, span in 4 KiB
+// pages, and flags. It charges no simulated time; invariant checkers
+// use it to rebuild the full VA→frame relation of an address space.
+func (t *Table) VisitLeaves(fn func(va mem.VirtAddr, frame mem.Frame, pages uint64, flags Flags)) {
+	if t.root == nil {
+		return
+	}
+	var walk func(n *node, base mem.VirtAddr)
+	walk = func(n *node, base mem.VirtAddr) {
+		step := mem.VirtAddr(span(n.level) * mem.FrameSize)
+		for i := range n.entries {
+			e := &n.entries[i]
+			if !e.present {
+				continue
+			}
+			va := base + mem.VirtAddr(i)*step
+			if n.level == 1 || e.huge {
+				fn(va, e.frame, span(n.level), e.flags)
+			} else {
+				walk(e.child, va)
+			}
+		}
+	}
+	walk(t.root, 0)
+}
+
+// SpareScrubbed verifies that every node on the recycled-node pool is
+// fully zeroed, i.e. nothing from its previous life can leak into the
+// next address space that pops it.
+func (t *Table) SpareScrubbed() error {
+	zero := node{}
+	for i, n := range t.spare {
+		if *n != zero {
+			return fmt.Errorf("pagetable: spare node %d not scrubbed (level=%d frame=%d present=%d refs=%d)",
+				i, n.level, n.frame, n.present, n.refs)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,43 @@
+package pagetable
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestFreedNodesAreScrubbed maps and unmaps enough to churn node
+// structs through the spare pool, then asserts every recycled node is
+// fully zeroed — a spare retaining entries would leak frame numbers
+// and flags into its next table.
+func TestFreedNodesAreScrubbed(t *testing.T) {
+	tbl, _, cpu := newTable(t, Levels4)
+	base := mem.VirtAddr(0x40000000000)
+	for p := uint64(0); p < 64; p++ {
+		if err := tbl.Map(cpu, base+mem.VirtAddr(p*mem.FrameSize), mem.Frame(100+p), FlagRead|FlagWrite); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := uint64(0); p < 64; p++ {
+		if _, _, err := tbl.Unmap(cpu, base+mem.VirtAddr(p*mem.FrameSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tbl.spare) == 0 {
+		t.Fatal("unmap recycled no nodes")
+	}
+	if err := tbl.SpareScrubbed(); err != nil {
+		t.Fatalf("recycled node not scrubbed: %v", err)
+	}
+}
+
+// TestSpareScrubbedDetectsPoison is the negative control.
+func TestSpareScrubbedDetectsPoison(t *testing.T) {
+	tbl, _, _ := newTable(t, Levels4)
+	poisoned := &node{level: 2, present: 1}
+	poisoned.entries[17] = entry{frame: 99}
+	tbl.spare = append(tbl.spare, poisoned)
+	if err := tbl.SpareScrubbed(); err == nil {
+		t.Fatal("poisoned spare node went undetected")
+	}
+}

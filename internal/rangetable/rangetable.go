@@ -286,3 +286,12 @@ func (r *RTLB) FlushAll() {
 
 // ValidEntries returns the number of cached ranges.
 func (r *RTLB) ValidEntries() int { return len(r.entries) }
+
+// VisitEntries calls fn for every cached range with its address-space
+// tag. It charges no simulated cost and has no LRU side effects;
+// invariant checkers use it to audit the cache against range tables.
+func (r *RTLB) VisitEntries(fn func(asid int, e Entry)) {
+	for i := range r.entries {
+		fn(r.entries[i].asid, r.entries[i].e)
+	}
+}

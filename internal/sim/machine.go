@@ -58,6 +58,15 @@ type Machine struct {
 	cpus   []*CPU
 	cur    *CPU
 	kclock *Clock
+	checks []invariantCheck
+}
+
+// invariantCheck is one registered consistency check. Checks run in
+// registration order and charge no simulated time: they are tooling,
+// not modelled kernel work.
+type invariantCheck struct {
+	name string
+	fn   func() error
 }
 
 // NewMachine builds a machine with n CPUs (n >= 1). All CPU clocks
@@ -213,4 +222,25 @@ func (m *Machine) IPI(from *CPU, targets []*CPU, handler func(*CPU)) {
 // Broadcast sends an IPI from from to every other CPU.
 func (m *Machine) Broadcast(from *CPU, handler func(*CPU)) {
 	m.IPI(from, m.Others(from), handler)
+}
+
+// RegisterInvariants adds a named consistency check to the machine.
+// Subsystems self-register at construction time so that a single
+// Machine.CheckInvariants call validates the whole machine regardless
+// of which subsystems a test happens to build.
+func (m *Machine) RegisterInvariants(name string, fn func() error) {
+	m.checks = append(m.checks, invariantCheck{name: name, fn: fn})
+}
+
+// CheckInvariants runs every registered check, in registration order,
+// and returns the first failure wrapped with the registering
+// subsystem's name. It advances no simulated clock: calling it between
+// any two operations of a test must not perturb timing results.
+func (m *Machine) CheckInvariants() error {
+	for _, c := range m.checks {
+		if err := c.fn(); err != nil {
+			return fmt.Errorf("invariant %q: %w", c.name, err)
+		}
+	}
+	return nil
 }

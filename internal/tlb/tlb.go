@@ -356,6 +356,25 @@ func (t *TLB) InvalidateVA(asid int, va mem.VirtAddr) {
 	t.cpu.Advance(t.params.TLBFlushEntry)
 }
 
+// SinglePageFlushCeiling is the largest range (in pages) flushed with
+// per-page invalidations; larger ranges use a full flush instead,
+// mirroring Linux's tlb_single_page_flush_ceiling heuristic.
+const SinglePageFlushCeiling = 33
+
+// InvalidateRange drops every entry covering [va, va+pages*4K) in the
+// given address space. Small ranges pay one per-entry invalidation per
+// page; ranges beyond SinglePageFlushCeiling fall back to a full flush
+// — constant time, with the real cost resurfacing as refill misses.
+func (t *TLB) InvalidateRange(asid int, va mem.VirtAddr, pages uint64) {
+	if pages > SinglePageFlushCeiling {
+		t.FlushAll()
+		return
+	}
+	for p := uint64(0); p < pages; p++ {
+		t.InvalidateVA(asid, va+mem.VirtAddr(p*mem.FrameSize))
+	}
+}
+
 // FlushAll invalidates the entire TLB — every address space — at the
 // flat full-flush cost (a non-PCID CR3 write drops everything in one
 // operation; the real cost resurfaces later as refill misses).
@@ -365,6 +384,43 @@ func (t *TLB) FlushAll() {
 	t.l2.flush()
 	t.cpu.Advance(t.params.TLBFullFlush)
 	t.cFlushes.Inc()
+}
+
+// VisitEntries calls fn for every valid entry across both levels with
+// the entry's address space, the virtual base address of the page it
+// maps, and the cached translation. It charges no simulated cost and
+// has no LRU side effects: invariant checkers use it to audit the
+// whole cache. The same (asid, va) pair may be reported more than once
+// (the design is inclusive, so an entry usually lives in L1 and L2).
+func (t *TLB) VisitEntries(fn func(asid int, va mem.VirtAddr, tr Translation)) {
+	visit := func(a *array, decode func(vpn uint64, tr Translation) mem.VirtAddr) {
+		for i := range a.data {
+			e := &a.data[i]
+			if e.valid {
+				fn(e.asid, decode(e.vpn, e.tr), e.tr)
+			}
+		}
+	}
+	visit(t.l14k, func(vpn uint64, _ Translation) mem.VirtAddr {
+		return mem.VirtAddr(vpn << 12)
+	})
+	visit(t.l1huge, func(vpn uint64, tr Translation) mem.VirtAddr {
+		if tr.Size == Size1G {
+			return mem.VirtAddr(vpn << 30)
+		}
+		return mem.VirtAddr(vpn << 21)
+	})
+	visit(t.l2, func(key uint64, _ Translation) mem.VirtAddr {
+		vpn := key >> 2
+		switch PageSize(key & 3) {
+		case Size4K:
+			return mem.VirtAddr(vpn << 12)
+		case Size2M:
+			return mem.VirtAddr(vpn << 21)
+		default:
+			return mem.VirtAddr(vpn << 30)
+		}
+	})
 }
 
 // ValidEntries returns the number of valid entries across both levels

@@ -110,6 +110,7 @@ func (k *Kernel) NewAddressSpaceOn(cpu *sim.CPU) (*AddressSpace, error) {
 	a.cTouches = a.stats.Counter("touches")
 	a.cPopulated = a.stats.Counter("populated_pages")
 	a.cpuMask[cpu.ID()] = true
+	k.spaces[a.asid] = a
 	return a, nil
 }
 
@@ -676,6 +677,7 @@ func (a *AddressSpace) Destroy() error {
 		}
 	}
 	a.vmas = nil
+	delete(a.kernel.spaces, a.asid)
 	return a.pt.Destroy()
 }
 

@@ -1,0 +1,263 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/tlb"
+)
+
+// CheckInvariants audits the kernel's global memory-management state:
+// the pagetable ↔ PageInfo/rmap bijection, buddy free-list
+// disjointness, recycled-object scrubbing, per-CPU TLB freshness, swap
+// consistency, and LRU list accounting. It is registered with the
+// machine at kernel construction (Machine.CheckInvariants runs it) and
+// charges no simulated time, so tests may call it between any two
+// operations without perturbing timing results.
+func (k *Kernel) CheckInvariants() error {
+	// refs[frame] counts mappings observed by walking every live page
+	// table; it must agree with each PageInfo's MapCount and rmap.
+	refs := make(map[mem.Frame]int)
+
+	// Forward direction: every present leaf PTE points at a frame whose
+	// metadata exists and whose rmap records this exact (as, va).
+	for asid, as := range k.spaces {
+		if as.asid != asid {
+			return fmt.Errorf("vm: address space registered under ASID %d but carries %d", asid, as.asid)
+		}
+		if err := as.pt.CheckInvariants(); err != nil {
+			return fmt.Errorf("vm: asid %d: %w", asid, err)
+		}
+		var leafErr error
+		as.pt.VisitLeaves(func(va mem.VirtAddr, frame mem.Frame, pages uint64, flags pagetable.Flags) {
+			if leafErr != nil {
+				return
+			}
+			refs[frame]++
+			pi, ok := k.pages[frame]
+			if !ok {
+				leafErr = fmt.Errorf("vm: asid %d maps va %#x to untracked frame %d", asid, uint64(va), frame)
+				return
+			}
+			if !rmapContains(pi, as, va) {
+				leafErr = fmt.Errorf("vm: asid %d va %#x -> frame %d, but the frame's rmap has no such entry", asid, uint64(va), frame)
+			}
+		})
+		if leafErr != nil {
+			return leafErr
+		}
+	}
+
+	// Reverse direction: every rmap entry points at a live address
+	// space whose page table maps that va back to this frame, and the
+	// per-frame counts agree with the forward walk.
+	for frame, pi := range k.pages {
+		if pi.Frame != frame {
+			return fmt.Errorf("vm: PageInfo for frame %d carries frame %d", frame, pi.Frame)
+		}
+		if pi.MapCount != len(pi.rmap) {
+			return fmt.Errorf("vm: frame %d MapCount %d but rmap holds %d entries", frame, pi.MapCount, len(pi.rmap))
+		}
+		if got := refs[frame]; got != len(pi.rmap) {
+			return fmt.Errorf("vm: frame %d has %d rmap entries but %d page-table mappings", frame, len(pi.rmap), got)
+		}
+		for _, e := range pi.rmap {
+			live, ok := k.spaces[e.as.asid]
+			if !ok || live != e.as {
+				return fmt.Errorf("vm: frame %d rmap references dead address space (asid %d)", frame, e.as.asid)
+			}
+			pa, _, ok := e.as.pt.Lookup(e.va)
+			if !ok {
+				return fmt.Errorf("vm: frame %d rmap says asid %d maps va %#x, but the page table does not", frame, e.as.asid, uint64(e.va))
+			}
+			if pa.Frame() != frame {
+				return fmt.Errorf("vm: frame %d rmap entry (asid %d, va %#x) resolves to frame %d", frame, e.as.asid, uint64(e.va), pa.Frame())
+			}
+		}
+	}
+
+	// Buddy pool: internal accounting must tile the managed range, and
+	// no free block may cover a frame that still has live metadata (a
+	// mapped or tracked frame on the free list is a use-after-free).
+	if err := k.pool.CheckInvariants(); err != nil {
+		return err
+	}
+	var freeErr error
+	k.pool.VisitFree(func(start mem.Frame, count uint64) {
+		if freeErr != nil {
+			return
+		}
+		for i := uint64(0); i < count; i++ {
+			if _, tracked := k.pages[start+mem.Frame(i)]; tracked {
+				freeErr = fmt.Errorf("vm: frame %d is on the buddy free list but still tracked", start+mem.Frame(i))
+				return
+			}
+		}
+	})
+	if freeErr != nil {
+		return freeErr
+	}
+
+	// Per-CPU TLBs: every valid entry must belong to a live address
+	// space (ASIDs are never reused, so a dead ASID proves a missed
+	// shootdown) and agree exactly with that space's page table.
+	for cpuID, t := range k.tlbs {
+		if err := checkTLB(t, cpuID, k.spaces); err != nil {
+			return err
+		}
+	}
+
+	// Swap: a swapped-out va must not simultaneously be present in the
+	// page table, and its slot must hold data.
+	for asid, as := range k.spaces {
+		for va, slot := range as.swapped {
+			if _, _, ok := as.pt.Lookup(va); ok {
+				return fmt.Errorf("vm: asid %d va %#x is both swapped (slot %d) and mapped", asid, uint64(va), slot)
+			}
+			if !k.swap.has(slot) {
+				return fmt.Errorf("vm: asid %d va %#x references empty swap slot %d", asid, uint64(va), slot)
+			}
+		}
+	}
+
+	// LRU lists: membership flags and counts must agree, and every
+	// listed page must still be tracked.
+	if err := k.checkLRU(k.active, "active", true); err != nil {
+		return err
+	}
+	if err := k.checkLRU(k.inactive, "inactive", false); err != nil {
+		return err
+	}
+
+	// Recycled pools: a spare object with surviving state would leak it
+	// into its next life (the PR-2 use-after-recycle class of bug).
+	if err := k.SpareScrubbed(); err != nil {
+		return err
+	}
+	if err := k.Memory.SpareScrubbed(); err != nil {
+		return err
+	}
+	for asid, as := range k.spaces {
+		if err := as.pt.SpareScrubbed(); err != nil {
+			return fmt.Errorf("vm: asid %d: %w", asid, err)
+		}
+	}
+	return nil
+}
+
+func rmapContains(pi *PageInfo, as *AddressSpace, va mem.VirtAddr) bool {
+	for _, e := range pi.rmap {
+		if e.as == as && e.va == va {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTLB audits one CPU's TLB against the page tables of all live
+// address spaces.
+func checkTLB(t *tlb.TLB, cpuID int, spaces map[int]*AddressSpace) error {
+	var tlbErr error
+	t.VisitEntries(func(asid int, va mem.VirtAddr, tr tlb.Translation) {
+		if tlbErr != nil {
+			return
+		}
+		as, ok := spaces[asid]
+		if !ok {
+			tlbErr = fmt.Errorf("vm: CPU %d TLB holds entry for dead ASID %d (va %#x)", cpuID, asid, uint64(va))
+			return
+		}
+		pa, flags, ok := as.pt.Lookup(va)
+		if !ok {
+			tlbErr = fmt.Errorf("vm: CPU %d TLB caches asid %d va %#x, which is no longer mapped", cpuID, asid, uint64(va))
+			return
+		}
+		if as.pt.PageSize(va) != tr.Size.Bytes() {
+			tlbErr = fmt.Errorf("vm: CPU %d TLB caches asid %d va %#x at size %s, page table maps %d bytes",
+				cpuID, asid, uint64(va), tr.Size, as.pt.PageSize(va))
+			return
+		}
+		if pa.Frame() != tr.Frame {
+			tlbErr = fmt.Errorf("vm: CPU %d TLB maps asid %d va %#x to frame %d, page table says %d",
+				cpuID, asid, uint64(va), tr.Frame, pa.Frame())
+			return
+		}
+		if flags != tr.Flags {
+			tlbErr = fmt.Errorf("vm: CPU %d TLB caches asid %d va %#x with flags %s, page table says %s",
+				cpuID, asid, uint64(va), tr.Flags, flags)
+		}
+	})
+	return tlbErr
+}
+
+// checkLRU validates one LRU list: linkage, flags, count, and that
+// every member is still tracked.
+func (k *Kernel) checkLRU(l *pageList, name string, active bool) error {
+	n := 0
+	for p := l.head; p != nil; p = p.next {
+		n++
+		if n > l.count {
+			return fmt.Errorf("vm: %s list longer than its count %d (cycle?)", name, l.count)
+		}
+		if p.list != l {
+			return fmt.Errorf("vm: frame %d on %s list but list pointer disagrees", p.Frame, name)
+		}
+		if p.Flags&PGLRU == 0 {
+			return fmt.Errorf("vm: frame %d on %s list without PGLRU", p.Frame, name)
+		}
+		if active != (p.Flags&PGActive != 0) {
+			return fmt.Errorf("vm: frame %d on %s list with PGActive=%v", p.Frame, name, p.Flags&PGActive != 0)
+		}
+		if tracked, ok := k.pages[p.Frame]; !ok || tracked != p {
+			return fmt.Errorf("vm: frame %d on %s list but not tracked", p.Frame, name)
+		}
+	}
+	if n != l.count {
+		return fmt.Errorf("vm: %s list holds %d pages, count says %d", name, n, l.count)
+	}
+	return nil
+}
+
+// SpareScrubbed verifies that every recycled PageInfo is fully zeroed,
+// including the retained rmap backing array past its (zero) length:
+// stale entries there hold dangling *AddressSpace pointers.
+func (k *Kernel) SpareScrubbed() error {
+	for i, p := range k.sparePages {
+		if p.Frame != 0 || p.Flags != 0 || p.MapCount != 0 || len(p.rmap) != 0 ||
+			p.prev != nil || p.next != nil || p.list != nil {
+			return fmt.Errorf("vm: spare PageInfo %d not scrubbed (frame=%d flags=%#x mapcount=%d rmap=%d)",
+				i, p.Frame, p.Flags, p.MapCount, len(p.rmap))
+		}
+		for j, e := range p.rmap[:cap(p.rmap)] {
+			if e.as != nil || e.va != 0 {
+				return fmt.Errorf("vm: spare PageInfo %d retains rmap entry %d past its length", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// TestOnlyCorruptRmap deliberately corrupts the rmap of one tracked
+// page — the lowest-numbered frame with a non-empty rmap, so the
+// choice is deterministic — by sliding its first entry one page
+// forward. It exists solely so tests can prove the invariant checker
+// and the stress harness's shrinker catch real metadata corruption; it
+// must never be called outside tests. It reports whether a candidate
+// page existed.
+func (k *Kernel) TestOnlyCorruptRmap() bool {
+	var victim *PageInfo
+	for _, pi := range k.pages {
+		if len(pi.rmap) == 0 {
+			continue
+		}
+		if victim == nil || pi.Frame < victim.Frame {
+			victim = pi
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	victim.rmap[0].va += mem.FrameSize
+	return true
+}

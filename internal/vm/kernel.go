@@ -58,6 +58,12 @@ type Kernel struct {
 	// rmapScratch is evictPage's reusable reverse-map snapshot buffer.
 	rmapScratch []rmapEntry
 
+	// spaces registers every live address space by ASID so the
+	// invariant checker can audit the pagetable ↔ rmap bijection
+	// machine-wide. ASIDs are never reused, so a TLB entry whose ASID is
+	// absent here is provably stale.
+	spaces map[int]*AddressSpace
+
 	// Two-list reclaim state.
 	active   *pageList
 	inactive *pageList
@@ -126,6 +132,7 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 		levels:   levels,
 		pool:     pool,
 		pages:    make(map[mem.Frame]*PageInfo),
+		spaces:   make(map[int]*AddressSpace),
 		active:   newPageList(),
 		inactive: newPageList(),
 		swap:     newSwapDevice(cfg.SwapFrames),
@@ -138,6 +145,7 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 	for _, cpu := range machine.CPUs() {
 		k.tlbs = append(k.tlbs, tlb.New(cpu, params, tlb.DefaultConfig()))
 	}
+	machine.RegisterInvariants("vm", k.CheckInvariants)
 	return k, nil
 }
 

@@ -66,6 +66,20 @@ type rmapEntry struct {
 // Mapped reports whether any PTE references the frame.
 func (p *PageInfo) Mapped() bool { return p.MapCount > 0 }
 
+// reset scrubs the record before it enters the recycled pool. The rmap
+// backing array is kept (recycling exists to avoid reallocating it)
+// but its full capacity is zeroed: entries past len(rmap) would
+// otherwise retain dangling *AddressSpace pointers from the record's
+// previous life, keeping dead address spaces reachable and risking
+// their resurrection if a later append exposes them.
+func (p *PageInfo) reset() {
+	rmap := p.rmap[:cap(p.rmap)]
+	for i := range rmap {
+		rmap[i] = rmapEntry{}
+	}
+	*p = PageInfo{rmap: rmap[:0]}
+}
+
 // maxSparePages bounds the kernel's recycled PageInfo pool.
 const maxSparePages = 65536
 
@@ -97,8 +111,7 @@ func (k *Kernel) forgetPage(p *PageInfo) {
 	delete(k.pages, p.Frame)
 	k.chargeMeta(1)
 	if len(k.sparePages) < maxSparePages {
-		rmap := p.rmap[:0]
-		*p = PageInfo{rmap: rmap}
+		p.reset()
 		k.sparePages = append(k.sparePages, p)
 	}
 }

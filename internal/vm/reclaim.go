@@ -44,6 +44,11 @@ func (s *SwapDevice) read(slot int) ([]byte, error) {
 
 func (s *SwapDevice) free(slot int) { delete(s.slots, slot) }
 
+func (s *SwapDevice) has(slot int) bool {
+	_, ok := s.slots[slot]
+	return ok
+}
+
 // SwapUsed returns the number of pages currently in swap.
 func (k *Kernel) SwapUsed() int { return k.swap.used() }
 

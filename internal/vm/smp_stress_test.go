@@ -1,0 +1,135 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestRandomizedShootdownQuiesce is the property form of the SMP
+// no-stale-TLB tests: random interleavings of mmap, touch, migrate,
+// partial munmap, mprotect, and fork across 4 CPUs and several
+// address spaces, auditing after every few operations that no CPU's
+// TLB holds an entry disagreeing with any page table (ASID liveness,
+// frame, flags, and page size — the full VisitEntries sweep inside
+// Kernel.CheckInvariants). Every shootdown path the interleaving
+// takes must therefore have quiesced before the audit.
+func TestRandomizedShootdownQuiesce(t *testing.T) {
+	steps := 400
+	if testing.Short() {
+		steps = 120
+	}
+	fn := func(seed uint64) bool {
+		machine, kernel := newSMPMachine(t, 4, seed)
+		rng := sim.NewRNG(seed)
+
+		type region struct {
+			as    *AddressSpace
+			va    mem.VirtAddr
+			pages uint64
+		}
+		var spaces []*AddressSpace
+		var regions []region
+		for i := 0; i < 3; i++ {
+			as, err := kernel.NewAddressSpace()
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			spaces = append(spaces, as)
+		}
+
+		for step := 0; step < steps; step++ {
+			as := spaces[rng.Intn(len(spaces))]
+			switch rng.Intn(10) {
+			case 0, 1: // map a fresh region
+				pages := uint64(1 + rng.Intn(8))
+				va, err := as.Mmap(MmapRequest{Pages: pages, Prot: rw, Anon: true})
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				regions = append(regions, region{as, va, pages})
+			case 2: // unmap one region (shootdown per page)
+				if len(regions) == 0 {
+					continue
+				}
+				i := rng.Intn(len(regions))
+				r := regions[i]
+				if err := r.as.Munmap(r.va, r.pages); err != nil {
+					t.Log(err)
+					return false
+				}
+				regions = append(regions[:i], regions[i+1:]...)
+			case 3: // migrate, growing the shootdown mask
+				as.RunOn(machine.CPU(rng.Intn(machine.NumCPUs())))
+			case 4: // downgrade then restore protection (shootdown per page)
+				if len(regions) == 0 {
+					continue
+				}
+				r := regions[rng.Intn(len(regions))]
+				// Adjacent anon regions merge into one VMA, and partial-VMA
+				// mprotect is unsupported; such picks are skipped.
+				if err := r.as.Mprotect(r.va, r.pages, ro); err != nil {
+					if strings.Contains(err.Error(), "partial-VMA") {
+						continue
+					}
+					t.Log(err)
+					return false
+				}
+				if err := r.as.Mprotect(r.va, r.pages, rw); err != nil {
+					t.Log(err)
+					return false
+				}
+			case 5: // fork: COW downgrades shoot down the parent's entries
+				if len(spaces) >= 6 {
+					continue
+				}
+				child, err := as.Fork()
+				if err != nil {
+					t.Log(err)
+					return false
+				}
+				spaces = append(spaces, child)
+				for _, r := range regions {
+					if r.as == as {
+						regions = append(regions, region{child, r.va, r.pages})
+					}
+				}
+			default: // touch: fill the current CPU's TLB
+				if len(regions) == 0 {
+					continue
+				}
+				r := regions[rng.Intn(len(regions))]
+				va := r.va + mem.VirtAddr(uint64(rng.Intn(int(r.pages)))*mem.FrameSize)
+				if err := r.as.Touch(va, rng.Intn(2) == 0); err != nil {
+					t.Log(err)
+					return false
+				}
+			}
+			if step%20 == 19 {
+				if err := kernel.CheckInvariants(); err != nil {
+					t.Logf("seed %d step %d: %v", seed, step, err)
+					return false
+				}
+			}
+		}
+
+		// Full-flush quiesce: after FlushAll on every CPU no entry may
+		// survive at all, stale or not.
+		for _, cpu := range machine.CPUs() {
+			kernel.TLBFor(cpu).FlushAll()
+			if n := kernel.TLBFor(cpu).ValidEntries(); n != 0 {
+				t.Logf("seed %d: CPU %d holds %d entries after FlushAll", seed, cpu.ID(), n)
+				return false
+			}
+		}
+		return kernel.CheckInvariants() == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
