@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments results profile clean
+.PHONY: all build test vet bench experiments results profile snap clean
 
 all: build vet test
 
@@ -26,6 +26,16 @@ bench:
 profile:
 	$(GO) run ./cmd/o1bench -parallel 1 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
 	@echo "wrote cpu.pprof and mem.pprof; try: go tool pprof -top cpu.pprof"
+
+# Persistence smoke: checkpoint a machine, restore it with a
+# bit-identity proof, then crash-and-recover every configuration with
+# a torn journal tail.
+snap:
+	$(GO) run ./cmd/o1snap save -config ranges -seed 1 -ops 2000 -o .o1snap.tmp
+	$(GO) run ./cmd/o1snap restore -i .o1snap.tmp
+	$(GO) run ./cmd/o1snap info -i .o1snap.tmp
+	@rm -f .o1snap.tmp
+	$(GO) run ./cmd/o1snap crash -config all -seed 2 -ops 1500 -torn
 
 # Regenerate every experiment as terminal tables.
 experiments:

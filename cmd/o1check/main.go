@@ -12,6 +12,7 @@
 //
 //	o1check -seed 1 -ops 50000 -cpus 4
 //	o1check -seed 7 -ops 20000 -config baseline,ranges -check-every 512
+//	o1check -seed 3 -ops 20000 -crash-recover -repro fail.trace
 package main
 
 import (
@@ -29,8 +30,10 @@ func main() {
 		ops        = flag.Int("ops", 50000, "number of operations to generate")
 		cpus       = flag.Int("cpus", 4, "CPUs per simulated machine")
 		config     = flag.String("config", "all", "comma-separated configurations (baseline,fom,pbm,ranges) or 'all'")
-		checkEvery = flag.Int("check-every", 1024, "run invariant sweeps every N ops (0 = only at the end)")
-		shrink     = flag.Bool("shrink", true, "shrink failing traces to a minimal reproducer")
+		checkEvery   = flag.Int("check-every", 1024, "run invariant sweeps every N ops (0 = only at the end)")
+		shrink       = flag.Bool("shrink", true, "shrink failing traces to a minimal reproducer")
+		crashRecover = flag.Bool("crash-recover", false, "after a clean replay, checkpoint + journal + crash at a seeded op and verify recovery")
+		repro        = flag.String("repro", "", "on failure, write the (shrunk) failing trace to this file")
 	)
 	flag.Parse()
 
@@ -39,12 +42,13 @@ func main() {
 		configs = strings.Split(*config, ",")
 	}
 	report, err := check.Run(check.Options{
-		Seed:       *seed,
-		Ops:        *ops,
-		CPUs:       *cpus,
-		Configs:    configs,
-		CheckEvery: *checkEvery,
-		Shrink:     *shrink,
+		Seed:         *seed,
+		Ops:          *ops,
+		CPUs:         *cpus,
+		Configs:      configs,
+		CheckEvery:   *checkEvery,
+		Shrink:       *shrink,
+		CrashRecover: *crashRecover,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "o1check: %v\n", err)
@@ -52,6 +56,17 @@ func main() {
 	}
 	fmt.Println(report.Format())
 	if report.Failure != nil {
+		if *repro != "" {
+			trace := report.Shrunk
+			if trace == nil {
+				trace = report.Trace
+			}
+			if werr := os.WriteFile(*repro, check.EncodeTrace(trace), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "o1check: writing reproducer: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "o1check: wrote %d-op reproducer trace to %s\n", len(trace), *repro)
+			}
+		}
 		os.Exit(1)
 	}
 }

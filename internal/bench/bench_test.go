@@ -12,7 +12,8 @@ func TestRegistryComplete(t *testing.T) {
 		"faults", "fig6a", "fig6b", "fig7", "fig8", "fig9",
 		"fragmentation", "headroom", "heapchurn",
 		"metadata", "o1", "pinning", "readvsmap", "reclaim",
-		"scale", "shootdown", "walkdepth", "zero",
+		"recovery", "scale", "shootdown",
+		"snapshot-restore", "snapshot-save", "walkdepth", "zero",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/vm"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "recovery",
+		Title: "crash recovery: metadata rebuild time vs working-set size",
+		Paper: "§3.1/§4 consequence: extent-grain metadata makes recovery O(extents), not O(pages)",
+		Run:   recovery,
+	})
+	register(Experiment{
+		ID:    "snapshot-save",
+		Title: "checkpoint a mid-trace machine to the binary snapshot format",
+		Paper: "persistence subsystem (wall-clock tracked via -benchjson)",
+		Run:   snapshotSave,
+	})
+	register(Experiment{
+		ID:    "snapshot-restore",
+		Title: "restore a snapshot and prove the rebuilt machine bit-identical",
+		Paper: "persistence subsystem (wall-clock tracked via -benchjson)",
+		Run:   snapshotRestore,
+	})
+}
+
+// recovery is experiment E17: after a crash, how long does each design
+// take to rebuild its memory-management metadata? The baseline must
+// re-derive per-page state — one struct-page update plus one PTE
+// verification per tracked page, plus a VMA-tree op per region — so
+// its bill grows linearly with the working set. File-only memory
+// replays extent-grain metadata: one inode op per file, one extent op
+// per run, one range-table op per entry — counts that stay flat as the
+// working set grows, because a contiguous working set is ONE extent no
+// matter how many pages it spans.
+func recovery() (*Result, error) {
+	table := metrics.NewTable(
+		"rebuild memory-management metadata after power loss (µs, simulated)",
+		"working_set", "baseline_pages", "baseline_us",
+		"pmfs_extents", "pmfs_us", "ranges_entries", "ranges_us")
+
+	sizes := []uint64{1024, 4096, 16384, 65536} // pages: 4 MiB .. 256 MiB
+	var flat []uint64
+	for _, pages := range sizes {
+		m, err := NewMachine()
+		if err != nil {
+			return nil, err
+		}
+		// Baseline working set: a populated anonymous mapping, so the
+		// kernel tracks one PageInfo per page.
+		as, err := m.Kernel.NewAddressSpace()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := as.Mmap(vm.MmapRequest{Pages: pages, Prot: rw, Anon: true, Populate: true}); err != nil {
+			return nil, err
+		}
+		// PMFS working set: one persistent file of the same size — a
+		// single extent under the Extent policy.
+		f, err := m.Pmfs.Create("/wset", memfs.CreateOptions{Durability: memfs.Persistent})
+		if err != nil {
+			return nil, err
+		}
+		if err := f.EnsureContiguous(pages); err != nil {
+			return nil, err
+		}
+		// Ranges working set: the same size as a process's volatile
+		// heap segment, translated by range-table entries.
+		p, err := m.FOM.NewProcess(core.Ranges)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.AllocVolatile(pages, rw); err != nil {
+			return nil, err
+		}
+
+		// Power fails: DRAM contents are lost; NVM survives.
+		m.Memory.Crash()
+
+		var basePages uint64
+		baseT, err := timeOp(m.Clock, func() error {
+			basePages = m.Kernel.RecoverMetadata()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var pmfsExtents uint64
+		pmfsT, err := timeOp(m.Clock, func() error {
+			_, pmfsExtents = m.Pmfs.RecoverMetadata()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var rangeRecords uint64
+		rangesT, err := timeOp(m.Clock, func() error {
+			rangeRecords = m.FOM.RecoverMetadata()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		flat = append(flat, rangeRecords)
+		table.AddRow(
+			fmt.Sprintf("%dMB", pages<<mem.FrameShift>>20),
+			fmt.Sprint(basePages), us(baseT),
+			fmt.Sprint(pmfsExtents), us(pmfsT),
+			fmt.Sprint(rangeRecords), us(rangesT))
+	}
+	return &Result{
+		ID:     "recovery",
+		Title:  "crash recovery cost",
+		Paper:  "§3.1/§4 consequence",
+		Tables: []*metrics.Table{table},
+		Notes: []string{
+			"baseline_us grows linearly with the working set (PageMetaOp + PTEWrite per page);",
+			fmt.Sprintf("pmfs/ranges replay extent-grain journals whose record counts stay flat (%d..%d records across a 64x size sweep),", flat[0], flat[len(flat)-1]),
+			"so recovery virtual time is O(extents) — effectively O(1) in the working-set size.",
+			fmt.Sprintf("journal appends are charged Params.JournalAppend (%d ns) per record by the write-ahead path.", sim.DefaultParams().JournalAppend),
+		},
+	}, nil
+}
+
+// snapshotOpts sizes the snapshot wall-clock benchmarks: a 2000-op
+// trace checkpointed at its midpoint.
+var snapshotOpts = check.Options{Seed: 1, Ops: 2000, CPUs: 2}
+
+// snapshotSave benchmarks building and serializing a checkpoint of
+// every harness configuration. The simulated table reports the stable
+// facts (op counts, encoded sizes); the host wall-clock cost of the
+// save path is what -benchjson records for this experiment.
+func snapshotSave() (*Result, error) {
+	table := metrics.NewTable(
+		"checkpoint a mid-trace machine (sizes are deterministic)",
+		"config", "snap_at", "trace_ops", "snapshot_bytes")
+	for _, cfg := range check.AllConfigs {
+		snap, err := check.BuildSnapshot(cfg, snapshotOpts, snapshotOpts.Ops/2)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := snap.Save(&buf); err != nil {
+			return nil, err
+		}
+		table.AddRow(cfg, fmt.Sprint(snap.Meta.SnapAt), fmt.Sprint(snap.Meta.TraceOps), fmt.Sprint(buf.Len()))
+	}
+	return &Result{
+		ID:     "snapshot-save",
+		Title:  "snapshot save",
+		Paper:  "persistence subsystem",
+		Tables: []*metrics.Table{table},
+		Notes:  []string{"wall-clock save cost is tracked in BENCH_wallclock.json under id snapshot-save."},
+	}, nil
+}
+
+// snapshotRestore benchmarks the full restore path: decode the
+// on-media bytes, reconstruct the machine, and prove bit-identity
+// (machine-state diff + memory checksum + invariant sweep).
+func snapshotRestore() (*Result, error) {
+	table := metrics.NewTable(
+		"restore + verify a checkpoint (verification is exact, not sampled)",
+		"config", "snap_at", "verified")
+	for _, cfg := range check.AllConfigs {
+		snap, err := check.BuildSnapshot(cfg, snapshotOpts, snapshotOpts.Ops/2)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := snap.Save(&buf); err != nil {
+			return nil, err
+		}
+		loaded, err := snapshot.Load(&buf)
+		if err != nil {
+			return nil, err
+		}
+		if err := check.VerifySnapshot(loaded); err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg, err)
+		}
+		table.AddRow(cfg, fmt.Sprint(loaded.Meta.SnapAt), "bit-identical")
+	}
+	return &Result{
+		ID:     "snapshot-restore",
+		Title:  "snapshot restore + verify",
+		Paper:  "persistence subsystem",
+		Tables: []*metrics.Table{table},
+		Notes:  []string{"wall-clock restore cost is tracked in BENCH_wallclock.json under id snapshot-restore."},
+	}, nil
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memfs"
+	"repro/internal/vm"
+)
+
+// TestRecoveryShape pins E17's claim directly against the recovery
+// cost models: quadrupling the working set quadruples the baseline's
+// metadata-rebuild time but leaves the extent-grain designs flat.
+func TestRecoveryShape(t *testing.T) {
+	measure := func(pages uint64) (base, pmfs, ranges int64) {
+		m, err := NewMachine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, err := m.Kernel.NewAddressSpace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := as.Mmap(vm.MmapRequest{Pages: pages, Prot: rw, Anon: true, Populate: true}); err != nil {
+			t.Fatal(err)
+		}
+		f, err := m.Pmfs.Create("/wset", memfs.CreateOptions{Durability: memfs.Persistent})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.EnsureContiguous(pages); err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.FOM.NewProcess(core.Ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.AllocVolatile(pages, rw); err != nil {
+			t.Fatal(err)
+		}
+		m.Memory.Crash()
+		bt, err := timeOp(m.Clock, func() error { m.Kernel.RecoverMetadata(); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := timeOp(m.Clock, func() error { m.Pmfs.RecoverMetadata(); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := timeOp(m.Clock, func() error { m.FOM.RecoverMetadata(); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(bt), int64(pt), int64(rt)
+	}
+
+	b1, p1, r1 := measure(4096)
+	b4, p4, r4 := measure(16384)
+	if b1 <= 0 || p1 <= 0 || r1 <= 0 {
+		t.Fatalf("zero recovery cost: baseline=%d pmfs=%d ranges=%d", b1, p1, r1)
+	}
+	if g := float64(b4) / float64(b1); g < 3 {
+		t.Fatalf("baseline recovery grew only %.2fx for 4x pages; want ~linear", g)
+	}
+	if g := float64(p4) / float64(p1); g > 1.5 {
+		t.Fatalf("pmfs recovery grew %.2fx for 4x pages; want flat", g)
+	}
+	if g := float64(r4) / float64(r1); g > 1.5 {
+		t.Fatalf("ranges recovery grew %.2fx for 4x pages; want flat", g)
+	}
+}
+
+// TestSnapshotExperimentsRun smoke-tests the wall-clock benchmark
+// experiments end to end.
+func TestSnapshotExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot experiments replay 2000-op traces")
+	}
+	for _, id := range []string{"recovery", "snapshot-save", "snapshot-restore"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		r, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(r.Tables) == 0 || len(r.Tables[0].Rows) == 0 {
+			t.Fatalf("%s: empty result", id)
+		}
+	}
+}

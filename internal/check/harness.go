@@ -32,6 +32,12 @@ type Options struct {
 	// prove the checker and shrinker catch real metadata corruption;
 	// only tests set it.
 	Corrupt bool
+	// CrashRecover runs the randomized crash-and-recover stage after a
+	// successful differential replay: checkpoint mid-trace, journal,
+	// crash at a seeded op (possibly tearing the journal), recover, and
+	// demand the recovered timeline be bit-identical to an uncrashed
+	// control (see persist.go).
+	CrashRecover bool
 }
 
 func (o Options) withDefaults() Options {
@@ -76,14 +82,24 @@ type Report struct {
 	Trace   []Op     // the generated trace
 	Failure *Failure // nil on success
 	Shrunk  []Op     // minimal failing trace (with Opts.Shrink)
+
+	// CrashReports describes the crash-and-recover stage (with
+	// Opts.CrashRecover, when the stage ran to completion).
+	CrashReports []*CrashRecoverReport
 }
 
 // Format renders the report for humans: the failure, the (shrunk)
 // trace, and the command reproducing it.
 func (r *Report) Format() string {
 	if r.Failure == nil {
-		return fmt.Sprintf("ok: seed=%d ops=%d cpus=%d configs=%s",
+		s := fmt.Sprintf("ok: seed=%d ops=%d cpus=%d configs=%s",
 			r.Opts.Seed, len(r.Trace), r.Opts.CPUs, strings.Join(r.Opts.Configs, ","))
+		if len(r.CrashReports) > 0 {
+			cr := r.CrashReports[0]
+			s += fmt.Sprintf("\nok: crash-recover snap@%d crash@%d (torn=%v): all configs recovered bit-identical",
+				cr.SnapAt, cr.CrashAt, cr.CrashAt != cr.RecoveredAt)
+		}
+		return s
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "FAIL: seed=%d: %v\n", r.Opts.Seed, r.Failure)
@@ -97,8 +113,12 @@ func (r *Report) Format() string {
 	for i, op := range trace {
 		fmt.Fprintf(&b, "  %4d: %s\n", i, op)
 	}
-	fmt.Fprintf(&b, "reproduce: o1check -seed %d -ops %d -cpus %d -config %s\n",
-		r.Opts.Seed, r.Opts.Ops, r.Opts.CPUs, strings.Join(r.Opts.Configs, ","))
+	extra := ""
+	if r.Opts.CrashRecover {
+		extra = " -crash-recover"
+	}
+	fmt.Fprintf(&b, "reproduce: o1check -seed %d -ops %d -cpus %d -config %s%s\n",
+		r.Opts.Seed, r.Opts.Ops, r.Opts.CPUs, strings.Join(r.Opts.Configs, ","), extra)
 	return b.String()
 }
 
@@ -116,6 +136,21 @@ func Run(opts Options) (*Report, error) {
 	trace := generate(opts.Seed, opts.Ops, opts.CPUs)
 	report := &Report{Opts: opts, Trace: trace}
 	report.Failure = replay(trace, opts)
+	if report.Failure == nil && opts.CrashRecover {
+		snapAt, crashAt, torn := crashRecoverStage(opts, len(trace))
+		crs, f, err := CrashRecover(opts, snapAt, crashAt, torn)
+		if err != nil {
+			return nil, err
+		}
+		report.CrashReports = crs
+		if f != nil {
+			// Crash-recover failures are not shrinkable: the shrink
+			// predicate replays without the persistence stage.
+			f.Reason = "crash-recover: " + f.Reason
+			report.Failure = f
+			return report, nil
+		}
+	}
 	if report.Failure == nil || !opts.Shrink {
 		return report, nil
 	}

@@ -1,0 +1,113 @@
+package check
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+func TestTraceCodecRoundTrip(t *testing.T) {
+	trace := generate(42, 500, 4)
+	got, err := DecodeTrace(EncodeTrace(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace, got) {
+		t.Fatal("trace codec round trip diverged")
+	}
+	if _, err := DecodeTrace(EncodeTrace(trace)[:7]); err == nil {
+		t.Fatal("truncated trace decoded without error")
+	}
+}
+
+func TestSnapshotBuildRestoreVerify(t *testing.T) {
+	opts := Options{Seed: 7, Ops: 300, CPUs: 2}
+	for _, cfg := range AllConfigs {
+		snap, err := BuildSnapshot(cfg, opts, 150)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		// Through the on-media format, as o1snap uses it.
+		var buf bytes.Buffer
+		if err := snap.Save(&buf); err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		loaded, err := snapshot.Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if err := VerifySnapshot(loaded); err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+	}
+}
+
+// TestCrashRecoverDeterminismAllConfigs is the tentpole's acceptance
+// test: crash at an op, recover from checkpoint + journal, finish the
+// trace — byte-identical to the uncrashed control, in every
+// configuration, with and without a torn journal tail.
+func TestCrashRecoverDeterminismAllConfigs(t *testing.T) {
+	ops := 1200
+	if testing.Short() {
+		ops = 400
+	}
+	cases := []struct {
+		seed uint64
+		cpus int
+		torn bool
+	}{
+		{seed: 1, cpus: 1, torn: false},
+		{seed: 2, cpus: 2, torn: true},
+		{seed: 3, cpus: 4, torn: false},
+	}
+	for _, tc := range cases {
+		opts := Options{Seed: tc.seed, Ops: ops, CPUs: tc.cpus}
+		snapAt, crashAt, _ := crashRecoverStage(opts, ops)
+		if tc.torn && crashAt == snapAt {
+			crashAt = snapAt + 1
+		}
+		reports, f, err := CrashRecover(opts, snapAt, crashAt, tc.torn)
+		if err != nil {
+			t.Fatalf("seed %d: %v", tc.seed, err)
+		}
+		if f != nil {
+			t.Fatalf("seed %d: %v", tc.seed, f)
+		}
+		if len(reports) != len(AllConfigs) {
+			t.Fatalf("seed %d: %d reports, want %d", tc.seed, len(reports), len(AllConfigs))
+		}
+		for _, rep := range reports {
+			wantRecovered := crashAt
+			if tc.torn {
+				wantRecovered--
+			}
+			if rep.RecoveredAt != wantRecovered {
+				t.Fatalf("seed %d %s: recovered to op %d, want %d", tc.seed, rep.Config, rep.RecoveredAt, wantRecovered)
+			}
+			if tc.torn == (rep.TornBytes == 0) {
+				t.Fatalf("seed %d %s: torn=%v but %d torn bytes", tc.seed, rep.Config, tc.torn, rep.TornBytes)
+			}
+			if rep.SnapshotBytes == 0 {
+				t.Fatalf("seed %d %s: empty snapshot", tc.seed, rep.Config)
+			}
+		}
+	}
+}
+
+// TestRunCrashRecoverStage exercises the harness wiring: Run with
+// Options.CrashRecover performs the randomized crash stage.
+func TestRunCrashRecoverStage(t *testing.T) {
+	ops := 600
+	if testing.Short() {
+		ops = 250
+	}
+	report, err := Run(Options{Seed: 11, Ops: ops, CPUs: 2, CrashRecover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failure != nil {
+		t.Fatalf("crash-recover stage failed: %v", report.Failure)
+	}
+}

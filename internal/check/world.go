@@ -25,6 +25,12 @@ type world interface {
 	fileByte(path string, page uint64) (byte, error)
 	// check runs the machine-wide invariant sweep.
 	check() error
+	// machine exposes the world's simulated machine (persistence
+	// captures its state; see persist.go).
+	machine() *sim.Machine
+	// memory exposes the world's physical memory (persistence
+	// checksums its content and injects crashes).
+	memory() *mem.Memory
 }
 
 // Machine sizing shared by all worlds. The generator's capacity caps

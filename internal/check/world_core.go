@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/memfs"
 	"repro/internal/sim"
 )
@@ -239,3 +240,7 @@ func (w *coreWorld) fileByte(path string, page uint64) (byte, error) {
 }
 
 func (w *coreWorld) check() error { return w.m.CheckInvariants() }
+
+func (w *coreWorld) machine() *sim.Machine { return w.m }
+
+func (w *coreWorld) memory() *mem.Memory { return w.sys.Memory() }

@@ -16,8 +16,9 @@ import (
 // reclaim and migration are no-ops, and the differential comparison
 // pins the mapped configurations to the same semantics.
 type fomWorld struct {
-	m  *sim.Machine
-	fs *memfs.FS // Extent policy over NVM
+	m   *sim.Machine
+	phy *mem.Memory
+	fs  *memfs.FS // Extent policy over NVM
 
 	procs  map[int]bool
 	priv   map[int]map[int]*memfs.File // proc -> obj -> private copy
@@ -40,6 +41,7 @@ func newFOMWorld(cpus int, seed uint64) (*fomWorld, error) {
 	}
 	return &fomWorld{
 		m:      machine,
+		phy:    memory,
 		fs:     fs,
 		procs:  map[int]bool{0: true},
 		priv:   map[int]map[int]*memfs.File{0: {}},
@@ -213,3 +215,7 @@ func (w *fomWorld) fileByte(path string, page uint64) (byte, error) {
 }
 
 func (w *fomWorld) check() error { return w.m.CheckInvariants() }
+
+func (w *fomWorld) machine() *sim.Machine { return w.m }
+
+func (w *fomWorld) memory() *mem.Memory { return w.phy }

@@ -200,6 +200,10 @@ func (w *vmWorld) fileByte(path string, page uint64) (byte, error) {
 
 func (w *vmWorld) check() error { return w.m.CheckInvariants() }
 
+func (w *vmWorld) machine() *sim.Machine { return w.m }
+
+func (w *vmWorld) memory() *mem.Memory { return w.k.Memory }
+
 // reclaimWant is how many frames one OpReclaim asks the baseline
 // page-out scanner to free.
 const reclaimWant = 64

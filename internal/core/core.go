@@ -199,6 +199,7 @@ func NewSystem(clock *sim.Clock, params *sim.Params, memory *mem.Memory, opts Op
 		s.rtlbs = append(s.rtlbs, rangetable.NewRTLB(cpu, params, opts.RTLBEntries))
 	}
 	machine.RegisterInvariants("core", s.CheckInvariants)
+	machine.RegisterStats("core", s.stats)
 	return s, nil
 }
 

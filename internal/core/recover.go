@@ -1,0 +1,27 @@
+package core
+
+import "repro/internal/sim"
+
+// RecoverMetadata models crash recovery in file-only memory: replay
+// the file system's extent metadata (O(extents) — package memfs),
+// rebuild each live Ranges process's range table from its journaled
+// per-extent entries, and relink the master page tables' populated
+// chunks with one entry write each (SharedPT mode's subtrees persist
+// in NVM; only the links are re-established). Nothing here visits a
+// page: the cost is O(extents + chunks), the paper's constant-order
+// recovery claim. Returns the total metadata records replayed.
+func (s *System) RecoverMetadata() uint64 {
+	inodes, extents := s.fs.RecoverMetadata()
+	records := inodes + extents
+	for _, p := range s.live {
+		if p.mode == Ranges && p.ranges != nil {
+			records += uint64(p.ranges.ReplayEntries())
+		}
+	}
+	for _, m := range s.masters {
+		chunks := uint64(len(m.chunks))
+		s.clock.Advance(sim.Time(chunks) * (s.params.ExtentOp + s.params.PTEWrite))
+		records += chunks
+	}
+	return records
+}

@@ -15,6 +15,7 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -161,6 +162,9 @@ func New(clock *sim.Clock, params *sim.Params, cfg Config) (*Memory, error) {
 		stats:  metrics.NewSet(),
 	}
 	m.cMaterialized = m.stats.Counter("materialized_frames")
+	// Self-register the counter set so Machine.CaptureState includes
+	// memory events in snapshot state comparisons.
+	sim.MachineOf(clock, params).RegisterStats("mem", m.stats)
 	next := Frame(0)
 	if cfg.DRAMFrames > 0 {
 		m.regions = append(m.regions, Region{Start: next, Count: cfg.DRAMFrames, Kind: DRAM})
@@ -408,6 +412,39 @@ func (m *Memory) CopyFrames(dst, src Frame, count uint64) {
 // MaterializedFrames returns how many frames currently have backing
 // arrays (a host-memory footprint diagnostic).
 func (m *Memory) MaterializedFrames() int { return len(m.data) }
+
+// ContentChecksum returns a deterministic 64-bit FNV-1a digest of the
+// observable contents of physical memory: every non-zero materialized
+// frame, visited in ascending frame order, hashed as its frame number
+// followed by its 4096 bytes. All-zero frames are skipped because an
+// absent frame also reads as zero — the digest is a function of what a
+// reader could observe, not of host-side materialization accidents.
+// Checksumming is tooling and advances no simulated clock.
+func (m *Memory) ContentChecksum() uint64 {
+	zero := frameArray{}
+	frames := make([]Frame, 0, len(m.data))
+	for f, d := range m.data {
+		if *d != zero {
+			frames = append(frames, f)
+		}
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, f := range frames {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ uint64(f>>s)&0xff) * prime64
+		}
+		d := m.data[f]
+		for _, b := range d {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	return h
+}
 
 // SpareScrubbed verifies that every backing array on the recycled pool
 // is fully zeroed. A non-zero spare array would leak dead frame

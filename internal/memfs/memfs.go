@@ -220,7 +220,9 @@ func New(name string, policy AllocPolicy, clock *sim.Clock, params *sim.Params, 
 	fs.root.nlink = 1
 	// Self-register with the machine so Machine.CheckInvariants audits
 	// this file system alongside every other subsystem.
-	sim.MachineOf(clock, params).RegisterInvariants("memfs:"+name, fs.CheckInvariants)
+	machine := sim.MachineOf(clock, params)
+	machine.RegisterInvariants("memfs:"+name, fs.CheckInvariants)
+	machine.RegisterStats("memfs:"+name, fs.stats)
 	return fs, nil
 }
 
@@ -1196,6 +1198,21 @@ func (fs *FS) Remount() (int, error) {
 	}
 	fs.stats.Counter("remounts").Inc()
 	return dropped, nil
+}
+
+// RecoverMetadata models remount-time metadata replay: the file
+// system re-reads every surviving inode and walks its extent list —
+// one inode operation per file plus one extent operation per run. The
+// cost is O(extents): with the Extent policy a multi-gigabyte file is
+// typically a single run, so recovery does not grow with file size.
+// Returns the inode and extent counts replayed.
+func (fs *FS) RecoverMetadata() (inodes, extents uint64) {
+	for _, ino := range fs.inodes {
+		inodes++
+		extents += uint64(len(ino.extents))
+	}
+	fs.clock.Advance(sim.Time(inodes)*fs.params.InodeOp + sim.Time(extents)*fs.params.ExtentOp)
+	return inodes, extents
 }
 
 // CheckInvariants validates that no two files share frames and that

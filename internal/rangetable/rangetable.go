@@ -75,6 +75,15 @@ func (t *Table) Entries() []Entry {
 	return out
 }
 
+// ReplayEntries models rebuilding the table from a metadata journal
+// after a crash: one range-table operation per entry, independent of
+// how many pages each entry spans. This is the O(extents) recovery
+// path of the range-translation design. Returns the entry count.
+func (t *Table) ReplayEntries() int {
+	t.clock.Advance(sim.Time(len(t.entries)) * t.params.RangeTableOp)
+	return len(t.entries)
+}
+
 // search returns the index of the first entry with VBase > va.
 func (t *Table) search(va mem.VirtAddr) int {
 	return sort.Search(len(t.entries), func(i int) bool {

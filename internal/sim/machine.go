@@ -54,11 +54,12 @@ func (c *CPU) AdvanceTo(t Time) { c.clock.AdvanceTo(t) }
 // multi-core refactor keep their single *sim.Clock and transparently
 // charge the right CPU.
 type Machine struct {
-	params *Params
-	cpus   []*CPU
-	cur    *CPU
-	kclock *Clock
-	checks []invariantCheck
+	params   *Params
+	cpus     []*CPU
+	cur      *CPU
+	kclock   *Clock
+	checks   []invariantCheck
+	statSets []statsEntry
 }
 
 // invariantCheck is one registered consistency check. Checks run in

@@ -231,6 +231,12 @@ type Params struct {
 	// swap device (a major fault's dominant term).
 	SwapPageIO Time
 
+	// JournalAppend is the cost of persisting one metadata journal
+	// record to NVM: an NVM-class store (MemRef + NVMWritePenalty)
+	// plus the write-ahead ordering overhead (fence/flush). Charged
+	// once per record by the persistence layer's modelled journal.
+	JournalAppend Time
+
 	// ReadPerByte is the marginal per-byte cost of a read()-style
 	// kernel copy (charged in addition to SyscallOverhead).
 	ReadPerByte Time
@@ -275,6 +281,7 @@ func DefaultParams() Params {
 		PageMetaOp:      12,
 		VMAOp:           180,
 		SwapPageIO:      25000,
+		JournalAppend:   200,
 		ReadPerByte:     0, // bulk copy cost charged via ReadPerPage below
 		IPIBroadcast:    2000,
 	}
@@ -312,6 +319,7 @@ func (p *Params) Validate() error {
 		{"TLBFullFlush", p.TLBFullFlush},
 		{"IPISend", p.IPISend},
 		{"IPIReceive", p.IPIReceive},
+		{"JournalAppend", p.JournalAppend},
 	}
 	for _, c := range checks {
 		if c.v <= 0 {

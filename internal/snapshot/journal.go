@@ -1,0 +1,72 @@
+package snapshot
+
+import "hash/crc32"
+
+// Journal is a write-ahead log of opaque metadata records appended
+// after a checkpoint. On media it is a pure record stream — no header,
+// no trailer — so a crash can cut it at ANY byte and recovery still
+// works: Decode returns the longest valid record prefix and reports
+// the torn tail. Each record is framed as
+//
+//	length   uint32 (little-endian, payload bytes)
+//	payload  []byte
+//	crc32    uint32 (IEEE, over the payload)
+//
+// A record is durable exactly when its trailing CRC is fully on media
+// and matches — the classic WAL commit rule.
+type Journal struct {
+	recs [][]byte
+}
+
+// Append adds one record to the journal's in-memory tail.
+func (j *Journal) Append(rec []byte) {
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	j.recs = append(j.recs, cp)
+}
+
+// Len returns the number of records.
+func (j *Journal) Len() int { return len(j.recs) }
+
+// Records returns the records in append order. The slice is shared;
+// do not modify.
+func (j *Journal) Records() [][]byte { return j.recs }
+
+// Encode serializes the journal as a record stream.
+func (j *Journal) Encode() []byte {
+	var e enc
+	for _, rec := range j.recs {
+		e.u32(uint32(len(rec)))
+		e.b = append(e.b, rec...)
+		e.u32(crc32.ChecksumIEEE(rec))
+	}
+	return e.b
+}
+
+// DecodeJournal parses a (possibly torn) record stream. It returns the
+// journal holding every fully-committed record and the number of
+// trailing bytes discarded as a torn or corrupt tail (0 for a clean
+// log). Decoding never fails: crash-cut media is an expected input,
+// and the valid prefix is exactly what recovery may trust.
+func DecodeJournal(data []byte) (*Journal, int) {
+	j := &Journal{}
+	off := 0
+	for {
+		if len(data)-off < 4 {
+			break
+		}
+		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		if len(data)-off-4 < n+4 {
+			break // payload or CRC not fully on media: torn record
+		}
+		payload := data[off+4 : off+4+n]
+		c := off + 4 + n
+		want := uint32(data[c]) | uint32(data[c+1])<<8 | uint32(data[c+2])<<16 | uint32(data[c+3])<<24
+		if crc32.ChecksumIEEE(payload) != want {
+			break // bit rot or a cut that landed inside the CRC
+		}
+		j.Append(payload)
+		off = c + 4
+	}
+	return j, len(data) - off
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenSpec is fixed forever: the golden file pins Generate's exact
+// output for it, so any accidental change to the generator, the RNG,
+// or the serialization format — all of which persisted traces and
+// snapshot determinism depend on — fails this test instead of silently
+// invalidating previously written files.
+var goldenSpec = GenSpec{
+	Name:      "golden-small",
+	Ops:       64,
+	SizeDist:  workload.SmallHeavy,
+	MinPages:  1,
+	MaxPages:  256,
+	TouchFrac: 0.5,
+	WriteFrac: 0.5,
+	Seed:      12345,
+}
+
+func TestGenerateGolden(t *testing.T) {
+	tr, err := Generate(goldenSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "gen_small.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Generate output changed: got %d bytes, golden %d bytes.\n"+
+			"If the change is intentional, regenerate with `go test ./internal/trace -run TestGenerateGolden -update`.",
+			buf.Len(), len(want))
+	}
+	// The golden bytes must also survive the decoder.
+	back, err := Read(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ops) != len(tr.Ops) || back.Name != tr.Name {
+		t.Fatalf("golden decode mismatch: %d ops %q, want %d ops %q", len(back.Ops), back.Name, len(tr.Ops), tr.Name)
+	}
+}

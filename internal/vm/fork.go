@@ -2,10 +2,21 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mem"
 	"repro/internal/pagetable"
 )
+
+// sortedVAs returns a swap map's keys in ascending address order.
+func sortedVAs(m map[mem.VirtAddr]int) []mem.VirtAddr {
+	vas := make([]mem.VirtAddr, 0, len(m))
+	for va := range m {
+		vas = append(vas, va)
+	}
+	sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+	return vas
+}
 
 // Fork duplicates the address space with copy-on-write semantics: every
 // VMA is copied, every present writable private page is downgraded to
@@ -63,8 +74,10 @@ func (a *AddressSpace) Fork() (*AddressSpace, error) {
 			}
 		}
 		// Swapped pages are shared via COW in real kernels; the
-		// simulator keeps fork simple by faulting them back in first.
-		for va := range a.swapped {
+		// simulator keeps fork simple by faulting them back in first —
+		// in address order, so the frames the fault-ins allocate (and
+		// thus the physical layout) are a pure function of the trace.
+		for _, va := range sortedVAs(a.swapped) {
 			if v.Contains(va) {
 				if err := a.installPage(v, va, false); err != nil {
 					return nil, err

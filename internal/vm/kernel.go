@@ -146,6 +146,7 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 		k.tlbs = append(k.tlbs, tlb.New(cpu, params, tlb.DefaultConfig()))
 	}
 	machine.RegisterInvariants("vm", k.CheckInvariants)
+	machine.RegisterStats("vm", k.stats)
 	return k, nil
 }
 

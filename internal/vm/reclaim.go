@@ -72,13 +72,15 @@ func (k *Kernel) ReclaimPages(want uint64) (uint64, error) {
 			if k.active.len() == 0 {
 				break
 			}
-			// Demote one active page per refill step.
+			// Demote one active page per refill step. PGActive is
+			// cleared only on actual demotion: a referenced page
+			// rotates on the active list and must keep the flag.
 			ap := k.active.popFront()
-			ap.Flags &^= PGActive
 			if ap.Flags&PGReferenced != 0 {
 				ap.Flags &^= PGReferenced
 				k.active.pushBack(ap)
 			} else {
+				ap.Flags &^= PGActive
 				k.inactive.pushBack(ap)
 			}
 			continue

@@ -1,0 +1,24 @@
+package vm
+
+import "repro/internal/sim"
+
+// RecoverMetadata models post-crash metadata reconstruction in the
+// baseline design. A conventional kernel's volatile bookkeeping — the
+// struct-page array entries, reverse maps, and VMA trees — must be
+// re-derived for every tracked page and every region after a crash
+// (from a checkpoint plus whatever the persistence layer journaled):
+// one metadata update and one PTE verification per page, one tree
+// operation per VMA. The cost is O(tracked pages) — the linear
+// recovery bill that file-only memory's extent-grain metadata avoids.
+//
+// It returns the number of pages rebuilt.
+func (k *Kernel) RecoverMetadata() uint64 {
+	pages := uint64(len(k.pages))
+	k.Clock.Advance(sim.Time(pages) * (k.Params.PageMetaOp + k.Params.PTEWrite))
+	var vmas uint64
+	for _, as := range k.spaces {
+		vmas += uint64(len(as.vmas))
+	}
+	k.Clock.Advance(sim.Time(vmas) * k.Params.VMAOp)
+	return pages
+}

@@ -145,3 +145,67 @@ func TestStringers(t *testing.T) {
 		}
 	}
 }
+
+// gcd is Euclid's algorithm, the test's independent oracle for the
+// strided cycle structure.
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// TestTouchesStridedNonCoprime pins the number-theoretic structure of
+// the strided pattern when the stride does NOT generate the whole
+// region: starting from 0 with step s over T pages, the walk visits
+// exactly T/gcd(s,T) distinct pages — every multiple of gcd(s,T) —
+// and repeats with that period. A strided benchmark configured with a
+// non-coprime stride therefore exercises only a 1/gcd fraction of its
+// region; this test keeps that property (which the TLB and range
+// experiments depend on for working-set sizing) from regressing.
+func TestTouchesStridedNonCoprime(t *testing.T) {
+	cases := []struct{ total, stride uint64 }{
+		{12, 8},    // gcd 4: only 3 of 12 pages
+		{64, 24},   // gcd 8: 8 of 64
+		{100, 35},  // gcd 5: 20 of 100
+		{128, 48},  // gcd 16
+		{9, 6},     // gcd 3
+		{16, 16},   // stride == total: pinned to page 0
+		{1, 5},     // single page
+		{97, 35},   // coprime control: full coverage
+		{100, 0},   // default stride 8: gcd(8,100)=4
+	}
+	for _, tc := range cases {
+		stride := tc.stride
+		if stride == 0 {
+			stride = 8
+		}
+		g := gcd(stride%tc.total, tc.total)
+		if stride%tc.total == 0 {
+			g = tc.total // walk never leaves page 0
+		}
+		wantDistinct := tc.total / g
+		n := int(3*wantDistinct) + 5 // enough to wrap the cycle three times
+		got, err := Touches(Strided, tc.total, n, tc.stride, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[uint64]bool)
+		for i, p := range got {
+			if p >= tc.total {
+				t.Fatalf("total=%d stride=%d: touch %d = %d out of bounds", tc.total, tc.stride, i, p)
+			}
+			if p%g != 0 {
+				t.Fatalf("total=%d stride=%d: touch %d = %d not a multiple of gcd %d", tc.total, tc.stride, i, p, g)
+			}
+			seen[p] = true
+			// Periodicity: the walk repeats every wantDistinct steps.
+			if j := i + int(wantDistinct); j < len(got) && got[j] != p {
+				t.Fatalf("total=%d stride=%d: period broken at %d: %d vs %d", tc.total, tc.stride, i, p, got[j])
+			}
+		}
+		if uint64(len(seen)) != wantDistinct {
+			t.Fatalf("total=%d stride=%d: visited %d distinct pages, want %d", tc.total, tc.stride, len(seen), wantDistinct)
+		}
+	}
+}
