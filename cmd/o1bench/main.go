@@ -43,13 +43,16 @@ func run() error {
 	paramsFile := flag.String("params", "", "JSON cost-table file overriding the calibrated defaults")
 	dumpParams := flag.Bool("dump-params", false, "print the default cost table as JSON and exit")
 	cpus := flag.Int("cpus", 1, "simulated CPU count for every experiment machine")
+	hostpar := flag.Bool("hostpar", false, "run each experiment's simulated CPU contexts on host goroutines (simulated numbers unchanged; wall-clock drops)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker count (1 = serial, enables per-experiment alloc counts)")
 	benchJSON := flag.String("benchjson", "", "write per-experiment wall-clock times as JSON to this file")
+	force := flag.Bool("force", false, "overwrite an existing -benchjson file even if it was measured on a differently shaped host")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the suite) to this file")
 	flag.Parse()
 
 	bench.SetCPUs(*cpus)
+	bench.SetHostParallel(*hostpar)
 
 	if *dumpParams {
 		def := sim.DefaultParams()
@@ -117,11 +120,24 @@ func run() error {
 	}
 
 	if *benchJSON != "" {
+		suite := bench.NewSuiteReport(reports, *parallel, total)
+		// Wall-clock numbers are only comparable when measured on the
+		// same host shape; refuse to silently replace the tracked
+		// baseline with numbers from a different one.
+		if prev, err := os.Open(*benchJSON); err == nil {
+			old, perr := bench.ReadSuiteReport(prev)
+			prev.Close()
+			if perr == nil && !*force {
+				if d := suite.ShapeMismatch(old); d != "" {
+					return fmt.Errorf("refusing to overwrite %s: host shape changed (%s); rerun with -force to replace the baseline", *benchJSON, d)
+				}
+			}
+		}
 		f, err := os.Create(*benchJSON)
 		if err != nil {
 			return err
 		}
-		werr := bench.NewSuiteReport(reports, *parallel, total).WriteJSON(f)
+		werr := suite.WriteJSON(f)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}

@@ -8,17 +8,24 @@
 // prints the seed, a (shrunk) minimal operation trace, and the exact
 // command that reproduces it, then exits non-zero.
 //
+// With -seeds N the harness sweeps N consecutive seeds; -hostpar (or
+// an explicit -workers M) fans the sweep out over host goroutines.
+// Each seed's run is fully isolated, so the verdicts are identical
+// whatever the worker count.
+//
 // Usage:
 //
 //	o1check -seed 1 -ops 50000 -cpus 4
 //	o1check -seed 7 -ops 20000 -config baseline,ranges -check-every 512
 //	o1check -seed 3 -ops 20000 -crash-recover -repro fail.trace
+//	o1check -seed 1 -seeds 32 -ops 5000 -hostpar
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/check"
@@ -34,6 +41,9 @@ func main() {
 		shrink       = flag.Bool("shrink", true, "shrink failing traces to a minimal reproducer")
 		crashRecover = flag.Bool("crash-recover", false, "after a clean replay, checkpoint + journal + crash at a seeded op and verify recovery")
 		repro        = flag.String("repro", "", "on failure, write the (shrunk) failing trace to this file")
+		seeds        = flag.Int("seeds", 1, "number of consecutive seeds to sweep, starting at -seed")
+		workers      = flag.Int("workers", 1, "host goroutines for the seed sweep (0 = GOMAXPROCS)")
+		hostpar      = flag.Bool("hostpar", false, "shorthand for -workers 0: sweep seeds on GOMAXPROCS host goroutines")
 	)
 	flag.Parse()
 
@@ -41,7 +51,14 @@ func main() {
 	if *config != "all" && *config != "" {
 		configs = strings.Split(*config, ",")
 	}
-	report, err := check.Run(check.Options{
+	nWorkers := *workers
+	if *hostpar && nWorkers == 1 {
+		nWorkers = 0
+	}
+	if nWorkers == 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	reports, err := check.RunMany(check.Options{
 		Seed:         *seed,
 		Ops:          *ops,
 		CPUs:         *cpus,
@@ -49,24 +66,35 @@ func main() {
 		CheckEvery:   *checkEvery,
 		Shrink:       *shrink,
 		CrashRecover: *crashRecover,
-	})
+	}, *seeds, nWorkers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "o1check: %v\n", err)
 		os.Exit(2)
 	}
-	fmt.Println(report.Format())
-	if report.Failure != nil {
+	failed := false
+	for _, report := range reports {
+		fmt.Println(report.Format())
+		if report.Failure == nil {
+			continue
+		}
+		failed = true
 		if *repro != "" {
 			trace := report.Shrunk
 			if trace == nil {
 				trace = report.Trace
 			}
-			if werr := os.WriteFile(*repro, check.EncodeTrace(trace), 0o644); werr != nil {
+			name := *repro
+			if len(reports) > 1 {
+				name = fmt.Sprintf("%s.seed%d", *repro, report.Opts.Seed)
+			}
+			if werr := os.WriteFile(name, check.EncodeTrace(trace), 0o644); werr != nil {
 				fmt.Fprintf(os.Stderr, "o1check: writing reproducer: %v\n", werr)
 			} else {
-				fmt.Fprintf(os.Stderr, "o1check: wrote %d-op reproducer trace to %s\n", len(trace), *repro)
+				fmt.Fprintf(os.Stderr, "o1check: wrote %d-op reproducer trace to %s\n", len(trace), name)
 			}
 		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

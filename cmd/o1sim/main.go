@@ -1,11 +1,18 @@
 // Command o1sim runs a configurable workload on a chosen memory
-// backend and prints timing and event statistics — an interactive way
-// to explore the simulator beyond the fixed paper experiments.
+// backend and prints timing, latency and event statistics — an
+// interactive way to explore the simulator beyond the fixed paper
+// experiments.
+//
+// With -cpus N the region splits into one contiguous sub-region per
+// simulated CPU and the baseline backends run the touch phase on all
+// CPU contexts; -hostpar additionally runs those contexts on real host
+// goroutines (simulated numbers are identical either way). The
+// file-only-memory backends are O(1) per operation and run on one CPU.
 //
 // Usage examples:
 //
 //	o1sim -backend baseline -pages 4096 -pattern random -touches 100000
-//	o1sim -backend fom-ranges -pages 262144 -pattern sequential
+//	o1sim -backend baseline -pages 262144 -cpus 8 -hostpar
 //	o1sim -backend fom-sharedpt -pages 8192 -pattern hot-cold -writes
 package main
 
@@ -39,9 +46,11 @@ func main() {
 	writes := flag.Bool("writes", false, "touch with writes instead of reads")
 	seed := flag.Uint64("seed", 42, "workload RNG seed")
 	cpus := flag.Int("cpus", 1, "simulated CPU count")
+	hostpar := flag.Bool("hostpar", false, "run simulated CPU contexts on host goroutines (deterministic; simulated numbers unchanged)")
 	flag.Parse()
 
 	bench.SetCPUs(*cpus)
+	bench.SetHostParallel(*hostpar)
 
 	backends := []string{*backend}
 	if *backend == "all" {
@@ -76,29 +85,77 @@ func run(backend string, pages uint64, patName string, touches int, stride uint6
 	}
 	const prot = pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
 
-	var touch func(page uint64) error
+	var allocCost, touchCost sim.Time
+	lat := &workload.Latency{}
 	var report func()
 
-	allocStart := m.Clock.Now()
 	switch backend {
 	case "baseline", "baseline-populate":
-		as, err := m.Kernel.NewAddressSpace()
-		if err != nil {
+		n := m.Sim.NumCPUs()
+		shares := workload.Split(pages, n)
+		parts := workload.Partition(idx, shares)
+		if err := m.ShardPool(); err != nil {
 			return err
 		}
-		va, err := as.Mmap(vm.MmapRequest{
-			Pages: pages, Prot: prot, Anon: true, Private: true,
-			Populate: backend == "baseline-populate",
-		})
-		if err != nil {
+		spaces := make([]*vm.AddressSpace, n)
+		vas := make([]mem.VirtAddr, n)
+		m.Sim.Sync()
+		t0 := m.Sim.Time()
+		for i := range spaces {
+			as, err := m.Kernel.NewAddressSpaceOn(m.Sim.CPU(i))
+			if err != nil {
+				return err
+			}
+			spaces[i] = as
+			if shares[i] == 0 {
+				continue
+			}
+			vas[i], err = as.Mmap(vm.MmapRequest{
+				Pages: shares[i], Prot: prot, Anon: true, Private: true,
+				Populate: backend == "baseline-populate",
+			})
+			if err != nil {
+				return err
+			}
+		}
+		m.Sim.Sync()
+		allocCost = m.Sim.Time() - t0
+
+		lats := make([]workload.Latency, n)
+		t1 := m.Sim.Time()
+		if err := m.Sim.RunParallel(func(c *sim.CPU) error {
+			as, va, l := spaces[c.ID()], vas[c.ID()], &lats[c.ID()]
+			clk := c.Clock()
+			for _, p := range parts[c.ID()] {
+				s := clk.Now()
+				if err := as.Touch(va+mem.VirtAddr(p*mem.FrameSize), writes); err != nil {
+					return err
+				}
+				l.Record(clk.Since(s))
+			}
+			return nil
+		}); err != nil {
 			return err
 		}
-		touch = func(p uint64) error { return as.Touch(va+mem.VirtAddr(p*mem.FrameSize), writes) }
+		touchCost = m.Sim.Time() - t1
+		for i := range lats {
+			lat.Merge(&lats[i])
+		}
 		report = func() {
 			fmt.Println("kernel:", m.Kernel.Stats())
-			fmt.Println("tlb:   ", as.TLB().Stats())
+			if n == 1 {
+				fmt.Println("tlb:   ", spaces[0].TLB().Stats())
+			} else {
+				for i, as := range spaces {
+					fmt.Printf("tlb[%d]: %s\n", i, as.TLB().Stats())
+				}
+			}
+			mapped := uint64(0)
+			for _, as := range spaces {
+				mapped += as.MappedPages()
+			}
 			fmt.Printf("mapped pages: %d, tracked struct pages: %d (%d bytes)\n",
-				as.MappedPages(), m.Kernel.TrackedPages(), m.Kernel.MetadataBytes())
+				mapped, m.Kernel.TrackedPages(), m.Kernel.MetadataBytes())
 		}
 	case "fom-ranges", "fom-sharedpt":
 		mode := core.Ranges
@@ -109,11 +166,21 @@ func run(backend string, pages uint64, patName string, touches int, stride uint6
 		if err != nil {
 			return err
 		}
+		allocStart := m.Clock.Now()
 		mp, err := p.AllocVolatile(pages, prot)
 		if err != nil {
 			return err
 		}
-		touch = func(pg uint64) error { return p.Touch(mp.Base()+mem.VirtAddr(pg*mem.FrameSize), writes) }
+		allocCost = m.Clock.Since(allocStart)
+		touchStart := m.Clock.Now()
+		for _, pg := range idx {
+			s := m.Clock.Now()
+			if err := p.Touch(mp.Base()+mem.VirtAddr(pg*mem.FrameSize), writes); err != nil {
+				return err
+			}
+			lat.Record(m.Clock.Since(s))
+		}
+		touchCost = m.Clock.Since(touchStart)
 		report = func() {
 			fmt.Println("system:", m.FOM.Stats())
 			fmt.Println("proc:  ", p.Stats())
@@ -128,21 +195,13 @@ func run(backend string, pages uint64, patName string, touches int, stride uint6
 	default:
 		return fmt.Errorf("unknown backend %q", backend)
 	}
-	allocCost := m.Clock.Since(allocStart)
-
-	touchStart := m.Clock.Now()
-	for _, p := range idx {
-		if err := touch(p); err != nil {
-			return err
-		}
-	}
-	touchCost := m.Clock.Since(touchStart)
 
 	fmt.Printf("backend=%s pages=%d (%d KB) pattern=%s touches=%d writes=%v\n",
 		backend, pages, pages*4, patName, touches, writes)
 	fmt.Printf("alloc+map: %v\n", allocCost)
 	fmt.Printf("touch:     %v total, %.1f ns/touch\n", touchCost,
 		float64(touchCost)/float64(touches))
+	fmt.Printf("touch latency (ns, simulated): %v\n", lat)
 	fmt.Printf("virtual time elapsed: %v (machine-wide, %d CPUs)\n", sim.Time(m.Sim.Time()), m.Sim.NumCPUs())
 	report()
 	return nil

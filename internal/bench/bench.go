@@ -120,6 +120,19 @@ func SetCPUs(n int) {
 // CPUCount returns the configured CPU count.
 func CPUCount() int { return benchCPUs }
 
+// benchHostPar selects host-parallel execution (the -hostpar flag):
+// each simulated CPU's context runs on its own host goroutine inside
+// the experiments' RunParallel phases. Simulated numbers are identical
+// either way — only wall-clock time changes.
+var benchHostPar = false
+
+// SetHostParallel plumbs cmd/o1bench's -hostpar flag through to every
+// machine the experiments build.
+func SetHostParallel(on bool) { benchHostPar = on }
+
+// HostParallel returns the configured host-parallel setting.
+func HostParallel() bool { return benchHostPar }
+
 // Machine is the standard experiment machine: 2 GiB of DRAM for the
 // baseline's page pool and page tables, 6 GiB of NVM split between a
 // tmpfs, a PMFS and the file-only-memory store.
@@ -132,6 +145,17 @@ type Machine struct {
 	Tmpfs  *memfs.FS // page-granular, the paper's tmpfs measurements
 	Pmfs   *memfs.FS // extent-granular persistent fs (Figure 7)
 	FOM    *core.System
+	// PoolFrames is the size of the baseline kernel's frame pool —
+	// what ShardPool splits into per-CPU arenas.
+	PoolFrames uint64
+}
+
+// ShardPool carves the baseline kernel's pool into one arena per CPU
+// so host-parallel phases never contend on shared frame allocation.
+// With one CPU it is a no-op and the machine stays exactly as the
+// serial experiments have always used it.
+func (m *Machine) ShardPool() error {
+	return carveBenchArenas(m.Kernel, m.PoolFrames)
 }
 
 // NewMachine builds the standard machine with the configured CPU count
@@ -152,6 +176,7 @@ func NewMachineN(n int) (*Machine, error) {
 	)
 	params := machineParams()
 	machine := sim.NewMachine(&params, n, 0)
+	machine.SetHostParallel(benchHostPar)
 	clock := machine.Clock()
 	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: dramFrames, NVMFrames: nvmFrames})
 	if err != nil {
@@ -178,14 +203,15 @@ func NewMachineN(n int) (*Machine, error) {
 		return nil, err
 	}
 	return &Machine{
-		Sim:    machine,
-		Clock:  clock,
-		Params: &params,
-		Memory: memory,
-		Kernel: kernel,
-		Tmpfs:  tmpfs,
-		Pmfs:   pmfs,
-		FOM:    fom,
+		Sim:        machine,
+		Clock:      clock,
+		Params:     &params,
+		Memory:     memory,
+		Kernel:     kernel,
+		Tmpfs:      tmpfs,
+		Pmfs:       pmfs,
+		FOM:        fom,
+		PoolFrames: poolFrames,
 	}, nil
 }
 

@@ -28,21 +28,28 @@ func init() {
 
 // newDRAMMachine builds a machine whose file-only-memory store lives
 // in DRAM, so fig9 compares translation mechanisms without the NVM
-// access penalty differing between the two sides.
+// access penalty differing between the two sides. It honors the
+// configured -cpus count; with more than one CPU the baseline pool is
+// sharded into per-CPU arenas for the parallel page-table phases.
 func newDRAMMachine() (*Machine, error) {
 	const (
 		dramFrames = uint64(6) << 30 >> mem.FrameShift
 		poolFrames = uint64(2) << 30 >> mem.FrameShift
 		ptFrames   = uint64(256) << 20 >> mem.FrameShift
 	)
-	clock := &sim.Clock{}
 	params := machineParams()
+	machine := sim.NewMachine(&params, benchCPUs, 0)
+	machine.SetHostParallel(benchHostPar)
+	clock := machine.Clock()
 	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: dramFrames})
 	if err != nil {
 		return nil, err
 	}
 	kernel, err := vm.NewKernel(clock, &params, memory, vm.Config{PoolBase: 0, PoolFrames: poolFrames})
 	if err != nil {
+		return nil, err
+	}
+	if err := carveBenchArenas(kernel, poolFrames); err != nil {
 		return nil, err
 	}
 	fom, err := core.NewSystem(clock, &params, memory, core.Options{
@@ -54,7 +61,7 @@ func newDRAMMachine() (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{Clock: clock, Params: &params, Memory: memory, Kernel: kernel, FOM: fom}, nil
+	return &Machine{Sim: machine, Clock: clock, Params: &params, Memory: memory, Kernel: kernel, FOM: fom, PoolFrames: poolFrames}, nil
 }
 
 func fig9() (*Result, error) {
@@ -66,30 +73,36 @@ func fig9() (*Result, error) {
 	mapTable := metrics.NewTable(
 		"install + remove one mapping (µs, simulated)",
 		"size_MB", "pagetable_map_us", "range_map_us", "pagetable_unmap_us", "range_unmap_us")
-	// Page-based: a baseline address space populating PTEs.
+	// Page-based: baseline address spaces populating PTEs, the work
+	// split across the simulated CPUs (one space per CPU).
 	// Range-based: a file-only-memory process with range translations.
 	for _, mb := range []uint64{1, 16, 256, 1024} {
 		pages := mb << 20 >> mem.FrameShift
+		shares := splitPages(pages, m.Sim.NumCPUs())
 
-		as, err := m.Kernel.NewAddressSpace()
+		spaces, err := perCPUSpaces(m.Sim, m.Kernel)
 		if err != nil {
 			return nil, err
 		}
-		var va mem.VirtAddr
+		var vas []mem.VirtAddr
 		ptMap, err := timeOp(m.Clock, func() error {
 			var e error
-			va, e = as.Mmap(vm.MmapRequest{Pages: pages, Prot: rw, Anon: true, Populate: true})
+			vas, e = mmapAll(m.Sim, spaces, shares)
 			return e
 		})
 		if err != nil {
 			return nil, err
 		}
-		ptUnmap, err := timeOp(m.Clock, func() error { return as.Munmap(va, pages) })
+		ptUnmap, err := timeOp(m.Clock, func() error {
+			return munmapAll(m.Sim, spaces, vas, shares)
+		})
 		if err != nil {
 			return nil, err
 		}
-		if err := as.Destroy(); err != nil {
-			return nil, err
+		for _, as := range spaces {
+			if err := as.Destroy(); err != nil {
+				return nil, err
+			}
 		}
 
 		p, err := m.FOM.NewProcess(core.Ranges)
@@ -114,7 +127,10 @@ func fig9() (*Result, error) {
 
 	// Access cost: sparse random touches over a large region. The page
 	// TLB thrashes (every touch is a miss + walk); the range TLB holds
-	// the single covering entry.
+	// the single covering entry. On a multi-CPU machine the region is
+	// split into one equal sub-region per CPU and the trace partitioned
+	// by owning sub-region (order preserved), so each CPU touches only
+	// its own address space.
 	const regionMB = 512
 	const touches = 20000
 	regionPages := uint64(regionMB) << 20 >> mem.FrameShift
@@ -127,27 +143,37 @@ func fig9() (*Result, error) {
 		fmt.Sprintf("sparse random access over %d MiB, %d touches (cost per touch, ns)", regionMB, touches),
 		"translation", "ns_per_touch", "tlb_miss_rate")
 
-	as, err := m.Kernel.NewAddressSpace()
+	accShares := splitPages(regionPages, m.Sim.NumCPUs())
+	parts := partitionTouches(idx, accShares)
+	spaces, err := perCPUSpaces(m.Sim, m.Kernel)
 	if err != nil {
 		return nil, err
 	}
-	vaB, err := as.Mmap(vm.MmapRequest{Pages: regionPages, Prot: rw, Anon: true, Populate: true})
+	vasB, err := mmapAll(m.Sim, spaces, accShares)
 	if err != nil {
 		return nil, err
 	}
-	as.TLB().Stats().Reset()
+	for _, as := range spaces {
+		as.TLB().Stats().Reset()
+	}
 	ptAccess, err := timeOp(m.Clock, func() error {
-		for _, p := range idx {
-			if err := as.Touch(vaB+mem.VirtAddr(p*mem.FrameSize), false); err != nil {
-				return err
+		return m.Sim.RunParallel(func(c *sim.CPU) error {
+			as, vaB := spaces[c.ID()], vasB[c.ID()]
+			for _, p := range parts[c.ID()] {
+				if err := as.Touch(vaB+mem.VirtAddr(p*mem.FrameSize), false); err != nil {
+					return err
+				}
 			}
-		}
-		return nil
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
-	misses := as.TLB().Stats().Value("misses")
+	var misses uint64
+	for _, as := range spaces {
+		misses += as.TLB().Stats().Value("misses")
+	}
 	accTable.AddRow("4K page TLB",
 		fmt.Sprintf("%.1f", float64(ptAccess)/touches),
 		fmt.Sprintf("%.1f%%", 100*float64(misses)/touches))

@@ -54,7 +54,7 @@ func reclaimExp() (*Result, error) {
 	want := uint64(64) << 20 >> mem.FrameShift
 	mb.Kernel.Stats().Reset()
 	baseT, err := timeOp(mb.Clock, func() error {
-		freed, e := mb.Kernel.ReclaimPages(want)
+		freed, e := mb.Kernel.ReclaimPages(mb.Sim.Current(), want)
 		if e != nil {
 			return e
 		}
@@ -162,11 +162,15 @@ func metadataExp() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		as, err := mach.Kernel.NewAddressSpace()
+		poolFrames := uint64(2) << 30 >> mem.FrameShift
+		if err := carveBenchArenas(mach.Kernel, poolFrames); err != nil {
+			return nil, err
+		}
+		spaces, err := perCPUSpaces(mach.Sim, mach.Kernel)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := as.Mmap(vm.MmapRequest{Pages: pages, Prot: rw, Anon: true, Populate: true}); err != nil {
+		if _, err := mmapAll(mach.Sim, spaces, splitPages(pages, mach.Sim.NumCPUs())); err != nil {
 			return nil, err
 		}
 		basePages := mach.Kernel.TrackedPages()

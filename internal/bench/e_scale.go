@@ -29,14 +29,19 @@ func init() {
 func scale() (*Result, error) {
 	const nvmFrames = uint64(2) << 40 >> mem.FrameShift // 2 TiB
 	const dramFrames = uint64(2) << 30 >> mem.FrameShift
-	clock := &sim.Clock{}
 	params := machineParams()
+	machine := sim.NewMachine(&params, benchCPUs, 0)
+	machine.SetHostParallel(benchHostPar)
+	clock := machine.Clock()
 	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: dramFrames, NVMFrames: nvmFrames})
 	if err != nil {
 		return nil, err
 	}
 	kernel, err := vm.NewKernel(clock, &params, memory, vm.Config{PoolBase: 0, PoolFrames: dramFrames})
 	if err != nil {
+		return nil, err
+	}
+	if err := carveBenchArenas(kernel, dramFrames); err != nil {
 		return nil, err
 	}
 	fom, err := core.NewSystem(clock, &params, memory, core.Options{})
@@ -52,21 +57,26 @@ func scale() (*Result, error) {
 		"allocate + map + touch first and last byte (µs, simulated)",
 		"size", "fom_ranges_us", "extents", "baseline_populate_us")
 
-	// Baseline slope measured at 1 GiB.
-	as, err := kernel.NewAddressSpace()
+	// Baseline slope measured at 1 GiB, the populate loop split across
+	// the simulated CPUs (each touches the first byte of its share).
+	spaces, err := perCPUSpaces(machine, kernel)
 	if err != nil {
 		return nil, err
 	}
 	gibPages := uint64(1) << 30 >> mem.FrameShift
+	shares := splitPages(gibPages, machine.NumCPUs())
 	baseGiB, err := timeOp(clock, func() error {
-		va, e := as.Mmap(vm.MmapRequest{Pages: gibPages, Prot: rw, Anon: true, Populate: true})
-		if e != nil {
-			return e
-		}
-		if e := as.Touch(va, true); e != nil {
-			return e
-		}
-		return as.Munmap(va, gibPages)
+		return machine.RunParallel(func(c *sim.CPU) error {
+			as := spaces[c.ID()]
+			va, e := as.Mmap(vm.MmapRequest{Pages: shares[c.ID()], Prot: rw, Anon: true, Populate: true})
+			if e != nil {
+				return e
+			}
+			if e := as.Touch(va, true); e != nil {
+				return e
+			}
+			return as.Munmap(va, shares[c.ID()])
+		})
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// This file holds the helpers the host-parallel experiments share: the
+// big baseline-VM phases (fig9, scale, metadata) split their per-page
+// work evenly across the machine's simulated CPUs and run one address
+// space per CPU under Machine.RunParallel. With -cpus 1 the split is
+// the whole workload and RunParallel degenerates to the serial path,
+// so the default configuration is unchanged; with -cpus N the same
+// simulated work lands on N CPU contexts, and -hostpar additionally
+// runs those contexts on real host goroutines.
+
+// splitPages divides total pages across n CPUs, giving the remainder
+// to the lowest IDs — a pure function of (total, n), never of host
+// scheduling.
+func splitPages(total uint64, n int) []uint64 {
+	return workload.Split(total, n)
+}
+
+// carveBenchArenas gives each CPU a private frame arena when the
+// machine has more than one, so the per-page hot paths of a parallel
+// phase never contend on the kernel's global pool. With one CPU the
+// kernel is left exactly as the serial experiments have always used
+// it. framesPerCPU = poolFrames/n, i.e. the whole pool is sharded.
+func carveBenchArenas(k *vm.Kernel, poolFrames uint64) error {
+	n := k.Machine.NumCPUs()
+	if n <= 1 {
+		return nil
+	}
+	return k.CarveArenas(poolFrames / uint64(n))
+}
+
+// perCPUSpaces creates one address space per CPU, homed (and, with
+// arenas carved, arena-backed) on it.
+func perCPUSpaces(m *sim.Machine, k *vm.Kernel) ([]*vm.AddressSpace, error) {
+	out := make([]*vm.AddressSpace, m.NumCPUs())
+	for i := range out {
+		as, err := k.NewAddressSpaceOn(m.CPU(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = as
+	}
+	return out, nil
+}
+
+// partitionTouches splits a page-index trace across the CPUs' equal
+// sub-regions (see workload.Partition).
+func partitionTouches(idx []uint64, shares []uint64) [][]uint64 {
+	return workload.Partition(idx, shares)
+}
+
+// mmapAll maps pages[i] anonymous populated pages on spaces[i] in
+// parallel virtual time, returning the base addresses.
+func mmapAll(m *sim.Machine, spaces []*vm.AddressSpace, pages []uint64) ([]mem.VirtAddr, error) {
+	vas := make([]mem.VirtAddr, len(spaces))
+	err := m.RunParallel(func(c *sim.CPU) error {
+		if pages[c.ID()] == 0 {
+			return nil
+		}
+		va, e := spaces[c.ID()].Mmap(vm.MmapRequest{
+			Pages: pages[c.ID()], Prot: rw, Anon: true, Populate: true,
+		})
+		vas[c.ID()] = va
+		return e
+	})
+	return vas, err
+}
+
+// munmapAll unmaps the regions mapped by mmapAll in parallel virtual
+// time.
+func munmapAll(m *sim.Machine, spaces []*vm.AddressSpace, vas []mem.VirtAddr, pages []uint64) error {
+	return m.RunParallel(func(c *sim.CPU) error {
+		if pages[c.ID()] == 0 {
+			return nil
+		}
+		return spaces[c.ID()].Munmap(vas[c.ID()], pages[c.ID()])
+	})
+}

@@ -115,12 +115,14 @@ func runOne(e Experiment, measureAllocs bool) *RunReport {
 // wall-clock baseline of the whole evaluation. Simulated results live
 // in RESULTS.md; this file only records what the suite costs to run.
 type SuiteReport struct {
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	HostCPUs  int    `json:"host_cpus"`
-	SimCPUs   int    `json:"sim_cpus"`
-	Parallel  int    `json:"parallel"`
+	GoVersion    string `json:"go_version"`
+	GOOS         string `json:"goos"`
+	GOARCH       string `json:"goarch"`
+	HostCPUs     int    `json:"host_cpus"`
+	GoMaxProcs   int    `json:"gomaxprocs"`
+	SimCPUs      int    `json:"sim_cpus"`
+	Parallel     int    `json:"parallel"`
+	HostParallel bool   `json:"host_parallel"`
 
 	TotalWallNanos int64 `json:"total_wall_ns"`
 
@@ -148,8 +150,10 @@ func NewSuiteReport(reports []*RunReport, parallel int, totalWall time.Duration)
 		GOOS:           runtime.GOOS,
 		GOARCH:         runtime.GOARCH,
 		HostCPUs:       runtime.NumCPU(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
 		SimCPUs:        CPUCount(),
 		Parallel:       parallel,
+		HostParallel:   HostParallel(),
 		TotalWallNanos: totalWall.Nanoseconds(),
 	}
 	for _, r := range reports {
@@ -177,4 +181,35 @@ func (s *SuiteReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
+}
+
+// ReadSuiteReport parses a previously written report.
+func ReadSuiteReport(r io.Reader) (*SuiteReport, error) {
+	var s SuiteReport
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ShapeMismatch compares the fields that make two reports' wall-clock
+// numbers comparable: host size, GOMAXPROCS, simulated CPU count and
+// both parallelism settings. It returns a human-readable description of
+// the first difference, or "" when the shapes match. o1bench uses it to
+// refuse overwriting a tracked baseline with numbers measured on a
+// differently shaped host unless the user passes -force.
+func (s *SuiteReport) ShapeMismatch(o *SuiteReport) string {
+	switch {
+	case s.HostCPUs != o.HostCPUs:
+		return fmt.Sprintf("host_cpus %d != %d", s.HostCPUs, o.HostCPUs)
+	case s.GoMaxProcs != o.GoMaxProcs:
+		return fmt.Sprintf("gomaxprocs %d != %d", s.GoMaxProcs, o.GoMaxProcs)
+	case s.SimCPUs != o.SimCPUs:
+		return fmt.Sprintf("sim_cpus %d != %d", s.SimCPUs, o.SimCPUs)
+	case s.Parallel != o.Parallel:
+		return fmt.Sprintf("parallel %d != %d", s.Parallel, o.Parallel)
+	case s.HostParallel != o.HostParallel:
+		return fmt.Sprintf("host_parallel %v != %v", s.HostParallel, o.HostParallel)
+	}
+	return ""
 }

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSuiteReportShapeGuard covers the -benchjson overwrite guard:
+// round-trip a report through JSON, then verify ShapeMismatch flags
+// each comparability field and stays quiet on a matching shape.
+func TestSuiteReportShapeGuard(t *testing.T) {
+	s := NewSuiteReport(nil, 2, time.Second)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSuiteReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.ShapeMismatch(back); d != "" {
+		t.Fatalf("round-tripped report mismatches itself: %s", d)
+	}
+
+	for _, tc := range []struct {
+		mutate func(*SuiteReport)
+		want   string
+	}{
+		{func(r *SuiteReport) { r.HostCPUs++ }, "host_cpus"},
+		{func(r *SuiteReport) { r.GoMaxProcs++ }, "gomaxprocs"},
+		{func(r *SuiteReport) { r.SimCPUs++ }, "sim_cpus"},
+		{func(r *SuiteReport) { r.Parallel++ }, "parallel"},
+		{func(r *SuiteReport) { r.HostParallel = !r.HostParallel }, "host_parallel"},
+	} {
+		other := *back
+		tc.mutate(&other)
+		d := s.ShapeMismatch(&other)
+		if !strings.Contains(d, tc.want) {
+			t.Errorf("mismatch on %s reported as %q", tc.want, d)
+		}
+	}
+
+	// Wall-clock and result differences must NOT trip the guard: the
+	// whole point of the baseline is comparing those across runs.
+	other := *back
+	other.TotalWallNanos *= 10
+	other.GoVersion = "go0.0"
+	if d := s.ShapeMismatch(&other); d != "" {
+		t.Errorf("non-shape fields tripped the guard: %s", d)
+	}
+}

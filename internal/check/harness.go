@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // AllConfigs lists every configuration the harness can drive, in the
@@ -170,6 +171,51 @@ func Run(opts Options) (*Report, error) {
 		return replay(cand, opts) != nil
 	})
 	return report, nil
+}
+
+// RunMany replays `seeds` consecutive seeds starting at opts.Seed,
+// fanned out over `workers` host goroutines — the harness's
+// host-parallel mode. Each seed's run builds its own worlds and shares
+// nothing with its siblings, so the returned reports (in seed order)
+// are identical whatever the worker count or host interleaving; only
+// wall-clock time changes. A non-nil error reports the first setup
+// failure; test outcomes are in the Reports.
+func RunMany(opts Options, seeds, workers int) ([]*Report, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > seeds {
+		workers = seeds
+	}
+	reports := make([]*Report, seeds)
+	errs := make([]error, seeds)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				o := opts
+				o.Seed = opts.Seed + uint64(i)
+				reports[i], errs[i] = Run(o)
+			}
+		}()
+	}
+	for i := 0; i < seeds; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
 }
 
 // replay builds fresh worlds and applies the trace, checking

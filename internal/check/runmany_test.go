@@ -1,0 +1,33 @@
+package check
+
+import "testing"
+
+// TestRunManyDeterministicAcrossWorkers: the parallel-seed sweep must
+// produce the same reports whatever the worker count — each seed's run
+// is fully isolated, so host scheduling cannot leak into outcomes.
+func TestRunManyDeterministicAcrossWorkers(t *testing.T) {
+	opts := Options{Seed: 3, Ops: 250, CPUs: 2}
+	serial, err := RunMany(opts, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunMany(opts, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 4 || len(par) != 4 {
+		t.Fatalf("report counts: %d, %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].Opts.Seed != opts.Seed+uint64(i) {
+			t.Fatalf("report %d ran seed %d", i, serial[i].Opts.Seed)
+		}
+		if serial[i].Failure != nil {
+			t.Fatalf("seed %d failed: %v", serial[i].Opts.Seed, serial[i].Failure)
+		}
+		if got, want := par[i].Format(), serial[i].Format(); got != want {
+			t.Errorf("seed %d diverged across worker counts:\n%s\nvs\n%s",
+				serial[i].Opts.Seed, want, got)
+		}
+	}
+}

@@ -133,7 +133,7 @@ func (w *vmWorld) apply(op Op) error {
 		return nil
 
 	case OpReclaim:
-		_, err := w.k.ReclaimPages(reclaimWant)
+		_, err := w.k.ReclaimPages(w.m.Current(), reclaimWant)
 		return err
 
 	case OpMigrate:

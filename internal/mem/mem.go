@@ -16,6 +16,7 @@ package mem
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -120,6 +121,14 @@ type Memory struct {
 	regions []Region
 	total   uint64
 
+	// mu guards the data map and the spare pool. The map structure is
+	// shared by every CPU context of a host-parallel phase, but frame
+	// *contents* are not locked: parallel CPU contexts touch disjoint
+	// frame sets by construction (per-CPU arenas), so the lock only
+	// protects the host-side bookkeeping, never orders simulated
+	// events.
+	mu sync.Mutex
+
 	// data holds materialized frame contents. Absent frames read as
 	// zero. The map is the persistence boundary: Crash discards frames
 	// in DRAM regions and keeps frames in NVM regions.
@@ -132,8 +141,12 @@ type Memory struct {
 	spare []*frameArray
 
 	stats *metrics.Set
-	// cMaterialized is the cached first-touch counter.
+	// Cached counters for the hot paths (also pre-created so their
+	// report order never depends on which CPU context records first).
 	cMaterialized *metrics.Counter
+	cZeroed       *metrics.Counter
+	cEpochErases  *metrics.Counter
+	cCopied       *metrics.Counter
 }
 
 // frameArray is the backing storage of one materialized frame. Frames
@@ -162,6 +175,9 @@ func New(clock *sim.Clock, params *sim.Params, cfg Config) (*Memory, error) {
 		stats:  metrics.NewSet(),
 	}
 	m.cMaterialized = m.stats.Counter("materialized_frames")
+	m.cZeroed = m.stats.Counter("zeroed_frames")
+	m.cEpochErases = m.stats.Counter("epoch_erases")
+	m.cCopied = m.stats.Counter("copied_frames")
 	// Self-register the counter set so Machine.CaptureState includes
 	// memory events in snapshot state comparisons.
 	sim.MachineOf(clock, params).RegisterStats("mem", m.stats)
@@ -220,7 +236,11 @@ func (m *Memory) Stats() *metrics.Set { return m.stats }
 
 // frame returns the backing array for f, materializing it if write is
 // true. For reads of unmaterialized frames it returns nil (all-zero).
+// The returned array is accessed without the lock: callers on parallel
+// CPU contexts touch disjoint frames by construction.
 func (m *Memory) frame(f Frame, write bool) *frameArray {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if d, ok := m.data[f]; ok {
 		return d
 	}
@@ -243,6 +263,14 @@ func (m *Memory) frame(f Frame, write bool) *frameArray {
 // dropFrame removes f's backing array, recycling it (zeroed) into the
 // spare pool.
 func (m *Memory) dropFrame(f Frame) {
+	m.mu.Lock()
+	m.dropFrameLocked(f)
+	m.mu.Unlock()
+}
+
+// dropFrameLocked removes f's backing array, recycling it (zeroed)
+// into the spare pool. Caller holds m.mu.
+func (m *Memory) dropFrameLocked(f Frame) {
 	d, ok := m.data[f]
 	if !ok {
 		return
@@ -259,17 +287,19 @@ func (m *Memory) dropFrame(f Frame) {
 // materialized ranges — the terabyte-scale sweeps — are erased by
 // scanning the map rather than the range.
 func (m *Memory) dropRange(start Frame, count uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if count > uint64(len(m.data)) {
 		end := start + Frame(count)
 		for f := range m.data {
 			if f >= start && f < end {
-				m.dropFrame(f)
+				m.dropFrameLocked(f)
 			}
 		}
 		return
 	}
 	for i := uint64(0); i < count; i++ {
-		m.dropFrame(start + Frame(i))
+		m.dropFrameLocked(start + Frame(i))
 	}
 }
 
@@ -353,15 +383,28 @@ func (m *Memory) checkRange(pa PhysAddr, n int) {
 }
 
 // ZeroFrames eagerly zeroes count frames starting at start, charging
-// the linear per-page zeroing cost. This is the conventional path the
-// paper identifies as a linear-time obstacle.
+// the linear per-page zeroing cost to the memory's construction clock.
+// This is the conventional path the paper identifies as a linear-time
+// obstacle.
 func (m *Memory) ZeroFrames(start Frame, count uint64) {
+	m.zeroFrames(m.clock, start, count)
+}
+
+// ZeroFramesOn is ZeroFrames with the cost charged to the given CPU's
+// own clock — the form used inside host-parallel phases, where the
+// construction clock (usually the machine's forwarding kernel clock)
+// has no single CPU to forward to.
+func (m *Memory) ZeroFramesOn(cpu *sim.CPU, start Frame, count uint64) {
+	m.zeroFrames(cpu.Clock(), start, count)
+}
+
+func (m *Memory) zeroFrames(clock *sim.Clock, start Frame, count uint64) {
 	if !m.Valid(start, count) {
 		panic(fmt.Sprintf("mem: ZeroFrames [%d,+%d) out of range", start, count))
 	}
 	m.dropRange(start, count)
-	m.clock.Advance(sim.Time(count) * m.params.ZeroPage)
-	m.stats.Counter("zeroed_frames").Add(count)
+	clock.Advance(sim.Time(count) * m.params.ZeroPage)
+	m.cZeroed.Add(count)
 }
 
 // EraseRangeEpoch performs the paper's proposed constant-time erase of
@@ -374,18 +417,20 @@ func (m *Memory) EraseRangeEpoch(start Frame, count uint64) {
 	}
 	m.dropRange(start, count)
 	m.clock.Advance(m.params.ZeroEpoch)
-	m.stats.Counter("epoch_erases").Inc()
+	m.cEpochErases.Inc()
 }
 
 // Crash simulates power loss: contents of volatile (DRAM) regions are
 // discarded; NVM contents survive. The caller is responsible for
 // re-creating software state (file systems re-mount, processes die).
 func (m *Memory) Crash() {
+	m.mu.Lock()
 	for f := range m.data {
 		if m.Kind(f) == DRAM {
-			m.dropFrame(f)
+			m.dropFrameLocked(f)
 		}
 	}
+	m.mu.Unlock()
 	m.stats.Counter("crashes").Inc()
 }
 
@@ -393,6 +438,18 @@ func (m *Memory) Crash() {
 // and page migration). Charges one eager-zero-equivalent copy cost per
 // frame, the same order as a 4 KiB memcpy.
 func (m *Memory) CopyFrames(dst, src Frame, count uint64) {
+	m.copyFrames(m.clock, dst, src, count)
+}
+
+// CopyFramesOn is CopyFrames with the cost charged to the given CPU's
+// own clock — the form used inside host-parallel phases, where the
+// construction clock (usually the machine's forwarding kernel clock)
+// has no single CPU to forward to.
+func (m *Memory) CopyFramesOn(cpu *sim.CPU, dst, src Frame, count uint64) {
+	m.copyFrames(cpu.Clock(), dst, src, count)
+}
+
+func (m *Memory) copyFrames(clock *sim.Clock, dst, src Frame, count uint64) {
 	if !m.Valid(dst, count) || !m.Valid(src, count) {
 		panic("mem: CopyFrames out of range")
 	}
@@ -405,13 +462,17 @@ func (m *Memory) CopyFrames(dst, src Frame, count uint64) {
 		d := m.frame(dst+Frame(i), true)
 		*d = *s
 	}
-	m.clock.Advance(sim.Time(count) * m.params.ZeroPage)
-	m.stats.Counter("copied_frames").Add(count)
+	clock.Advance(sim.Time(count) * m.params.ZeroPage)
+	m.cCopied.Add(count)
 }
 
 // MaterializedFrames returns how many frames currently have backing
 // arrays (a host-memory footprint diagnostic).
-func (m *Memory) MaterializedFrames() int { return len(m.data) }
+func (m *Memory) MaterializedFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.data)
+}
 
 // ContentChecksum returns a deterministic 64-bit FNV-1a digest of the
 // observable contents of physical memory: every non-zero materialized
@@ -421,6 +482,8 @@ func (m *Memory) MaterializedFrames() int { return len(m.data) }
 // reader could observe, not of host-side materialization accidents.
 // Checksumming is tooling and advances no simulated clock.
 func (m *Memory) ContentChecksum() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	zero := frameArray{}
 	frames := make([]Frame, 0, len(m.data))
 	for f, d := range m.data {
@@ -450,6 +513,8 @@ func (m *Memory) ContentChecksum() uint64 {
 // is fully zeroed. A non-zero spare array would leak dead frame
 // contents into the next materialization.
 func (m *Memory) SpareScrubbed() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	zero := frameArray{}
 	for i, d := range m.spare {
 		if *d != zero {

@@ -8,28 +8,41 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing event count.
+// Counter is a monotonically increasing event count. Increments are
+// atomic, so counters shared between the CPU contexts of a
+// host-parallel simulation phase stay exact: a counter's value is an
+// order-independent sum, which keeps totals deterministic even when
+// the incrementing goroutines race.
 type Counter struct {
-	n uint64
+	n atomic.Uint64
 }
 
 // Inc adds one to the counter.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add adds delta to the counter.
-func (c *Counter) Add(delta uint64) { c.n += delta }
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n }
+func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.n = 0 }
+func (c *Counter) Reset() { c.n.Store(0) }
 
 // Set is a named collection of counters, used by subsystems to expose
 // their event counts (faults, TLB misses, buddy splits, ...).
+//
+// Lookup/creation is mutex-protected so hot paths running on parallel
+// CPU contexts can share a set; note that first-use *order* is only
+// deterministic for counters created before a parallel phase starts,
+// which is why subsystem constructors pre-create the counters their
+// hot paths touch.
 type Set struct {
+	mu       sync.Mutex
 	order    []string
 	counters map[string]*Counter
 }
@@ -42,6 +55,8 @@ func NewSet() *Set {
 // Counter returns the counter with the given name, creating it on first
 // use. Names are reported in first-use order.
 func (s *Set) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if c, ok := s.counters[name]; ok {
 		return c
 	}
@@ -54,7 +69,10 @@ func (s *Set) Counter(name string) *Counter {
 // Value returns the value of the named counter, or zero if it has never
 // been created.
 func (s *Set) Value(name string) uint64 {
-	if c, ok := s.counters[name]; ok {
+	s.mu.Lock()
+	c, ok := s.counters[name]
+	s.mu.Unlock()
+	if ok {
 		return c.Value()
 	}
 	return 0
@@ -62,6 +80,8 @@ func (s *Set) Value(name string) uint64 {
 
 // Names returns counter names in first-use order.
 func (s *Set) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, len(s.order))
 	copy(out, s.order)
 	return out
@@ -69,6 +89,8 @@ func (s *Set) Names() []string {
 
 // Reset zeroes every counter in the set.
 func (s *Set) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, c := range s.counters {
 		c.Reset()
 	}
@@ -76,6 +98,8 @@ func (s *Set) Reset() {
 
 // String renders the set as "name=value" pairs.
 func (s *Set) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var b strings.Builder
 	for i, name := range s.order {
 		if i > 0 {

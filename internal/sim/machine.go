@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 )
@@ -48,11 +49,14 @@ func (c *CPU) AdvanceTo(t Time) { c.clock.AdvanceTo(t) }
 // explicit communication points (IPI delivery and acknowledgement),
 // giving a deterministic Lamport-style partial order of events.
 //
-// The simulation itself is still single-threaded: at any moment exactly
-// one CPU is "executing" (the current CPU), and the machine's kernel
-// clock — Clock() — forwards charges to it. Subsystems that predate the
-// multi-core refactor keep their single *sim.Clock and transparently
-// charge the right CPU.
+// Outside a parallel phase the simulation is single-threaded: at any
+// moment exactly one CPU is "executing" (the current CPU), and the
+// machine's kernel clock — Clock() — forwards charges to it. Subsystems
+// that predate the multi-core refactor keep their single *sim.Clock and
+// transparently charge the right CPU. Machine.RunParallel additionally
+// runs every CPU's context on host goroutines under a conservative
+// synchronization protocol that keeps cross-CPU event order a pure
+// function of virtual time (see parallel.go and DESIGN.md §11).
 type Machine struct {
 	params   *Params
 	cpus     []*CPU
@@ -60,6 +64,17 @@ type Machine struct {
 	kclock   *Clock
 	checks   []invariantCheck
 	statSets []statsEntry
+
+	// Host-parallel phase state (see parallel.go). phaseFlag and
+	// exclFlag are atomics so the cheap guards in Clock.self,
+	// Current, and SetCurrent can read them from any CPU goroutine;
+	// exclFlag's value is stable for every possible reader because
+	// grants happen only at global quiescence.
+	hostpar   bool
+	phase     *phase
+	phaseFlag atomic.Bool
+	exclFlag  atomic.Bool
+	ipiLog    []IPIDelivery
 }
 
 // invariantCheck is one registered consistency check. Checks run in
@@ -127,15 +142,23 @@ func (m *Machine) CPUs() []*CPU { return m.cpus }
 // BootCPU returns CPU 0.
 func (m *Machine) BootCPU() *CPU { return m.cpus[0] }
 
-// Current returns the CPU currently executing.
-func (m *Machine) Current() *CPU { return m.cur }
+// Current returns the CPU currently executing. During a parallel
+// phase's free-running window there is no single current CPU; calling
+// this then is a bug (use the explicit executing-CPU parameter instead)
+// and panics.
+func (m *Machine) Current() *CPU {
+	m.mustNotFreePhase("Current")
+	return m.cur
+}
 
 // SetCurrent switches execution to c. Subsequent charges through the
-// kernel clock land on c. c must belong to this machine.
+// kernel clock land on c. c must belong to this machine. Panics during
+// a parallel phase's free-running window (use Ordered instead).
 func (m *Machine) SetCurrent(c *CPU) {
 	if c.mach != m {
 		panic("sim: SetCurrent with a CPU from another machine")
 	}
+	m.mustNotFreePhase("SetCurrent")
 	m.cur = c
 }
 
@@ -192,12 +215,33 @@ func (m *Machine) Others(c *CPU) []*CPU {
 // The merges are deterministic (targets are visited in ID order), so
 // the resulting clock values are a pure function of the event history —
 // a Lamport-style clock union. An empty target set costs nothing.
+//
+// During a parallel phase (Machine.RunParallel), an IPI with live
+// targets is a sync point: the sender charges its send cost, then
+// blocks until delivery is granted at key (send time, sender id), so
+// delivery order is identical between serial and host-parallel
+// execution. Inside an ordered section the targets are provably
+// parked, so delivery is inline as in the serial case.
 func (m *Machine) IPI(from *CPU, targets []*CPU, handler func(*CPU)) {
 	if len(targets) == 0 {
 		return
 	}
 	from.Advance(Time(len(targets)) * m.params.IPISend)
 	send := from.Now()
+	if m.inFreePhase() {
+		m.phase.syncPoint(from, send, func() {
+			m.deliverIPI(from, targets, handler, send)
+		})
+		return
+	}
+	m.deliverIPI(from, targets, handler, send)
+}
+
+// deliverIPI performs the delivery half of IPI: targets merge forward
+// to the send time, pay IPIReceive, run the handler as the executing
+// CPU, and the sender finally merges to the latest finish time. Runs
+// either serially (out of phase) or under the exclusive grant.
+func (m *Machine) deliverIPI(from *CPU, targets []*CPU, handler func(*CPU), send Time) {
 	end := send
 	prev := m.cur
 	for _, t := range targets {
@@ -211,6 +255,7 @@ func (m *Machine) IPI(from *CPU, targets []*CPU, handler func(*CPU)) {
 			m.cur = t
 			handler(t)
 		}
+		m.ipiRecord(IPIDelivery{From: from.id, To: t.id, Send: send, Arrive: t.Now()})
 		if t.Now() > end {
 			end = t.Now()
 		}

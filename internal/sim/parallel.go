@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements host-parallel execution of one machine's CPUs
+// under a conservative discrete-event synchronization protocol (see
+// DESIGN.md §11).
+//
+// Machine.RunParallel runs one task per CPU. Each task free-runs on its
+// own goroutine, charging only its own CPU's clock and touching only
+// per-CPU simulated state, until it would interact cross-CPU (an IPI
+// with live targets, or an explicit Ordered section). There it blocks
+// at a *sync point* keyed by (virtual time, CPU id). Sync points are
+// granted one at a time, and only at global quiescence — every CPU
+// either blocked at a sync point or finished — always to the minimum
+// key. The granted CPU executes its cross-CPU effect exclusively (all
+// other CPUs are provably parked), then resumes free-running.
+//
+// Because grants happen only when no CPU is running and are chosen by
+// a pure function of simulated state, the order of cross-CPU events is
+// a function of virtual time and CPU id — never of host scheduling.
+// Serial mode is the *same* protocol with the run-slot limit set to 1
+// instead of NumCPUs, so serial and host-parallel execution are
+// byte-identical by construction; the difference is wall-clock only.
+
+// phase is the scheduler state for one RunParallel invocation.
+type phase struct {
+	m    *Machine
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	slots   int // max CPUs free-running at once (1 = serial mode)
+	running int // CPUs currently free-running
+	ready   int // CPUs that have not started their task yet
+	done    int // CPUs whose task has returned
+
+	waiting map[int]*syncWaiter // blocked at a sync point, by CPU id
+
+	grantPending bool // a waiter was granted but has not resumed yet
+	exclusive    bool // a granted waiter is executing its section
+
+	errs   []error // per-CPU task results
+	panics []any   // per-CPU recovered panic values
+}
+
+// syncWaiter is one CPU blocked at a sync point.
+type syncWaiter struct {
+	at      Time // the waiter's virtual time when it blocked
+	granted bool
+}
+
+// SetHostParallel selects the run-slot limit for subsequent RunParallel
+// calls: true runs every CPU's context on its own goroutine, false
+// (the default) runs the same protocol one CPU at a time. Simulated
+// results are identical either way.
+func (m *Machine) SetHostParallel(on bool) { m.hostpar = on }
+
+// HostParallel reports whether RunParallel uses all host cores.
+func (m *Machine) HostParallel() bool { return m.hostpar }
+
+// FreeRunning reports whether a parallel phase is currently in its
+// free-running window: multiple CPU contexts may be executing
+// concurrently, and there is no single current CPU. Subsystem entry
+// points use it to skip legacy current-CPU bookkeeping that has no
+// meaning in that window.
+func (m *Machine) FreeRunning() bool { return m.inFreePhase() }
+
+// inFreePhase reports whether multiple CPU contexts may be running
+// concurrently right now: a parallel phase is active on a multi-CPU
+// machine and no CPU holds the exclusive grant. State shared between
+// CPUs (the current-CPU pointer, the forwarding kernel clock) must not
+// be used in this window; the accessors panic if it is.
+func (m *Machine) inFreePhase() bool {
+	return m.phaseFlag.Load() && len(m.cpus) > 1 && !m.exclFlag.Load()
+}
+
+// RunParallel runs task once per CPU, in parallel virtual time, under
+// the conservative synchronization protocol above. It returns the
+// lowest-ID CPU's error if any task failed. Panics in a task are
+// re-raised in the caller. The current CPU is restored afterwards.
+// Nested RunParallel calls panic.
+func (m *Machine) RunParallel(task func(*CPU) error) error {
+	if m.phase != nil {
+		panic("sim: nested RunParallel")
+	}
+	n := len(m.cpus)
+	p := &phase{
+		m:       m,
+		slots:   1,
+		ready:   n,
+		waiting: make(map[int]*syncWaiter, n),
+		errs:    make([]error, n),
+		panics:  make([]any, n),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	if m.hostpar {
+		p.slots = n
+	}
+	prev := m.cur
+	m.phase = p
+	m.phaseFlag.Store(true)
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for _, c := range m.cpus {
+		c := c
+		go func() {
+			defer wg.Done()
+			p.runCPU(c, task)
+		}()
+	}
+	wg.Wait()
+
+	m.phaseFlag.Store(false)
+	m.phase = nil
+	m.cur = prev
+
+	for _, r := range p.panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+	for _, err := range p.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCPU is one CPU's goroutine: acquire a run slot, execute the task,
+// and retire. Panics are captured and re-raised by RunParallel so that
+// the phase always drains cleanly.
+func (p *phase) runCPU(c *CPU, task func(*CPU) error) {
+	p.mu.Lock()
+	for p.running >= p.slots {
+		p.cond.Wait()
+	}
+	p.ready--
+	p.running++
+	p.mu.Unlock()
+
+	defer func() {
+		r := recover()
+		p.mu.Lock()
+		if r != nil {
+			p.panics[c.id] = r
+		}
+		p.running--
+		p.done++
+		p.checkGateLocked()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}()
+	p.errs[c.id] = task(c)
+}
+
+// syncPoint blocks CPU c at key (at, c.id) until every other CPU is
+// blocked or done and this key is the minimum, then runs fn exclusively
+// with c as the current CPU, and finally resumes free-running. It must
+// be called from c's own task goroutine.
+func (p *phase) syncPoint(c *CPU, at Time, fn func()) {
+	p.mu.Lock()
+	if p.exclusive {
+		p.mu.Unlock()
+		panic("sim: nested sync point inside an ordered section")
+	}
+	p.running--
+	w := &syncWaiter{at: at}
+	p.waiting[c.id] = w
+	p.checkGateLocked()
+	p.cond.Broadcast()
+	for !w.granted {
+		p.cond.Wait()
+	}
+	p.grantPending = false
+	p.exclusive = true
+	p.m.exclFlag.Store(true)
+	p.m.cur = c
+	p.mu.Unlock()
+
+	defer func() {
+		p.mu.Lock()
+		p.exclusive = false
+		p.m.exclFlag.Store(false)
+		delete(p.waiting, c.id)
+		for p.running >= p.slots {
+			p.cond.Wait()
+		}
+		p.running++
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}()
+	fn()
+}
+
+// checkGateLocked grants the minimum-(time, id) waiter iff the phase is
+// globally quiescent: no CPU free-running, none yet to start, no grant
+// in flight. Called with p.mu held after every transition that could
+// make running reach zero.
+func (p *phase) checkGateLocked() {
+	if p.running > 0 || p.ready > 0 || p.grantPending || p.exclusive || len(p.waiting) == 0 {
+		return
+	}
+	minID := -1
+	var minAt Time
+	for id, w := range p.waiting {
+		if minID == -1 || w.at < minAt || (w.at == minAt && id < minID) {
+			minID, minAt = id, w.at
+		}
+	}
+	p.grantPending = true
+	p.waiting[minID].granted = true
+}
+
+// Ordered executes fn as CPU c with cross-CPU effects permitted: the
+// machine's current CPU is c, the forwarding kernel clock charges c,
+// and IPIs deliver inline. Outside a parallel phase this is simply
+// SetCurrent(c); fn(). Inside one, fn becomes a sync point keyed by
+// (c.Now(), c.ID()) and runs exclusively, so legacy code that assumes
+// serial interleaving stays correct under RunParallel. In-phase calls
+// must come from c's own task goroutine.
+func (m *Machine) Ordered(c *CPU, fn func()) {
+	if c.mach != m {
+		panic("sim: Ordered with a CPU from another machine")
+	}
+	if m.inFreePhase() {
+		m.phase.syncPoint(c, c.Now(), fn)
+		return
+	}
+	m.cur = c
+	fn()
+}
+
+// IPIDelivery is one IPI delivery record: sender, receiver, and the
+// send and receive completion times. Tests use the log to prove that
+// host-parallel delivery order equals the serial Lamport order.
+type IPIDelivery struct {
+	From, To     int
+	Send, Arrive Time
+}
+
+// EnableIPILog starts recording every IPI delivery. Test-only: the log
+// grows without bound.
+func (m *Machine) EnableIPILog() { m.ipiLog = make([]IPIDelivery, 0, 64) }
+
+// IPILog returns the recorded deliveries.
+func (m *Machine) IPILog() []IPIDelivery { return m.ipiLog }
+
+// ipiRecord appends to the delivery log if enabled. Only called from
+// deliverIPI, which runs serially (out of phase) or under the
+// exclusive grant (in phase), so no locking is needed.
+func (m *Machine) ipiRecord(r IPIDelivery) {
+	if m.ipiLog != nil {
+		m.ipiLog = append(m.ipiLog, r)
+	}
+}
+
+// mustNotFreePhase panics if shared machine state is touched while
+// CPUs free-run concurrently.
+func (m *Machine) mustNotFreePhase(what string) {
+	if m.inFreePhase() {
+		panic(fmt.Sprintf("sim: %s during a parallel phase outside an ordered section", what))
+	}
+}

@@ -61,9 +61,14 @@ type Clock struct {
 }
 
 // self resolves forwarding: the kernel clock of a Machine delegates to
-// the clock of the CPU currently executing.
+// the clock of the CPU currently executing. During a parallel phase's
+// free-running window there is no current CPU, so a forwarding charge
+// would silently land on an arbitrary clock; the guard turns that
+// nondeterminism into a loud failure (charge the executing CPU's own
+// clock, or wrap the operation in Machine.Ordered).
 func (c *Clock) self() *Clock {
 	if c.fwd {
+		c.mach.mustNotFreePhase("forwarding kernel clock")
 		return c.mach.cur.clock
 	}
 	return c

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/buddy"
 	"repro/internal/mem"
 	"repro/internal/memfs"
 	"repro/internal/metrics"
@@ -63,6 +64,12 @@ type AddressSpace struct {
 	asid   int
 	cpu    *sim.CPU
 
+	// arena is the home CPU's private frame arena if one was carved
+	// before this address space was created; page-table nodes and
+	// anonymous frames then come from it instead of the global pool,
+	// making the per-page hot paths free of cross-CPU state.
+	arena *Arena
+
 	// cpuMask[i] is true if this address space has run on CPU i since
 	// creation, i.e. CPU i's TLB may cache its translations.
 	cpuMask []bool
@@ -91,17 +98,23 @@ func (k *Kernel) NewAddressSpace() (*AddressSpace, error) {
 }
 
 // NewAddressSpaceOn creates an empty address space homed on cpu; the
-// page-table setup cost is charged to that CPU.
+// page-table setup cost is charged to that CPU. When cpu has a carved
+// arena, the address space draws page-table nodes and anonymous frames
+// from it.
 func (k *Kernel) NewAddressSpaceOn(cpu *sim.CPU) (*AddressSpace, error) {
-	pt, err := pagetable.New(cpu, k.Params, k.pool, k.levels)
+	ar := k.ArenaFor(cpu)
+	alloc := k.pool
+	if ar != nil {
+		alloc = ar.pool
+	}
+	pt, err := pagetable.New(cpu, k.Params, alloc, k.levels)
 	if err != nil {
 		return nil, err
 	}
-	k.nextASID++
 	a := &AddressSpace{
 		kernel:  k,
-		asid:    k.nextASID,
 		cpu:     cpu,
+		arena:   ar,
 		cpuMask: make([]bool, k.Machine.NumCPUs()),
 		pt:      pt,
 		swapped: make(map[mem.VirtAddr]int),
@@ -110,7 +123,21 @@ func (k *Kernel) NewAddressSpaceOn(cpu *sim.CPU) (*AddressSpace, error) {
 	a.cTouches = a.stats.Counter("touches")
 	a.cPopulated = a.stats.Counter("populated_pages")
 	a.cpuMask[cpu.ID()] = true
-	k.spaces[a.asid] = a
+	// The ASID counter and the live-space registry are shared across
+	// CPUs: during a parallel phase, registering is a sync point, which
+	// also makes ASID assignment a pure function of (virtual time, CPU
+	// id) rather than of host scheduling. Out of phase the registration
+	// is plain serial code (no current-CPU change).
+	register := func() {
+		k.nextASID++
+		a.asid = k.nextASID
+		k.spaces[a.asid] = a
+	}
+	if k.Machine.FreeRunning() {
+		k.Machine.Ordered(cpu, register)
+	} else {
+		register()
+	}
 	return a, nil
 }
 
@@ -125,25 +152,44 @@ func (a *AddressSpace) RunOn(cpu *sim.CPU) {
 	a.cpuMask[cpu.ID()] = true
 }
 
-// run makes the home CPU current, so all work charged through the
-// kernel clock lands on it. Called at every syscall/fault entry point.
-func (a *AddressSpace) run() { a.kernel.Machine.SetCurrent(a.cpu) }
+// run makes the home CPU current, so legacy code charging through the
+// forwarding kernel clock lands on it. Called at every syscall/fault
+// entry point. During a host-parallel free-running window there is no
+// single current CPU and nothing to set: the VM paths charge the home
+// CPU explicitly.
+func (a *AddressSpace) run() {
+	if a.kernel.Machine.FreeRunning() {
+		return
+	}
+	a.kernel.Machine.SetCurrent(a.cpu)
+}
 
-// curTLB returns the TLB of the CPU currently executing.
+// curTLB returns the TLB of the address space's home CPU — the CPU
+// executing its syscalls and faults (run() makes it current out of a
+// parallel phase).
 func (a *AddressSpace) curTLB() *tlb.TLB {
-	return a.kernel.tlbs[a.kernel.Machine.Current().ID()]
+	return a.kernel.tlbs[a.cpu.ID()]
+}
+
+// framePool returns the allocator backing this address space's
+// anonymous and compound frames.
+func (a *AddressSpace) framePool() *buddy.Allocator {
+	if a.arena != nil {
+		return a.arena.pool
+	}
+	return a.kernel.pool
 }
 
 // shootdownVA invalidates the translation for va on every CPU that may
-// cache it: an invalidation on the executing CPU, plus one modeled IPI
-// round to the other CPUs in the mask — each target pays IPIReceive
+// cache it: an invalidation on the executing CPU from, plus one modeled
+// IPI round to the other CPUs in the mask — each target pays IPIReceive
 // and the per-entry invalidation on its own clock, and the initiator
 // synchronizes to the slowest target (Lamport merge). With one CPU (or
 // a single-CPU mask) no IPIs are sent and only the local invalidation
-// is charged, reproducing the pre-SMP behaviour.
-func (a *AddressSpace) shootdownVA(va mem.VirtAddr) {
+// is charged, reproducing the pre-SMP behaviour. During a parallel
+// phase a nonempty remote set becomes a sync point inside Machine.IPI.
+func (a *AddressSpace) shootdownVA(from *sim.CPU, va mem.VirtAddr) {
 	k := a.kernel
-	from := k.Machine.Current()
 	if a.cpuMask[from.ID()] {
 		k.tlbs[from.ID()].InvalidateVA(a.asid, va)
 	}
@@ -189,7 +235,7 @@ func (a *AddressSpace) MappedPages() uint64 { return a.pt.MappedPages() }
 
 // findVMA returns the VMA containing va.
 func (a *AddressSpace) findVMA(va mem.VirtAddr) (*VMA, bool) {
-	a.kernel.Clock.Advance(a.kernel.Params.VMAOp)
+	a.cpu.Advance(a.kernel.Params.VMAOp)
 	i := sort.Search(len(a.vmas), func(i int) bool { return a.vmas[i].End > va })
 	if i < len(a.vmas) && a.vmas[i].Contains(va) {
 		return a.vmas[i], true
@@ -282,7 +328,7 @@ type MmapRequest struct {
 func (a *AddressSpace) Mmap(req MmapRequest) (mem.VirtAddr, error) {
 	k := a.kernel
 	a.run()
-	k.Clock.Advance(k.Params.SyscallOverhead + k.Params.MmapFixed)
+	a.cpu.Advance(k.Params.SyscallOverhead + k.Params.MmapFixed)
 	if req.Pages == 0 {
 		return 0, fmt.Errorf("vm: empty mapping")
 	}
@@ -386,14 +432,14 @@ func (a *AddressSpace) overlapsExisting(addr mem.VirtAddr, pages uint64) bool {
 // notes becomes harder with file-only memory).
 func (a *AddressSpace) insertVMA(v *VMA) {
 	k := a.kernel
-	k.Clock.Advance(k.Params.VMAOp)
+	a.cpu.Advance(k.Params.VMAOp)
 	i := sort.Search(len(a.vmas), func(i int) bool { return a.vmas[i].Start > v.Start })
 	// Merge left.
 	if i > 0 {
 		l := a.vmas[i-1]
 		if l.End == v.Start && canMerge(l, v) {
 			l.End = v.End
-			k.Clock.Advance(k.Params.VMAOp)
+			a.cpu.Advance(k.Params.VMAOp)
 			// Merge right into the grown left.
 			if i < len(a.vmas) {
 				r := a.vmas[i]
@@ -410,7 +456,7 @@ func (a *AddressSpace) insertVMA(v *VMA) {
 		r := a.vmas[i]
 		if v.End == r.Start && canMerge(v, r) {
 			r.Start = v.Start
-			k.Clock.Advance(k.Params.VMAOp)
+			a.cpu.Advance(k.Params.VMAOp)
 			return
 		}
 	}
@@ -457,16 +503,16 @@ func (a *AddressSpace) populateHuge(v *VMA) error {
 		if _, _, ok := a.pt.Lookup(va); ok {
 			continue
 		}
-		run, err := k.pool.Alloc(9) // order-9 block: 512 aligned frames
+		run, err := a.framePool().Alloc(9) // order-9 block: 512 aligned frames
 		if err != nil {
 			return fmt.Errorf("vm: no contiguous 2 MiB block: %w", err)
 		}
-		k.Memory.ZeroFrames(run, mem.HugeFrames2M)
-		if err := a.pt.Map2M(k.Machine.Current(), va, run, v.Prot); err != nil {
+		k.Memory.ZeroFramesOn(a.cpu, run, mem.HugeFrames2M)
+		if err := a.pt.Map2M(a.cpu, va, run, v.Prot); err != nil {
 			return err
 		}
-		pi := k.trackPage(run, PGAnon|PGCompound)
-		k.addRmap(pi, a, va)
+		pi := k.trackPage(a.cpu, run, PGAnon|PGCompound)
+		k.addRmap(a.cpu, pi, a, va)
 		a.cPopulated.Add(mem.HugeFrames2M)
 	}
 	return nil
@@ -477,7 +523,7 @@ func (a *AddressSpace) populateHuge(v *VMA) error {
 func (a *AddressSpace) Munmap(addr mem.VirtAddr, pages uint64) error {
 	k := a.kernel
 	a.run()
-	k.Clock.Advance(k.Params.SyscallOverhead)
+	a.cpu.Advance(k.Params.SyscallOverhead)
 	end := addr + mem.VirtAddr(pages*mem.FrameSize)
 	var kept []*VMA
 	var dropped []*VMA
@@ -489,7 +535,7 @@ func (a *AddressSpace) Munmap(addr mem.VirtAddr, pages uint64) error {
 			dropped = append(dropped, v)
 		default:
 			// Partial overlap: split into retained pieces.
-			k.Clock.Advance(k.Params.VMAOp)
+			a.cpu.Advance(k.Params.VMAOp)
 			if v.Start < addr {
 				left := *v
 				left.End = addr
@@ -559,7 +605,7 @@ func (a *AddressSpace) zapVMA(v *VMA) error {
 // file-only memory replaces with one range invalidation per CPU.
 func (a *AddressSpace) zapRange(v *VMA, start mem.VirtAddr, pages uint64) error {
 	k := a.kernel
-	cur := k.Machine.Current()
+	cur := a.cpu
 	end := start + mem.VirtAddr(pages*mem.FrameSize)
 	for va := start; va < end; {
 		if sz := a.pt.PageSize(va); sz == 0 {
@@ -570,17 +616,17 @@ func (a *AddressSpace) zapRange(v *VMA, start mem.VirtAddr, pages uint64) error 
 		if err != nil {
 			return err
 		}
-		a.shootdownVA(va)
+		a.shootdownVA(cur, va)
 		if pi, tracked := k.page(frame); tracked {
-			if err := k.delRmap(pi, a, va); err != nil {
+			if err := k.delRmap(cur, pi, a, va); err != nil {
 				return err
 			}
 			if !pi.Mapped() {
 				flags := pi.Flags
-				k.forgetPage(pi)
+				k.forgetPage(cur, pi)
 				switch {
 				case flags&PGCompound != 0:
-					if err := k.pool.Free(frame); err != nil {
+					if err := k.poolFor(frame).Free(frame); err != nil {
 						return err
 					}
 				case flags&PGAnon != 0:
@@ -600,7 +646,7 @@ func (a *AddressSpace) zapRange(v *VMA, start mem.VirtAddr, pages uint64) error 
 func (a *AddressSpace) Mprotect(addr mem.VirtAddr, pages uint64, prot pagetable.Flags) error {
 	k := a.kernel
 	a.run()
-	k.Clock.Advance(k.Params.SyscallOverhead)
+	a.cpu.Advance(k.Params.SyscallOverhead)
 	v, ok := a.findVMA(addr)
 	if !ok || addr+mem.VirtAddr(pages*mem.FrameSize) > v.End {
 		return fmt.Errorf("vm: mprotect range not within one VMA")
@@ -613,7 +659,7 @@ func (a *AddressSpace) Mprotect(addr mem.VirtAddr, pages uint64, prot pagetable.
 	if v.Huge {
 		step = mem.HugeFrames2M
 	}
-	cur := k.Machine.Current()
+	cur := a.cpu
 	for p := uint64(0); p < pages; p += step {
 		va := addr + mem.VirtAddr(p*mem.FrameSize)
 		if _, f, ok := a.pt.Lookup(va); ok {
@@ -624,7 +670,7 @@ func (a *AddressSpace) Mprotect(addr mem.VirtAddr, pages uint64, prot pagetable.
 			if err := a.pt.Protect(cur, va, newFlags); err != nil {
 				return err
 			}
-			a.shootdownVA(va)
+			a.shootdownVA(cur, va)
 		}
 	}
 	return nil
@@ -635,7 +681,7 @@ func (a *AddressSpace) Mprotect(addr mem.VirtAddr, pages uint64, prot pagetable.
 func (a *AddressSpace) MadviseDontneed(addr mem.VirtAddr, pages uint64) error {
 	k := a.kernel
 	a.run()
-	k.Clock.Advance(k.Params.SyscallOverhead)
+	a.cpu.Advance(k.Params.SyscallOverhead)
 	v, ok := a.findVMA(addr)
 	if !ok || addr+mem.VirtAddr(pages*mem.FrameSize) > v.End {
 		return fmt.Errorf("vm: madvise range not within one VMA")
@@ -647,7 +693,7 @@ func (a *AddressSpace) MadviseDontneed(addr mem.VirtAddr, pages uint64) error {
 func (a *AddressSpace) Mlock(addr mem.VirtAddr) error {
 	k := a.kernel
 	a.run()
-	k.Clock.Advance(k.Params.SyscallOverhead)
+	a.cpu.Advance(k.Params.SyscallOverhead)
 	v, ok := a.findVMA(addr)
 	if !ok {
 		return fmt.Errorf("vm: mlock of unmapped address %#x", uint64(addr))
@@ -661,7 +707,7 @@ func (a *AddressSpace) Mlock(addr mem.VirtAddr) error {
 		if pa, _, ok := a.pt.Lookup(va); ok {
 			if pi, tracked := k.page(pa.Frame()); tracked {
 				pi.Flags |= PGMlocked
-				k.chargeMeta(1)
+				k.chargeMeta(a.cpu, 1)
 			}
 		}
 	}
@@ -677,7 +723,15 @@ func (a *AddressSpace) Destroy() error {
 		}
 	}
 	a.vmas = nil
-	delete(a.kernel.spaces, a.asid)
+	// The live-space registry is shared across CPUs: deregistering
+	// during a parallel phase is a sync point (see NewAddressSpaceOn).
+	if a.kernel.Machine.FreeRunning() {
+		a.kernel.Machine.Ordered(a.cpu, func() {
+			delete(a.kernel.spaces, a.asid)
+		})
+	} else {
+		delete(a.kernel.spaces, a.asid)
+	}
 	return a.pt.Destroy()
 }
 

@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 
+	"repro/internal/buddy"
 	"repro/internal/mem"
 	"repro/internal/pagetable"
 	"repro/internal/tlb"
@@ -35,7 +36,7 @@ func (k *Kernel) CheckInvariants() error {
 				return
 			}
 			refs[frame]++
-			pi, ok := k.pages[frame]
+			pi, ok := k.page(frame)
 			if !ok {
 				leafErr = fmt.Errorf("vm: asid %d maps va %#x to untracked frame %d", asid, uint64(va), frame)
 				return
@@ -49,54 +50,65 @@ func (k *Kernel) CheckInvariants() error {
 		}
 	}
 
-	// Reverse direction: every rmap entry points at a live address
-	// space whose page table maps that va back to this frame, and the
-	// per-frame counts agree with the forward walk.
-	for frame, pi := range k.pages {
-		if pi.Frame != frame {
-			return fmt.Errorf("vm: PageInfo for frame %d carries frame %d", frame, pi.Frame)
-		}
-		if pi.MapCount != len(pi.rmap) {
-			return fmt.Errorf("vm: frame %d MapCount %d but rmap holds %d entries", frame, pi.MapCount, len(pi.rmap))
-		}
-		if got := refs[frame]; got != len(pi.rmap) {
-			return fmt.Errorf("vm: frame %d has %d rmap entries but %d page-table mappings", frame, len(pi.rmap), got)
-		}
-		for _, e := range pi.rmap {
-			live, ok := k.spaces[e.as.asid]
-			if !ok || live != e.as {
-				return fmt.Errorf("vm: frame %d rmap references dead address space (asid %d)", frame, e.as.asid)
+	// Reverse direction, per metadata domain: every rmap entry points
+	// at a live address space whose page table maps that va back to
+	// this frame, and the per-frame counts agree with the forward walk.
+	// A frame filed in the wrong domain would fail here too: domainOf
+	// routes by frame number, so the walk would not find it.
+	err := k.domains(func(label string, d *metaDomain, pool *buddy.Allocator) error {
+		for frame, pi := range d.pages {
+			if k.domainOf(frame) != d {
+				return fmt.Errorf("vm: frame %d tracked in the wrong domain (%s)", frame, label)
 			}
-			pa, _, ok := e.as.pt.Lookup(e.va)
-			if !ok {
-				return fmt.Errorf("vm: frame %d rmap says asid %d maps va %#x, but the page table does not", frame, e.as.asid, uint64(e.va))
+			if pi.Frame != frame {
+				return fmt.Errorf("vm: PageInfo for frame %d carries frame %d", frame, pi.Frame)
 			}
-			if pa.Frame() != frame {
-				return fmt.Errorf("vm: frame %d rmap entry (asid %d, va %#x) resolves to frame %d", frame, e.as.asid, uint64(e.va), pa.Frame())
+			if pi.MapCount != len(pi.rmap) {
+				return fmt.Errorf("vm: frame %d MapCount %d but rmap holds %d entries", frame, pi.MapCount, len(pi.rmap))
+			}
+			if got := refs[frame]; got != len(pi.rmap) {
+				return fmt.Errorf("vm: frame %d has %d rmap entries but %d page-table mappings", frame, len(pi.rmap), got)
+			}
+			for _, e := range pi.rmap {
+				live, ok := k.spaces[e.as.asid]
+				if !ok || live != e.as {
+					return fmt.Errorf("vm: frame %d rmap references dead address space (asid %d)", frame, e.as.asid)
+				}
+				pa, _, ok := e.as.pt.Lookup(e.va)
+				if !ok {
+					return fmt.Errorf("vm: frame %d rmap says asid %d maps va %#x, but the page table does not", frame, e.as.asid, uint64(e.va))
+				}
+				if pa.Frame() != frame {
+					return fmt.Errorf("vm: frame %d rmap entry (asid %d, va %#x) resolves to frame %d", frame, e.as.asid, uint64(e.va), pa.Frame())
+				}
 			}
 		}
-	}
 
-	// Buddy pool: internal accounting must tile the managed range, and
-	// no free block may cover a frame that still has live metadata (a
-	// mapped or tracked frame on the free list is a use-after-free).
-	if err := k.pool.CheckInvariants(); err != nil {
-		return err
-	}
-	var freeErr error
-	k.pool.VisitFree(func(start mem.Frame, count uint64) {
-		if freeErr != nil {
-			return
+		// Buddy pool: internal accounting must tile the managed range,
+		// and no free block may cover a frame that still has live
+		// metadata (a mapped or tracked frame on the free list is a
+		// use-after-free). Carved arena ranges are allocated runs from
+		// the global pool's point of view, so each pool is audited
+		// against frame metadata via the domain routing.
+		if err := pool.CheckInvariants(); err != nil {
+			return fmt.Errorf("vm: %s pool: %w", label, err)
 		}
-		for i := uint64(0); i < count; i++ {
-			if _, tracked := k.pages[start+mem.Frame(i)]; tracked {
-				freeErr = fmt.Errorf("vm: frame %d is on the buddy free list but still tracked", start+mem.Frame(i))
+		var freeErr error
+		pool.VisitFree(func(start mem.Frame, count uint64) {
+			if freeErr != nil {
 				return
 			}
-		}
-	})
-	if freeErr != nil {
+			for i := uint64(0); i < count; i++ {
+				if _, tracked := k.page(start + mem.Frame(i)); tracked {
+					freeErr = fmt.Errorf("vm: frame %d is on the %s buddy free list but still tracked", start+mem.Frame(i), label)
+					return
+				}
+			}
+		})
 		return freeErr
+	})
+	if err != nil {
+		return err
 	}
 
 	// Per-CPU TLBs: every valid entry must belong to a live address
@@ -122,11 +134,14 @@ func (k *Kernel) CheckInvariants() error {
 	}
 
 	// LRU lists: membership flags and counts must agree, and every
-	// listed page must still be tracked.
-	if err := k.checkLRU(k.active, "active", true); err != nil {
-		return err
-	}
-	if err := k.checkLRU(k.inactive, "inactive", false); err != nil {
+	// listed page must still be tracked. Each domain has its own pair.
+	err = k.domains(func(label string, d *metaDomain, pool *buddy.Allocator) error {
+		if err := k.checkLRU(d.active, label+" active", true); err != nil {
+			return err
+		}
+		return k.checkLRU(d.inactive, label+" inactive", false)
+	})
+	if err != nil {
 		return err
 	}
 
@@ -209,7 +224,7 @@ func (k *Kernel) checkLRU(l *pageList, name string, active bool) error {
 		if active != (p.Flags&PGActive != 0) {
 			return fmt.Errorf("vm: frame %d on %s list with PGActive=%v", p.Frame, name, p.Flags&PGActive != 0)
 		}
-		if tracked, ok := k.pages[p.Frame]; !ok || tracked != p {
+		if tracked, ok := k.page(p.Frame); !ok || tracked != p {
 			return fmt.Errorf("vm: frame %d on %s list but not tracked", p.Frame, name)
 		}
 	}
@@ -219,23 +234,26 @@ func (k *Kernel) checkLRU(l *pageList, name string, active bool) error {
 	return nil
 }
 
-// SpareScrubbed verifies that every recycled PageInfo is fully zeroed,
-// including the retained rmap backing array past its (zero) length:
-// stale entries there hold dangling *AddressSpace pointers.
+// SpareScrubbed verifies that every recycled PageInfo in every domain
+// is fully zeroed, including the retained rmap backing array past its
+// (zero) length: stale entries there hold dangling *AddressSpace
+// pointers.
 func (k *Kernel) SpareScrubbed() error {
-	for i, p := range k.sparePages {
-		if p.Frame != 0 || p.Flags != 0 || p.MapCount != 0 || len(p.rmap) != 0 ||
-			p.prev != nil || p.next != nil || p.list != nil {
-			return fmt.Errorf("vm: spare PageInfo %d not scrubbed (frame=%d flags=%#x mapcount=%d rmap=%d)",
-				i, p.Frame, p.Flags, p.MapCount, len(p.rmap))
-		}
-		for j, e := range p.rmap[:cap(p.rmap)] {
-			if e.as != nil || e.va != 0 {
-				return fmt.Errorf("vm: spare PageInfo %d retains rmap entry %d past its length", i, j)
+	return k.domains(func(label string, d *metaDomain, pool *buddy.Allocator) error {
+		for i, p := range d.sparePages {
+			if p.Frame != 0 || p.Flags != 0 || p.MapCount != 0 || len(p.rmap) != 0 ||
+				p.prev != nil || p.next != nil || p.list != nil {
+				return fmt.Errorf("vm: %s spare PageInfo %d not scrubbed (frame=%d flags=%#x mapcount=%d rmap=%d)",
+					label, i, p.Frame, p.Flags, p.MapCount, len(p.rmap))
+			}
+			for j, e := range p.rmap[:cap(p.rmap)] {
+				if e.as != nil || e.va != 0 {
+					return fmt.Errorf("vm: %s spare PageInfo %d retains rmap entry %d past its length", label, i, j)
+				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // TestOnlyCorruptRmap deliberately corrupts the rmap of one tracked
@@ -247,14 +265,17 @@ func (k *Kernel) SpareScrubbed() error {
 // page existed.
 func (k *Kernel) TestOnlyCorruptRmap() bool {
 	var victim *PageInfo
-	for _, pi := range k.pages {
-		if len(pi.rmap) == 0 {
-			continue
+	_ = k.domains(func(label string, d *metaDomain, pool *buddy.Allocator) error {
+		for _, pi := range d.pages {
+			if len(pi.rmap) == 0 {
+				continue
+			}
+			if victim == nil || pi.Frame < victim.Frame {
+				victim = pi
+			}
 		}
-		if victim == nil || pi.Frame < victim.Frame {
-			victim = pi
-		}
-	}
+		return nil
+	})
 	if victim == nil {
 		return false
 	}

@@ -39,7 +39,7 @@ func (a *AddressSpace) Touch(va mem.VirtAddr, write bool) error {
 func (a *AddressSpace) translate(va mem.VirtAddr, write bool) (mem.PhysAddr, error) {
 	k := a.kernel
 	a.run()
-	cur := k.Machine.Current()
+	cur := a.cpu
 	a.cTouches.Inc()
 
 	// 1. TLB.
@@ -81,7 +81,7 @@ func (a *AddressSpace) translate(va mem.VirtAddr, write bool) (mem.PhysAddr, err
 	}
 
 	// 3. Page fault.
-	k.Clock.Advance(k.Params.FaultOverhead)
+	cur.Advance(k.Params.FaultOverhead)
 	v, ok := a.findVMA(va)
 	if !ok {
 		return 0, &AccessError{VA: va, Write: write, Cause: "no VMA"}
@@ -126,7 +126,7 @@ func (a *AddressSpace) chargeDataRef(pa mem.PhysAddr, write bool) {
 			cost += k.Params.NVMReadPenalty
 		}
 	}
-	k.Clock.Advance(cost)
+	a.cpu.Advance(cost)
 }
 
 // markAccess sets the referenced (and dirty) bits, feeding the reclaim
@@ -158,7 +158,7 @@ func (a *AddressSpace) installPage(v *VMA, va mem.VirtAddr, fault bool) error {
 		// userfaultfd-style resolution: the kernel suspends the
 		// faulting thread, round-trips to the user handler, and copies
 		// the supplied contents into a fresh frame (UFFDIO_COPY).
-		f, err := k.allocAnonFrame()
+		f, err := k.allocAnonFrame(a.cpu, a.arena)
 		if err != nil {
 			return err
 		}
@@ -172,16 +172,16 @@ func (a *AddressSpace) installPage(v *VMA, va mem.VirtAddr, fault bool) error {
 		}
 		// Two extra user/kernel crossings: wake the handler, then the
 		// handler's resolution call.
-		k.Clock.Advance(2 * k.Params.SyscallOverhead)
+		a.cpu.Advance(2 * k.Params.SyscallOverhead)
 		if len(data) > 0 {
 			k.Memory.WriteAt(f.Addr(), data)
-			k.Clock.Advance(k.Params.ReadPerPage())
+			a.cpu.Advance(k.Params.ReadPerPage())
 		}
 		frame = f
 		flags = PGAnon | PGSwapBacked
 		k.stats.Counter("user_faults").Inc()
 	case v.Anon:
-		f, err := k.allocAnonFrame()
+		f, err := k.allocAnonFrame(a.cpu, a.arena)
 		if err != nil {
 			return err
 		}
@@ -201,16 +201,16 @@ func (a *AddressSpace) installPage(v *VMA, va mem.VirtAddr, fault bool) error {
 		// Private file mapping: writes must COW.
 		prot = (prot &^ pagetable.FlagWrite) | pagetable.FlagCOW
 	}
-	if err := a.pt.Map(k.Machine.Current(), va, frame, prot); err != nil {
+	if err := a.pt.Map(a.cpu, va, frame, prot); err != nil {
 		return err
 	}
-	pi := k.trackPage(frame, flags)
+	pi := k.trackPage(a.cpu, frame, flags)
 	if v.Locked {
 		pi.Flags |= PGMlocked
 	}
-	k.addRmap(pi, a, va)
+	k.addRmap(a.cpu, pi, a, va)
 	if pi.list == nil {
-		k.lruInsert(pi)
+		k.lruInsert(a.cpu, pi)
 	}
 	if fault {
 		k.cMinorFaults.Inc()
@@ -226,8 +226,8 @@ func (a *AddressSpace) cowBreak(va mem.VirtAddr) (mem.PhysAddr, error) {
 	off := mem.PhysAddr(va.PageOffset())
 	va = va.PageBase()
 	k := a.kernel
-	cur := k.Machine.Current()
-	k.Clock.Advance(k.Params.FaultOverhead)
+	cur := a.cpu
+	cur.Advance(k.Params.FaultOverhead)
 	k.stats.Counter("cow_breaks").Inc()
 	pa, flags, ok := a.pt.Lookup(va)
 	if !ok {
@@ -239,24 +239,24 @@ func (a *AddressSpace) cowBreak(va mem.VirtAddr) (mem.PhysAddr, error) {
 
 	if tracked && pi.MapCount > 1 {
 		// Shared: copy into a fresh anonymous frame.
-		nf, err := k.allocAnonFrame()
+		nf, err := k.allocAnonFrame(cur, a.arena)
 		if err != nil {
 			return 0, err
 		}
-		k.Memory.CopyFrames(nf, frame, 1)
+		k.Memory.CopyFramesOn(cur, nf, frame, 1)
 		if _, _, err := a.pt.Unmap(cur, va); err != nil {
 			return 0, err
 		}
-		if err := k.delRmap(pi, a, va); err != nil {
+		if err := k.delRmap(cur, pi, a, va); err != nil {
 			return 0, err
 		}
 		if err := a.pt.Map(cur, va, nf, writable); err != nil {
 			return 0, err
 		}
-		npi := k.trackPage(nf, PGAnon|PGSwapBacked|PGDirty)
-		k.addRmap(npi, a, va)
-		k.lruInsert(npi)
-		a.shootdownVA(va)
+		npi := k.trackPage(cur, nf, PGAnon|PGSwapBacked|PGDirty)
+		k.addRmap(cur, npi, a, va)
+		k.lruInsert(cur, npi)
+		a.shootdownVA(cur, va)
 		a.curTLB().Insert(a.asid, va, tlb.Translation{Frame: nf, Size: tlb.Size4K, Flags: writable})
 		return nf.Addr() + off, nil
 	}
@@ -265,27 +265,27 @@ func (a *AddressSpace) cowBreak(va mem.VirtAddr) (mem.PhysAddr, error) {
 	// file pages the first write always copies (the file must not see
 	// the store).
 	if tracked && pi.Flags&PGFile != 0 {
-		nf, err := k.allocAnonFrame()
+		nf, err := k.allocAnonFrame(cur, a.arena)
 		if err != nil {
 			return 0, err
 		}
-		k.Memory.CopyFrames(nf, frame, 1)
+		k.Memory.CopyFramesOn(cur, nf, frame, 1)
 		if _, _, err := a.pt.Unmap(cur, va); err != nil {
 			return 0, err
 		}
-		if err := k.delRmap(pi, a, va); err != nil {
+		if err := k.delRmap(cur, pi, a, va); err != nil {
 			return 0, err
 		}
 		if !pi.Mapped() {
-			k.forgetPage(pi)
+			k.forgetPage(cur, pi)
 		}
 		if err := a.pt.Map(cur, va, nf, writable); err != nil {
 			return 0, err
 		}
-		npi := k.trackPage(nf, PGAnon|PGSwapBacked|PGDirty)
-		k.addRmap(npi, a, va)
-		k.lruInsert(npi)
-		a.shootdownVA(va)
+		npi := k.trackPage(cur, nf, PGAnon|PGSwapBacked|PGDirty)
+		k.addRmap(cur, npi, a, va)
+		k.lruInsert(cur, npi)
+		a.shootdownVA(cur, va)
 		a.curTLB().Insert(a.asid, va, tlb.Translation{Frame: nf, Size: tlb.Size4K, Flags: writable})
 		return nf.Addr() + off, nil
 	}
@@ -293,7 +293,7 @@ func (a *AddressSpace) cowBreak(va mem.VirtAddr) (mem.PhysAddr, error) {
 	if err := a.pt.Protect(cur, va, writable); err != nil {
 		return 0, err
 	}
-	a.shootdownVA(va)
+	a.shootdownVA(cur, va)
 	a.curTLB().Insert(a.asid, va, tlb.Translation{Frame: frame, Size: tlb.Size4K, Flags: writable})
 	if tracked {
 		pi.Flags |= PGDirty
@@ -304,7 +304,7 @@ func (a *AddressSpace) cowBreak(va mem.VirtAddr) (mem.PhysAddr, error) {
 // swapIn services a major fault.
 func (a *AddressSpace) swapIn(v *VMA, va mem.VirtAddr, slot int, fault bool) error {
 	k := a.kernel
-	f, err := k.allocAnonFrame()
+	f, err := k.allocAnonFrame(a.cpu, a.arena)
 	if err != nil {
 		return err
 	}
@@ -313,15 +313,15 @@ func (a *AddressSpace) swapIn(v *VMA, va mem.VirtAddr, slot int, fault bool) err
 		return err
 	}
 	k.Memory.WriteAt(f.Addr(), data)
-	k.Clock.Advance(k.Params.SwapPageIO)
+	a.cpu.Advance(k.Params.SwapPageIO)
 	k.swap.free(slot)
 	delete(a.swapped, va)
-	if err := a.pt.Map(k.Machine.Current(), va, f, v.Prot); err != nil {
+	if err := a.pt.Map(a.cpu, va, f, v.Prot); err != nil {
 		return err
 	}
-	pi := k.trackPage(f, PGAnon|PGSwapBacked)
-	k.addRmap(pi, a, va)
-	k.lruInsert(pi)
+	pi := k.trackPage(a.cpu, f, PGAnon|PGSwapBacked)
+	k.addRmap(a.cpu, pi, a, va)
+	k.lruInsert(a.cpu, pi)
 	if fault {
 		k.stats.Counter("major_faults").Inc()
 	}

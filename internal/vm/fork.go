@@ -25,14 +25,17 @@ func sortedVAs(m map[mem.VirtAddr]int) []mem.VirtAddr {
 func (a *AddressSpace) Fork() (*AddressSpace, error) {
 	k := a.kernel
 	a.run()
-	cur := k.Machine.Current()
+	cur := a.cpu
+	// The child is homed round-robin, so its page-table setup charges
+	// another CPU — fork is a cross-CPU operation and is not valid
+	// inside a host-parallel free-running window.
 	child, err := k.NewAddressSpace()
 	if err != nil {
 		return nil, err
 	}
 	// The fork itself executes on the parent's CPU.
-	k.Machine.SetCurrent(cur)
-	k.Clock.Advance(k.Params.SyscallOverhead)
+	a.run()
+	cur.Advance(k.Params.SyscallOverhead)
 	for _, v := range a.vmas {
 		if v.Huge {
 			// Real kernels split or COW-share huge pages on fork; this
@@ -44,7 +47,7 @@ func (a *AddressSpace) Fork() (*AddressSpace, error) {
 			cv.File.Ref()
 		}
 		child.vmas = append(child.vmas, &cv)
-		k.Clock.Advance(k.Params.VMAOp)
+		cur.Advance(k.Params.VMAOp)
 
 		sharedWrites := !v.Anon && !v.Private // MAP_SHARED file mapping
 		for p := uint64(0); p < v.Pages(); p++ {
@@ -61,7 +64,7 @@ func (a *AddressSpace) Fork() (*AddressSpace, error) {
 				if err := a.pt.Protect(cur, va, cow); err != nil {
 					return nil, err
 				}
-				a.shootdownVA(va)
+				a.shootdownVA(cur, va)
 				childFlags = cow
 			} else if !sharedWrites && flags&pagetable.FlagCOW != 0 {
 				childFlags = flags
@@ -70,7 +73,7 @@ func (a *AddressSpace) Fork() (*AddressSpace, error) {
 				return nil, err
 			}
 			if pi, tracked := k.page(frame); tracked {
-				k.addRmap(pi, child, va)
+				k.addRmap(cur, pi, child, va)
 			}
 		}
 		// Swapped pages are shared via COW in real kernels; the
@@ -88,13 +91,13 @@ func (a *AddressSpace) Fork() (*AddressSpace, error) {
 					if err := a.pt.Protect(cur, va, flags); err != nil {
 						return nil, err
 					}
-					a.shootdownVA(va)
+					a.shootdownVA(cur, va)
 				}
 				if err := child.pt.Map(cur, va, pa.Frame(), flags); err != nil {
 					return nil, err
 				}
 				if pi, tracked := k.page(pa.Frame()); tracked {
-					k.addRmap(pi, child, va)
+					k.addRmap(cur, pi, child, va)
 				}
 			}
 		}

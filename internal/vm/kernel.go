@@ -46,14 +46,17 @@ type Kernel struct {
 	// region in the default machine).
 	pool *buddy.Allocator
 
-	// pages holds the struct-page analogue for tracked frames.
-	pages map[mem.Frame]*PageInfo
+	// meta is the global frame-metadata domain: struct-page map,
+	// recycled records, and the LRU lists the reclaim scanner walks.
+	// Frames inside a carved per-CPU arena live in that arena's domain
+	// instead (see arena.go); domainOf routes by frame number.
+	meta metaDomain
 
-	// sparePages recycles PageInfo records, slab-style: fault-heavy
-	// experiments track and forget millions of frames, and a fresh host
-	// allocation per fault (record plus rmap array) dominated the
-	// profile. Recycled records keep their rmap capacity.
-	sparePages []*PageInfo
+	// arenas holds the carved per-CPU arenas sorted by base frame
+	// (empty unless CarveArenas has run); arenaByCPU indexes them by
+	// CPU id.
+	arenas     []*Arena
+	arenaByCPU []*Arena
 
 	// rmapScratch is evictPage's reusable reverse-map snapshot buffer.
 	rmapScratch []rmapEntry
@@ -63,10 +66,6 @@ type Kernel struct {
 	// machine-wide. ASIDs are never reused, so a TLB entry whose ASID is
 	// absent here is provably stale.
 	spaces map[int]*AddressSpace
-
-	// Two-list reclaim state.
-	active   *pageList
-	inactive *pageList
 
 	swap *SwapDevice
 
@@ -131,10 +130,8 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 		Machine:  machine,
 		levels:   levels,
 		pool:     pool,
-		pages:    make(map[mem.Frame]*PageInfo),
+		meta:     newMetaDomain(),
 		spaces:   make(map[int]*AddressSpace),
-		active:   newPageList(),
-		inactive: newPageList(),
 		swap:     newSwapDevice(cfg.SwapFrames),
 		lowWater: low,
 		stats:    metrics.NewSet(),
@@ -142,6 +139,15 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 	k.cMinorFaults = k.stats.Counter("minor_faults")
 	k.cAnonAllocs = k.stats.Counter("anon_allocs")
 	k.cReclaimScans = k.stats.Counter("reclaim_scans")
+	// Pre-create the remaining kernel counters so the set's first-use
+	// order never depends on which CPU context records an event first
+	// during a host-parallel phase.
+	for _, name := range []string{
+		"major_faults", "cow_breaks", "swapouts", "swapins",
+		"reclaimed_pages", "user_faults", "forks",
+	} {
+		k.stats.Counter(name)
+	}
 	for _, cpu := range machine.CPUs() {
 		k.tlbs = append(k.tlbs, tlb.New(cpu, params, tlb.DefaultConfig()))
 	}
@@ -166,27 +172,47 @@ func (k *Kernel) FreePoolFrames() uint64 { return k.pool.FreeFrames() }
 func (k *Kernel) Pool() *buddy.Allocator { return k.pool }
 
 // TrackedPages returns the number of frames with live metadata — the
-// per-page bookkeeping footprint the paper wants to eliminate.
-func (k *Kernel) TrackedPages() int { return len(k.pages) }
+// per-page bookkeeping footprint the paper wants to eliminate —
+// summed over the global domain and every arena.
+func (k *Kernel) TrackedPages() int {
+	n := len(k.meta.pages)
+	for _, ar := range k.arenas {
+		n += len(ar.meta.pages)
+	}
+	return n
+}
 
 // MetadataBytes returns the simulated size of per-page metadata, using
 // the 64-byte struct page the paper's motivation cites.
-func (k *Kernel) MetadataBytes() uint64 { return uint64(len(k.pages)) * 64 }
+func (k *Kernel) MetadataBytes() uint64 { return uint64(k.TrackedPages()) * 64 }
 
-// allocAnonFrame allocates and zeroes one anonymous frame, reclaiming
-// under pressure. This is the per-fault allocation path.
-func (k *Kernel) allocAnonFrame() (mem.Frame, error) {
+// allocAnonFrame allocates and zeroes one anonymous frame for cur,
+// reclaiming under pressure. This is the per-fault allocation path.
+// With a non-nil arena the frame comes from the arena's private pool
+// and exhaustion is a hard error: arenas have no reclaim trigger,
+// because reclaim unmaps other CPUs' address spaces — exactly the
+// cross-CPU activity a host-parallel phase forbids.
+func (k *Kernel) allocAnonFrame(cur *sim.CPU, ar *Arena) (mem.Frame, error) {
+	if ar != nil {
+		f, err := ar.pool.AllocFrame()
+		if err != nil {
+			return 0, fmt.Errorf("vm: cpu %d arena out of memory: %w", ar.cpu.ID(), err)
+		}
+		k.Memory.ZeroFramesOn(cur, f, 1)
+		k.cAnonAllocs.Inc()
+		return f, nil
+	}
 	if k.pool.FreeFrames() < k.lowWater {
 		// Background reclaim would run here; the simulator reclaims
 		// synchronously, like direct reclaim under pressure.
-		if _, err := k.ReclaimPages(k.lowWater); err != nil {
+		if _, err := k.ReclaimPages(cur, k.lowWater); err != nil {
 			return 0, err
 		}
 	}
 	f, err := k.pool.AllocFrame()
 	if err != nil {
 		// Last resort: hard reclaim then retry once.
-		if _, rerr := k.ReclaimPages(1); rerr != nil {
+		if _, rerr := k.ReclaimPages(cur, 1); rerr != nil {
 			return 0, fmt.Errorf("vm: out of memory: %v (reclaim: %v)", err, rerr)
 		}
 		f, err = k.pool.AllocFrame()
@@ -194,17 +220,17 @@ func (k *Kernel) allocAnonFrame() (mem.Frame, error) {
 			return 0, fmt.Errorf("vm: out of memory: %w", err)
 		}
 	}
-	k.Memory.ZeroFrames(f, 1)
+	k.Memory.ZeroFramesOn(cur, f, 1)
 	k.cAnonAllocs.Inc()
 	return f, nil
 }
 
-// freeAnonFrame returns an anonymous frame to the pool.
+// freeAnonFrame returns an anonymous frame to the pool that owns it.
 func (k *Kernel) freeAnonFrame(f mem.Frame) error {
-	return k.pool.Free(f)
+	return k.poolFor(f).Free(f)
 }
 
-// chargeMeta charges n struct-page updates.
-func (k *Kernel) chargeMeta(n int) {
-	k.Clock.Advance(sim.Time(n) * k.Params.PageMetaOp)
+// chargeMeta charges n struct-page updates to cur's own clock.
+func (k *Kernel) chargeMeta(cur *sim.CPU, n int) {
+	cur.Clock().Advance(sim.Time(n) * k.Params.PageMetaOp)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // PageFlags is the per-frame status bitfield — the analogue of the
@@ -83,59 +84,63 @@ func (p *PageInfo) reset() {
 // maxSparePages bounds the kernel's recycled PageInfo pool.
 const maxSparePages = 65536
 
-// trackPage creates (or returns) metadata for a frame.
-func (k *Kernel) trackPage(f mem.Frame, flags PageFlags) *PageInfo {
-	if p, ok := k.pages[f]; ok {
+// trackPage creates (or returns) metadata for a frame, in the domain
+// owning it. cur is the CPU performing the work.
+func (k *Kernel) trackPage(cur *sim.CPU, f mem.Frame, flags PageFlags) *PageInfo {
+	d := k.domainOf(f)
+	if p, ok := d.pages[f]; ok {
 		return p
 	}
 	var p *PageInfo
-	if n := len(k.sparePages); n > 0 {
-		p = k.sparePages[n-1]
-		k.sparePages[n-1] = nil
-		k.sparePages = k.sparePages[:n-1]
+	if n := len(d.sparePages); n > 0 {
+		p = d.sparePages[n-1]
+		d.sparePages[n-1] = nil
+		d.sparePages = d.sparePages[:n-1]
 		p.Frame = f
 		p.Flags = flags
 	} else {
 		p = &PageInfo{Frame: f, Flags: flags}
 	}
-	k.pages[f] = p
-	k.chargeMeta(1)
+	d.pages[f] = p
+	k.chargeMeta(cur, 1)
 	return p
 }
 
-// forgetPage drops a frame's metadata and recycles the record.
-func (k *Kernel) forgetPage(p *PageInfo) {
+// forgetPage drops a frame's metadata and recycles the record into its
+// domain's spare pool.
+func (k *Kernel) forgetPage(cur *sim.CPU, p *PageInfo) {
+	d := k.domainOf(p.Frame)
 	if p.list != nil {
 		p.list.remove(p)
 	}
-	delete(k.pages, p.Frame)
-	k.chargeMeta(1)
-	if len(k.sparePages) < maxSparePages {
+	delete(d.pages, p.Frame)
+	k.chargeMeta(cur, 1)
+	if len(d.sparePages) < maxSparePages {
 		p.reset()
-		k.sparePages = append(k.sparePages, p)
+		d.sparePages = append(d.sparePages, p)
 	}
 }
 
 // page returns metadata for a tracked frame.
 func (k *Kernel) page(f mem.Frame) (*PageInfo, bool) {
-	p, ok := k.pages[f]
+	p, ok := k.domainOf(f).pages[f]
 	return p, ok
 }
 
 // addRmap records a mapping of the frame.
-func (k *Kernel) addRmap(p *PageInfo, as *AddressSpace, va mem.VirtAddr) {
+func (k *Kernel) addRmap(cur *sim.CPU, p *PageInfo, as *AddressSpace, va mem.VirtAddr) {
 	p.rmap = append(p.rmap, rmapEntry{as: as, va: va})
 	p.MapCount++
-	k.chargeMeta(1)
+	k.chargeMeta(cur, 1)
 }
 
 // delRmap removes a mapping record.
-func (k *Kernel) delRmap(p *PageInfo, as *AddressSpace, va mem.VirtAddr) error {
+func (k *Kernel) delRmap(cur *sim.CPU, p *PageInfo, as *AddressSpace, va mem.VirtAddr) error {
 	for i, e := range p.rmap {
 		if e.as == as && e.va == va {
 			p.rmap = append(p.rmap[:i], p.rmap[i+1:]...)
 			p.MapCount--
-			k.chargeMeta(1)
+			k.chargeMeta(cur, 1)
 			return nil
 		}
 	}
@@ -196,22 +201,30 @@ func (l *pageList) remove(p *PageInfo) {
 
 func (l *pageList) len() int { return l.count }
 
-// lruInsert places a newly faulted page on the inactive list.
-func (k *Kernel) lruInsert(p *PageInfo) {
+// lruInsert places a newly faulted page on its domain's inactive list.
+func (k *Kernel) lruInsert(cur *sim.CPU, p *PageInfo) {
+	d := k.domainOf(p.Frame)
 	p.Flags |= PGLRU
 	p.Flags &^= PGActive
-	k.inactive.pushBack(p)
-	k.chargeMeta(1)
+	d.inactive.pushBack(p)
+	k.chargeMeta(cur, 1)
 }
 
-// lruActivate promotes a referenced page to the active list.
-func (k *Kernel) lruActivate(p *PageInfo) {
+// lruActivate promotes a referenced page to its domain's active list.
+func (k *Kernel) lruActivate(cur *sim.CPU, p *PageInfo) {
+	d := k.domainOf(p.Frame)
 	p.Flags |= PGActive
-	k.active.pushBack(p)
-	k.chargeMeta(1)
+	d.active.pushBack(p)
+	k.chargeMeta(cur, 1)
 }
 
-// LRUStats returns the lengths of the active and inactive lists.
+// LRUStats returns the lengths of the active and inactive lists,
+// summed over the global domain and every arena.
 func (k *Kernel) LRUStats() (active, inactive int) {
-	return k.active.len(), k.inactive.len()
+	active, inactive = k.meta.active.len(), k.meta.inactive.len()
+	for _, ar := range k.arenas {
+		active += ar.meta.active.len()
+		inactive += ar.meta.inactive.len()
+	}
+	return active, inactive
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 // SwapDevice stores evicted anonymous pages. Slot contents survive in
@@ -52,51 +53,54 @@ func (s *SwapDevice) has(slot int) bool {
 // SwapUsed returns the number of pages currently in swap.
 func (k *Kernel) SwapUsed() int { return k.swap.used() }
 
-// ReclaimPages runs the two-list scanner until it has freed want
-// frames (or candidates run out), returning the number freed. The
+// ReclaimPages runs the two-list scanner on cur until it has freed
+// want frames (or candidates run out), returning the number freed. The
 // per-page scanning work — examine flags, clear referenced bits,
 // unmap, write to swap — is exactly the linear reclamation cost
 // file-only memory eliminates (§3.1 "The operating system does not
-// scan for idle pages to reclaim").
-func (k *Kernel) ReclaimPages(want uint64) (uint64, error) {
+// scan for idle pages to reclaim"). Only the global domain's lists are
+// scanned: per-CPU arenas have no reclaim (their exhaustion is a hard
+// error), because eviction unmaps arbitrary address spaces — an
+// inherently cross-CPU activity.
+func (k *Kernel) ReclaimPages(cur *sim.CPU, want uint64) (uint64, error) {
 	var freed uint64
 	// Refill the inactive list from the active list when it runs dry,
 	// demoting pages whose referenced bit has been cleared.
-	budget := (k.active.len() + k.inactive.len()) * 3
+	budget := (k.meta.active.len() + k.meta.inactive.len()) * 3
 	for freed < want && budget > 0 {
 		budget--
 		k.cReclaimScans.Inc()
-		k.chargeMeta(1)
-		p := k.inactive.popFront()
+		k.chargeMeta(cur, 1)
+		p := k.meta.inactive.popFront()
 		if p == nil {
-			if k.active.len() == 0 {
+			if k.meta.active.len() == 0 {
 				break
 			}
 			// Demote one active page per refill step. PGActive is
 			// cleared only on actual demotion: a referenced page
 			// rotates on the active list and must keep the flag.
-			ap := k.active.popFront()
+			ap := k.meta.active.popFront()
 			if ap.Flags&PGReferenced != 0 {
 				ap.Flags &^= PGReferenced
-				k.active.pushBack(ap)
+				k.meta.active.pushBack(ap)
 			} else {
 				ap.Flags &^= PGActive
-				k.inactive.pushBack(ap)
+				k.meta.inactive.pushBack(ap)
 			}
 			continue
 		}
 		if p.Flags&(PGMlocked|PGPinned) != 0 {
 			// Unevictable: park on the active list.
-			k.lruActivate(p)
+			k.lruActivate(cur, p)
 			continue
 		}
 		if p.Flags&PGReferenced != 0 {
 			// Second chance: promote.
 			p.Flags &^= PGReferenced
-			k.lruActivate(p)
+			k.lruActivate(cur, p)
 			continue
 		}
-		n, err := k.evictPage(p)
+		n, err := k.evictPage(cur, p)
 		if err != nil {
 			return freed, err
 		}
@@ -107,8 +111,9 @@ func (k *Kernel) ReclaimPages(want uint64) (uint64, error) {
 }
 
 // evictPage unmaps a page everywhere and frees its frame, swapping out
-// anonymous contents first.
-func (k *Kernel) evictPage(p *PageInfo) (uint64, error) {
+// anonymous contents first. All work is charged to cur, the reclaiming
+// CPU.
+func (k *Kernel) evictPage(cur *sim.CPU, p *PageInfo) (uint64, error) {
 	// Unmap from every address space via the reverse map. The snapshot
 	// lives in a kernel scratch buffer (delRmap below mutates p.rmap,
 	// and evictPage never nests).
@@ -119,7 +124,7 @@ func (k *Kernel) evictPage(p *PageInfo) (uint64, error) {
 	if anon && len(rmap) > 1 {
 		// COW-shared anonymous page: swap-slot sharing is not worth
 		// modelling; keep it resident.
-		k.lruActivate(p)
+		k.lruActivate(cur, p)
 		return 0, nil
 	}
 
@@ -132,29 +137,28 @@ func (k *Kernel) evictPage(p *PageInfo) (uint64, error) {
 		if err != nil {
 			// Swap full: keep the page (rotate to active to avoid
 			// rescanning immediately).
-			k.lruActivate(p)
+			k.lruActivate(cur, p)
 			return 0, nil
 		}
-		k.Clock.Advance(k.Params.SwapPageIO)
+		cur.Advance(k.Params.SwapPageIO)
 		k.stats.Counter("swapouts").Inc()
 	}
 
-	cur := k.Machine.Current()
 	for _, e := range rmap {
 		if _, _, err := e.as.pt.Unmap(cur, e.va); err != nil {
 			return 0, err
 		}
 		// The reclaiming CPU shoots the translation down on every CPU
 		// the victim address space has run on.
-		e.as.shootdownVA(e.va)
-		if err := k.delRmap(p, e.as, e.va); err != nil {
+		e.as.shootdownVA(cur, e.va)
+		if err := k.delRmap(cur, p, e.as, e.va); err != nil {
 			return 0, err
 		}
 		if anon {
 			e.as.swapped[e.va] = slot
 		}
 	}
-	k.forgetPage(p)
+	k.forgetPage(cur, p)
 	if anon {
 		if err := k.freeAnonFrame(frame); err != nil {
 			return 0, err

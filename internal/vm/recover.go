@@ -13,7 +13,7 @@ import "repro/internal/sim"
 //
 // It returns the number of pages rebuilt.
 func (k *Kernel) RecoverMetadata() uint64 {
-	pages := uint64(len(k.pages))
+	pages := uint64(k.TrackedPages())
 	k.Clock.Advance(sim.Time(pages) * (k.Params.PageMetaOp + k.Params.PTEWrite))
 	var vmas uint64
 	for _, as := range k.spaces {

@@ -20,26 +20,26 @@ func TestRecycleScrubsPoisonedPageInfo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(kernel.pages) == 0 {
+	if len(kernel.meta.pages) == 0 {
 		t.Fatal("populate tracked no pages")
 	}
 	// Poison: stale entries past the rmap's length, holding a live
 	// address-space pointer and a bogus va. A reset that only truncates
 	// the slice would retain both.
-	for _, pi := range kernel.pages {
+	for _, pi := range kernel.meta.pages {
 		n := len(pi.rmap)
 		pi.rmap = append(pi.rmap, rmapEntry{as: as, va: 0xdead000})[:n]
 	}
 	if err := as.Munmap(va, 4); err != nil {
 		t.Fatal(err)
 	}
-	if len(kernel.sparePages) == 0 {
+	if len(kernel.meta.sparePages) == 0 {
 		t.Fatal("munmap recycled no PageInfo records")
 	}
 	if err := kernel.SpareScrubbed(); err != nil {
 		t.Fatalf("poison survived recycling: %v", err)
 	}
-	for i, p := range kernel.sparePages {
+	for i, p := range kernel.meta.sparePages {
 		for j, e := range p.rmap[:cap(p.rmap)] {
 			if e.as != nil || e.va != 0 {
 				t.Fatalf("spare %d retains poisoned rmap entry %d: %+v", i, j, e)
@@ -54,12 +54,12 @@ func TestSpareScrubbedDetectsPoison(t *testing.T) {
 	_, kernel := newSMPMachine(t, 1, 0)
 	poisoned := &PageInfo{}
 	poisoned.rmap = append(poisoned.rmap, rmapEntry{va: mem.VirtAddr(0x1000)})[:0]
-	kernel.sparePages = append(kernel.sparePages, poisoned)
+	kernel.meta.sparePages = append(kernel.meta.sparePages, poisoned)
 	if err := kernel.SpareScrubbed(); err == nil {
 		t.Fatal("poisoned spare PageInfo went undetected")
 	}
-	kernel.sparePages = nil
-	kernel.sparePages = append(kernel.sparePages, &PageInfo{Frame: 7})
+	kernel.meta.sparePages = nil
+	kernel.meta.sparePages = append(kernel.meta.sparePages, &PageInfo{Frame: 7})
 	if err := kernel.SpareScrubbed(); err == nil {
 		t.Fatal("non-zero spare PageInfo field went undetected")
 	}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Host-parallel decomposition: a workload over one large region splits
+// into one contiguous sub-region per simulated CPU, and a touch trace
+// partitions by owning sub-region. Both are pure functions of their
+// inputs — never of host scheduling — so the same split feeds the
+// serial and the host-parallel runs of an experiment.
+
+// Split divides total pages across n CPUs, giving the remainder to the
+// lowest IDs. With n=1 the single share is the whole workload.
+func Split(total uint64, n int) []uint64 {
+	shares := make([]uint64, n)
+	base, rem := total/uint64(n), total%uint64(n)
+	for i := range shares {
+		shares[i] = base
+		if uint64(i) < rem {
+			shares[i]++
+		}
+	}
+	return shares
+}
+
+// Partition splits a page-index trace across the CPUs' contiguous
+// sub-regions: touch p belongs to the CPU whose share covers it and
+// becomes an index local to that share. Order within each partition is
+// preserved, so with one share the partition is the original trace.
+func Partition(idx []uint64, shares []uint64) [][]uint64 {
+	parts := make([][]uint64, len(shares))
+	starts := make([]uint64, len(shares))
+	var off uint64
+	for i, s := range shares {
+		starts[i] = off
+		off += s
+	}
+	for _, p := range idx {
+		owner := len(shares) - 1
+		for i := range starts {
+			if p < starts[i]+shares[i] {
+				owner = i
+				break
+			}
+		}
+		parts[owner] = append(parts[owner], p-starts[owner])
+	}
+	return parts
+}
+
+// Latency is a per-CPU-context recorder of simulated per-operation
+// latencies, backed by a fixed-size streaming histogram: Record is
+// O(1) and allocation-free, so it can sit on the hot path of a
+// billion-touch run without distorting host wall-clock measurements or
+// holding O(n) samples. Each recording context keeps its own Latency
+// and the contexts are Merged after the parallel phase.
+type Latency struct {
+	h metrics.StreamHist
+}
+
+// Record adds one operation's simulated duration.
+func (l *Latency) Record(d sim.Time) { l.h.Record(int64(d)) }
+
+// Merge folds another recorder's samples into l.
+func (l *Latency) Merge(o *Latency) { l.h.Merge(&o.h) }
+
+// Count returns the number of operations recorded.
+func (l *Latency) Count() uint64 { return l.h.Count() }
+
+// Quantile returns the q-quantile latency.
+func (l *Latency) Quantile(q float64) sim.Time { return sim.Time(l.h.Quantile(q)) }
+
+// Mean returns the mean latency in the clock's base unit.
+func (l *Latency) Mean() float64 { return l.h.Mean() }
+
+// Max returns the largest recorded latency.
+func (l *Latency) Max() sim.Time { return sim.Time(l.h.Max()) }
+
+// String renders the standard latency line: count, mean and the tail
+// quantiles the paper-style reports quote.
+func (l *Latency) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p99=%d p99.9=%d max=%d",
+		l.h.Count(), l.h.Mean(),
+		l.h.Quantile(0.50), l.h.Quantile(0.99), l.h.Quantile(0.999), l.h.Max())
+}

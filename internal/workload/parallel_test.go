@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSplitCoversTotal(t *testing.T) {
+	for _, tc := range []struct {
+		total uint64
+		n     int
+	}{{0, 1}, {1, 1}, {10, 3}, {7, 8}, {1 << 22, 8}} {
+		shares := Split(tc.total, tc.n)
+		if len(shares) != tc.n {
+			t.Fatalf("Split(%d,%d) has %d shares", tc.total, tc.n, len(shares))
+		}
+		var sum uint64
+		for _, s := range shares {
+			sum += s
+		}
+		if sum != tc.total {
+			t.Fatalf("Split(%d,%d) sums to %d", tc.total, tc.n, sum)
+		}
+	}
+}
+
+func TestPartitionPreservesOrder(t *testing.T) {
+	shares := Split(100, 4) // 25 each
+	idx := []uint64{99, 0, 26, 25, 74, 50, 1}
+	parts := Partition(idx, shares)
+	if got := parts[0]; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("partition 0 = %v", got)
+	}
+	if got := parts[1]; len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("partition 1 = %v", got)
+	}
+	if got := parts[2]; len(got) != 2 || got[0] != 24 || got[1] != 0 {
+		t.Fatalf("partition 2 = %v", got)
+	}
+	if got := parts[3]; len(got) != 1 || got[0] != 24 {
+		t.Fatalf("partition 3 = %v", got)
+	}
+}
+
+// TestLatencyRecordZeroAlloc pins the hot-path guarantee: recording a
+// latency sample must not allocate.
+func TestLatencyRecordZeroAlloc(t *testing.T) {
+	var l Latency
+	if n := testing.AllocsPerRun(1000, func() {
+		l.Record(1234)
+	}); n != 0 {
+		t.Fatalf("Latency.Record allocates %.1f objects/op", n)
+	}
+}
+
+func TestLatencyMergeAndQuantiles(t *testing.T) {
+	var a, b Latency
+	for i := 1; i <= 100; i++ {
+		a.Record(sim.Time(i))
+	}
+	b.Record(sim.Time(10_000))
+	a.Merge(&b)
+	if a.Count() != 101 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if got := a.Max(); got != 10_000 {
+		t.Fatalf("Max = %d", got)
+	}
+	if got := a.Quantile(0.5); got < 40 || got > 60 {
+		t.Fatalf("p50 = %d, want ~50", got)
+	}
+	if got := a.Quantile(0.999); got < 9_000 {
+		t.Fatalf("p99.9 = %d, want the 10k outlier's bucket", got)
+	}
+}
