@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments results profile snap clean
+.PHONY: all build test vet bench bench-compare experiments results profile snap clean
 
 all: build vet test
 
@@ -21,6 +21,15 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) run ./cmd/o1bench -parallel 1 -benchjson BENCH_wallclock.json > /dev/null
+
+# Wall-clock regression gate: re-measure the suite and diff against
+# the tracked baseline. Fails on >25% slowdown of any experiment or of
+# the suite; skips (exit 0) when the host shape differs from the
+# baseline's, since wall-clock numbers are not comparable across hosts.
+bench-compare:
+	$(GO) run ./cmd/o1bench -parallel 1 -benchjson BENCH_wallclock.new.json > /dev/null
+	$(GO) run ./cmd/benchdiff -old BENCH_wallclock.json -new BENCH_wallclock.new.json -max-regress 0.25
+	@rm -f BENCH_wallclock.new.json
 
 # CPU and heap profiles of the full suite (inspect with `go tool pprof`).
 profile:

@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"repro/internal/bench"
@@ -44,6 +45,8 @@ func run() error {
 	dumpParams := flag.Bool("dump-params", false, "print the default cost table as JSON and exit")
 	cpus := flag.Int("cpus", 1, "simulated CPU count for every experiment machine")
 	hostpar := flag.Bool("hostpar", false, "run each experiment's simulated CPU contexts on host goroutines (simulated numbers unchanged; wall-clock drops)")
+	syncMode := flag.String("syncmode", "sharded", "host-parallel sync protocol: sharded (domain-scoped sync points) | global (legacy full quiescence); simulated numbers are identical")
+	traceFile := flag.String("trace", "", "write a runtime execution trace of the suite to this file (goroutines are labeled sim_cpu=N)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker count (1 = serial, enables per-experiment alloc counts)")
 	benchJSON := flag.String("benchjson", "", "write per-experiment wall-clock times as JSON to this file")
 	force := flag.Bool("force", false, "overwrite an existing -benchjson file even if it was measured on a differently shaped host")
@@ -53,6 +56,14 @@ func run() error {
 
 	bench.SetCPUs(*cpus)
 	bench.SetHostParallel(*hostpar)
+	switch *syncMode {
+	case "sharded":
+		bench.SetSyncLegacy(false)
+	case "global":
+		bench.SetSyncLegacy(true)
+	default:
+		return fmt.Errorf("unknown -syncmode %q (want sharded or global)", *syncMode)
+	}
 
 	if *dumpParams {
 		def := sim.DefaultParams()
@@ -99,6 +110,17 @@ func run() error {
 			return err
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return err
+		}
+		defer trace.Stop()
 	}
 
 	t0 := time.Now()

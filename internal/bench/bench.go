@@ -133,6 +133,30 @@ func SetHostParallel(on bool) { benchHostPar = on }
 // HostParallel returns the configured host-parallel setting.
 func HostParallel() bool { return benchHostPar }
 
+// benchSyncLegacy selects the legacy global-quiescence sync protocol
+// (the -syncmode global flag); the default is sharded sync domains.
+// Simulated numbers are identical either way — the knob exists to
+// measure the wall-clock cost of global barriers.
+var benchSyncLegacy = false
+
+// SetSyncLegacy plumbs cmd/o1bench's -syncmode flag through to every
+// machine the experiments build (true = global quiescence).
+func SetSyncLegacy(on bool) { benchSyncLegacy = on }
+
+// SyncLegacy returns the configured sync protocol (true = global).
+func SyncLegacy() bool { return benchSyncLegacy }
+
+// newSimMachine builds a simulator machine with the configured
+// host-parallel and sync-protocol settings applied. Every experiment
+// machine is built through here so the -hostpar and -syncmode flags
+// reach them all.
+func newSimMachine(params *sim.Params, n int) *sim.Machine {
+	m := sim.NewMachine(params, n, 0)
+	m.SetHostParallel(benchHostPar)
+	m.SetSyncLegacy(benchSyncLegacy)
+	return m
+}
+
 // Machine is the standard experiment machine: 2 GiB of DRAM for the
 // baseline's page pool and page tables, 6 GiB of NVM split between a
 // tmpfs, a PMFS and the file-only-memory store.
@@ -175,8 +199,7 @@ func NewMachineN(n int) (*Machine, error) {
 		pmfsFrames  = uint64(1) << 30 >> mem.FrameShift // 1 GiB PMFS (NVM)
 	)
 	params := machineParams()
-	machine := sim.NewMachine(&params, n, 0)
-	machine.SetHostParallel(benchHostPar)
+	machine := newSimMachine(&params, n)
 	clock := machine.Clock()
 	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: dramFrames, NVMFrames: nvmFrames})
 	if err != nil {

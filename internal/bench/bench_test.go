@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fragmentation", "headroom", "heapchurn",
 		"metadata", "o1", "pinning", "readvsmap", "reclaim",
 		"recovery", "scale", "shootdown",
-		"snapshot-restore", "snapshot-save", "walkdepth", "zero",
+		"snapshot-restore", "snapshot-save", "tenants", "walkdepth", "zero",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -301,23 +301,35 @@ func TestShootdownShape(t *testing.T) {
 		t.Fatalf("shared-pt teardown (%v) not below baseline (%v)", spt[last], base[last])
 	}
 
-	// CPU sweep (second table): baseline per-page shootdown grows with
-	// the CPU count as well as with the mapping size, while the range
-	// teardown stays one range-TLB invalidation per CPU — far below it.
+	// CPU sweep (second table): unbatched page-at-a-time teardown grows
+	// with the CPU count (one IPI round per page), the batched munmap's
+	// single coalesced round keeps it far below that, and the range
+	// teardown stays one range-TLB invalidation per CPU — below both.
 	cpus := col(t, r, 1, 0)
-	baseCPU := col(t, r, 1, 1)
-	rngCPU := col(t, r, 1, 2)
-	ipis := col(t, r, 1, 4)
+	batchCPU := col(t, r, 1, 1)
+	perPageCPU := col(t, r, 1, 2)
+	rngCPU := col(t, r, 1, 3)
+	ipis := col(t, r, 1, 5)
 	lastC := len(cpus) - 1
-	if baseCPU[lastC] < 10*baseCPU[0] {
-		t.Fatalf("baseline shootdown not growing with CPU count: %v", baseCPU)
+	if perPageCPU[lastC] < 10*perPageCPU[0] {
+		t.Fatalf("unbatched shootdown not growing with CPU count: %v", perPageCPU)
 	}
 	if ipis[0] != 0 || ipis[lastC] <= ipis[1] {
-		t.Fatalf("baseline IPI count not growing with CPU count: %v", ipis)
+		t.Fatalf("unbatched IPI count not growing with CPU count: %v", ipis)
+	}
+	if perPageCPU[lastC] < 5*batchCPU[lastC] {
+		t.Fatalf("coalescing not paying off at %v CPUs: batched %v vs per-page %v",
+			cpus[lastC], batchCPU[lastC], perPageCPU[lastC])
 	}
 	for i := range cpus {
-		if baseCPU[i] < 30*rngCPU[i] {
-			t.Fatalf("at %v CPUs range shootdown (%v) not ≪ baseline (%v)", cpus[i], rngCPU[i], baseCPU[i])
+		// Coalescing removes the baseline's IPI storm, so the remaining
+		// gap is its per-page PTE/rmap teardown: ~an order of magnitude
+		// here, vs the unbounded pages × CPUs gap of the unbatched path.
+		if batchCPU[i] < 10*rngCPU[i] {
+			t.Fatalf("at %v CPUs range shootdown (%v) not ≪ batched baseline (%v)", cpus[i], rngCPU[i], batchCPU[i])
+		}
+		if perPageCPU[i] < 30*rngCPU[i] {
+			t.Fatalf("at %v CPUs range shootdown (%v) not ≪ unbatched baseline (%v)", cpus[i], rngCPU[i], perPageCPU[i])
 		}
 		// One invalidation per CPU: growth bounded by the CPU ratio.
 		// (The 1-CPU row pays no IPI at all, so scale from the 2-CPU

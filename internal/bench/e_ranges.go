@@ -38,8 +38,7 @@ func newDRAMMachine() (*Machine, error) {
 		ptFrames   = uint64(256) << 20 >> mem.FrameShift
 	)
 	params := machineParams()
-	machine := sim.NewMachine(&params, benchCPUs, 0)
-	machine.SetHostParallel(benchHostPar)
+	machine := newSimMachine(&params, benchCPUs)
 	clock := machine.Clock()
 	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: dramFrames})
 	if err != nil {

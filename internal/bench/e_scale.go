@@ -30,8 +30,7 @@ func scale() (*Result, error) {
 	const nvmFrames = uint64(2) << 40 >> mem.FrameShift // 2 TiB
 	const dramFrames = uint64(2) << 30 >> mem.FrameShift
 	params := machineParams()
-	machine := sim.NewMachine(&params, benchCPUs, 0)
-	machine.SetHostParallel(benchHostPar)
+	machine := newSimMachine(&params, benchCPUs)
 	clock := machine.Clock()
 	memory, err := mem.New(clock, &params, mem.Config{DRAMFrames: dramFrames, NVMFrames: nvmFrames})
 	if err != nil {

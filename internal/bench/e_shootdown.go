@@ -113,7 +113,7 @@ func shootdown() (*Result, error) {
 		Tables: []*metrics.Table{table, cpuTable},
 		Notes: []string{
 			"the baseline clears one PTE per page per process; file-only memory removes one range entry (or unlinks one subtree per 2 MiB/1 GiB) and invalidates a single translation per process",
-			"the CPU sweep unmaps a mapping whose address space ran on every CPU: the baseline shoots down each page on each CPU (pages × CPUs IPI work), while the range shootdown stays one range-TLB invalidation per CPU",
+			"the CPU sweep unmaps a mapping whose address space ran on every CPU: a whole-mapping munmap coalesces its invalidations into one IPI round (mmu_gather batching) but still pays per-page PTE/rmap teardown, page-at-a-time release pays pages × CPUs IPI work, and the range shootdown stays one range-TLB invalidation per CPU",
 		},
 	}, nil
 }
@@ -123,11 +123,15 @@ const shootdownCPUSweepSizeMB = 16
 
 // shootdownCPUSweep holds the mapping size fixed and sweeps the CPU
 // count 1–16. The mapped address space/process is marked as having run
-// on every CPU, so every unmap must reach all of them.
+// on every CPU, so every unmap must reach all of them. The baseline is
+// measured twice: one whole-mapping munmap, whose invalidations
+// coalesce into a single IPI round (the mmu_gather batching), and the
+// same pages unmapped one syscall at a time, where every page pays its
+// own shootdown round — the unbatched cost that grows as pages × CPUs.
 func shootdownCPUSweep() (*metrics.Table, error) {
 	table := metrics.NewTable(
 		fmt.Sprintf("tear down one %d MB shared mapping vs CPU count (µs, simulated)", shootdownCPUSweepSizeMB),
-		"cpus", "baseline_us", "fom_ranges_us", "fom_sharedpt_us", "baseline_ipis")
+		"cpus", "base_batched_us", "base_perpage_us", "fom_ranges_us", "fom_sharedpt_us", "perpage_ipis")
 	pages := uint64(shootdownCPUSweepSizeMB) << 20 >> mem.FrameShift
 
 	for _, ncpu := range []int{1, 2, 4, 8, 16} {
@@ -136,8 +140,9 @@ func shootdownCPUSweep() (*metrics.Table, error) {
 			return nil, err
 		}
 
-		// Baseline: one address space whose threads ran on every CPU, so
-		// each per-page unmap broadcasts an invalidation IPI round.
+		// Baseline, batched: one munmap syscall covering the whole
+		// mapping. Per-page PTE/rmap teardown is unchanged, but the TLB
+		// invalidations coalesce into one shootdown round.
 		bf, err := tmpfsFileOfKB(m, "/sdcpu", shootdownCPUSweepSizeMB*1024)
 		if err != nil {
 			return nil, err
@@ -153,8 +158,34 @@ func shootdownCPUSweep() (*metrics.Table, error) {
 		for _, cpu := range m.Sim.CPUs() {
 			as.RunOn(cpu)
 		}
+		batchT, err := timeOp(m.Clock, func() error { return as.Munmap(va, pages) })
+		if err != nil {
+			return nil, err
+		}
+
+		// Baseline, unbatched: the same mapping released one page per
+		// syscall (a free() pattern a batching kernel cannot help), so
+		// every page is its own IPI round to every other CPU.
+		as2, err := m.Kernel.NewAddressSpace()
+		if err != nil {
+			return nil, err
+		}
+		va2, err := as2.Mmap(vm.MmapRequest{Pages: pages, Prot: ro, File: bf, Populate: true})
+		if err != nil {
+			return nil, err
+		}
+		for _, cpu := range m.Sim.CPUs() {
+			as2.RunOn(cpu)
+		}
 		ipis0 := machineIPIs(m.Sim)
-		baseT, err := timeOp(m.Clock, func() error { return as.Munmap(va, pages) })
+		perPageT, err := timeOp(m.Clock, func() error {
+			for p := uint64(0); p < pages; p++ {
+				if err := as2.Munmap(va2+mem.VirtAddr(p*mem.FrameSize), 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -174,13 +205,19 @@ func shootdownCPUSweep() (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			// The process's threads ran everywhere too: its shootdown
+			// mask covers every CPU, so the unmap's single round still
+			// pays one invalidation per CPU.
+			for _, cpu := range m.Sim.CPUs() {
+				p.RunOn(cpu)
+			}
 			d, err := timeOp(m.Clock, func() error { return p.Unmap(mp) })
 			if err != nil {
 				return nil, err
 			}
 			times[mode] = d
 		}
-		table.AddRow(fmt.Sprint(ncpu), us(baseT), us(times[core.Ranges]), us(times[core.SharedPT]),
+		table.AddRow(fmt.Sprint(ncpu), us(batchT), us(perPageT), us(times[core.Ranges]), us(times[core.SharedPT]),
 			fmt.Sprint(ipis))
 	}
 	return table, nil

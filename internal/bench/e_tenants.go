@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tenants",
+		Title: "sustained multi-tenant churn: fork/exec, shared objects, alloc bursts, teardown",
+		Paper: "§2/§3 ('machines hosting thousands of containers'): per-op latency under consolidation-scale churn",
+		Run:   tenants,
+	})
+}
+
+// Tenant-driver sizing. Thousands of short-lived tenants churn through
+// spawn → map-shared → alloc/touch/free bursts → exit; the experiment
+// reports the per-operation simulated latency distribution for the
+// baseline VM (populate and demand-paging variants) and file-only
+// memory (both hardware assumptions).
+const (
+	tenantCount     = 2000
+	tenantBursts    = 3
+	tenantHeapPages = 48
+	tenantTmplPages = 64 // the shared template/object every tenant maps
+	tenantSharedHot = 8  // pages of the shared object each tenant touches
+)
+
+// tenantPairGroups partitions the CPUs into {2i, 2i+1} sync groups:
+// tenants interact only with their pair partner, so disjoint pairs
+// never barrier against each other in a host-parallel phase.
+func tenantPairGroups(n int) [][]int {
+	var groups [][]int
+	for i := 0; i+1 < n; i += 2 {
+		groups = append(groups, []int{i, i + 1})
+	}
+	return groups
+}
+
+// tenantPartner returns the pair partner of cpu on an n-CPU machine,
+// or -1 when the CPU is unpaired.
+func tenantPartner(cpu, n int) int {
+	p := cpu ^ 1
+	if p >= n {
+		return -1
+	}
+	return p
+}
+
+// mergeLatencies folds the per-CPU recorders in CPU order.
+func mergeLatencies(lats []*workload.Latency) *workload.Latency {
+	out := lats[0]
+	for _, l := range lats[1:] {
+		out.Merge(l)
+	}
+	return out
+}
+
+func tenants() (*Result, error) {
+	traces, err := workload.TenantTrace(workload.TenantConfig{
+		Tenants: tenantCount, Bursts: tenantBursts, HeapPages: tenantHeapPages, Seed: 17,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	table := metrics.NewTable(
+		fmt.Sprintf("per-op simulated latency over %d tenants × %d bursts (ns)",
+			tenantCount, tenantBursts),
+		"config", "ops", "mean_ns", "p50_ns", "p99_ns", "p99.9_ns", "max_ns")
+
+	for _, cfg := range []struct {
+		name     string
+		populate bool
+	}{{"baseline_populate", true}, {"baseline_demand", false}} {
+		lat, err := tenantsBaseline(traces, cfg.populate)
+		if err != nil {
+			return nil, fmt.Errorf("tenants %s: %w", cfg.name, err)
+		}
+		addLatencyRow(table, cfg.name, lat)
+	}
+	for _, cfg := range []struct {
+		name string
+		mode core.TranslationMode
+	}{{"fom_ranges", core.Ranges}, {"fom_sharedpt", core.SharedPT}} {
+		lat, err := tenantsFOM(traces, cfg.mode)
+		if err != nil {
+			return nil, fmt.Errorf("tenants %s: %w", cfg.name, err)
+		}
+		addLatencyRow(table, cfg.name, lat)
+	}
+
+	return &Result{
+		ID:     "tenants",
+		Title:  "sustained multi-tenant churn",
+		Paper:  "§2/§3 consolidation premise",
+		Tables: []*metrics.Table{table},
+		Notes: []string{
+			"each tenant forks from its CPU's 64-page template (the shared object), touches 8 shared pages, runs alloc/touch/free bursts over an anonymous heap, and exits; odd tenants run a thread on the pair-partner CPU, so their teardowns pay real cross-CPU shootdowns",
+			"the baseline pays per-page fork copies, per-page populate or demand faults, and per-page teardown; file-only memory spawns a fresh process (no per-page fork cost), maps the shared object in O(extents), and allocates/frees whole files",
+			"tenants are CPU-local by construction (per-CPU templates, arenas, and file systems), so pair sync groups let disjoint pairs proceed without ever synchronizing — the sharded-sync-domain scaling case",
+			"with multiple CPUs the max column includes cross-CPU rendezvous: an IPI merges the sender's clock with its partner's, so one op absorbs the pair's clock skew",
+		},
+	}, nil
+}
+
+func addLatencyRow(t *metrics.Table, name string, l *workload.Latency) {
+	t.AddRow(name, fmt.Sprint(l.Count()), fmt.Sprintf("%.1f", l.Mean()),
+		fmt.Sprint(int64(l.Quantile(0.50))), fmt.Sprint(int64(l.Quantile(0.99))),
+		fmt.Sprint(int64(l.Quantile(0.999))), fmt.Sprint(int64(l.Max())))
+}
+
+// tenantsBaseline replays the trace against the baseline VM kernel.
+// Every CPU owns an arena, a read-only populated template space, and a
+// round-robin share of the tenants; spawn is a same-CPU fork of the
+// template (per-page PTE copies), the shared object is the template
+// memory inherited through it, and teardown is per-page zap with
+// coalesced shootdowns.
+func tenantsBaseline(traces [][]workload.TenantOp, populate bool) (*workload.Latency, error) {
+	m, err := NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.ShardPool(); err != nil {
+		return nil, err
+	}
+	n := m.Sim.NumCPUs()
+	m.Sim.SetSyncGroups(tenantPairGroups(n))
+	defer m.Sim.SetSyncGroups(nil)
+
+	lats := make([]*workload.Latency, n)
+	for i := range lats {
+		lats[i] = &workload.Latency{}
+	}
+	err = m.Sim.RunParallel(func(c *sim.CPU) error {
+		lat := lats[c.ID()]
+		partner := tenantPartner(c.ID(), n)
+		tmpl, err := m.Kernel.NewAddressSpaceOn(c)
+		if err != nil {
+			return err
+		}
+		tmplVA, err := tmpl.Mmap(vm.MmapRequest{
+			Pages: tenantTmplPages, Prot: ro, Anon: true, Private: true, Populate: true,
+		})
+		if err != nil {
+			return err
+		}
+		for ti := c.ID(); ti < len(traces); ti += n {
+			var space *vm.AddressSpace
+			var heapVA mem.VirtAddr
+			var heapPages uint64
+			for _, op := range traces[ti] {
+				t0 := c.Now()
+				switch op.Kind {
+				case workload.TenantSpawn:
+					space, err = tmpl.ForkOn(c)
+					if err != nil {
+						return err
+					}
+					if ti%2 == 1 && partner >= 0 {
+						space.MarkRanOn(m.Sim.CPU(partner))
+					}
+				case workload.TenantMapShared:
+					// The fork inherited the template mapping — the
+					// baseline's way of sharing an object. Touch the
+					// hot pages through this tenant's page table.
+					for p := uint64(0); p < tenantSharedHot; p++ {
+						if err := space.Touch(tmplVA+mem.VirtAddr(p*mem.FrameSize), false); err != nil {
+							return err
+						}
+					}
+				case workload.TenantAlloc:
+					heapPages = op.Pages
+					heapVA, err = space.Mmap(vm.MmapRequest{
+						Pages: op.Pages, Prot: rw, Anon: true, Private: true, Populate: populate,
+					})
+					if err != nil {
+						return err
+					}
+				case workload.TenantTouch:
+					for p := uint64(0); p < op.Pages; p++ {
+						if err := space.Touch(heapVA+mem.VirtAddr(p*mem.FrameSize), true); err != nil {
+							return err
+						}
+					}
+				case workload.TenantFree:
+					if err := space.Munmap(heapVA, heapPages); err != nil {
+						return err
+					}
+				case workload.TenantExit:
+					if err := space.Destroy(); err != nil {
+						return err
+					}
+				}
+				lat.Record(c.Now() - t0)
+			}
+		}
+		return tmpl.Destroy()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeLatencies(lats), nil
+}
+
+// tenantsFOM replays the trace against file-only memory. Every CPU
+// gets its own memory and core.System (file store, page-table pool,
+// masters) clocked on that CPU, so all charges are CPU-local with no
+// kernel-clock forwarding; the shared object is a per-CPU file mapped
+// by each tenant in O(extents).
+func tenantsFOM(traces [][]workload.TenantOp, mode core.TranslationMode) (*workload.Latency, error) {
+	const (
+		cpuDRAMFrames = uint64(256) << 20 >> mem.FrameShift // page-table pool
+		cpuNVMFrames  = uint64(1) << 30 >> mem.FrameShift   // file store
+	)
+	params := machineParams()
+	machine := newSimMachine(&params, benchCPUs)
+	n := machine.NumCPUs()
+	machine.SetSyncGroups(tenantPairGroups(n))
+	defer machine.SetSyncGroups(nil)
+
+	syss := make([]*core.System, n)
+	shared := make([]*memfs.File, n)
+	for i := 0; i < n; i++ {
+		c := machine.CPU(i)
+		cpuMem, err := mem.New(c.Clock(), &params, mem.Config{
+			DRAMFrames: cpuDRAMFrames, NVMFrames: cpuNVMFrames,
+		})
+		if err != nil {
+			return nil, err
+		}
+		syss[i], err = core.NewSystem(c.Clock(), &params, cpuMem, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		shared[i], err = syss[i].CreateContiguousFile("/shared", tenantTmplPages,
+			memfs.CreateOptions{Mode: ro}, mode == core.SharedPT)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	lats := make([]*workload.Latency, n)
+	for i := range lats {
+		lats[i] = &workload.Latency{}
+	}
+	err := machine.RunParallel(func(c *sim.CPU) error {
+		lat := lats[c.ID()]
+		partner := tenantPartner(c.ID(), n)
+		s := syss[c.ID()]
+		for ti := c.ID(); ti < len(traces); ti += n {
+			var p *core.Process
+			var heap, sm *core.Mapping
+			for _, op := range traces[ti] {
+				t0 := c.Now()
+				switch op.Kind {
+				case workload.TenantSpawn:
+					var err error
+					p, err = s.NewProcessOn(c, mode)
+					if err != nil {
+						return err
+					}
+					if ti%2 == 1 && partner >= 0 {
+						p.MarkRanOn(machine.CPU(partner))
+					}
+				case workload.TenantMapShared:
+					var err error
+					sm, err = p.MapFile(shared[c.ID()], ro)
+					if err != nil {
+						return err
+					}
+					for pg := uint64(0); pg < tenantSharedHot; pg++ {
+						if err := p.Touch(sm.Base()+mem.VirtAddr(pg*mem.FrameSize), false); err != nil {
+							return err
+						}
+					}
+				case workload.TenantAlloc:
+					var err error
+					heap, err = p.AllocVolatile(op.Pages, rw)
+					if err != nil {
+						return err
+					}
+				case workload.TenantTouch:
+					for pg := uint64(0); pg < op.Pages; pg++ {
+						if err := p.Touch(heap.Base()+mem.VirtAddr(pg*mem.FrameSize), true); err != nil {
+							return err
+						}
+					}
+				case workload.TenantFree:
+					if err := p.Unmap(heap); err != nil {
+						return err
+					}
+				case workload.TenantExit:
+					if err := p.Exit(); err != nil {
+						return err
+					}
+				}
+				lat.Record(c.Now() - t0)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeLatencies(lats), nil
+}

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // Select resolves a comma-separated experiment spec — "all" or a list
@@ -54,6 +56,14 @@ type RunReport struct {
 	AllocBytes   uint64
 	AllocObjects uint64
 	AllocsValid  bool
+
+	// Sync is the delta of the sim package's sync telemetry over Run:
+	// sync points granted, domain widths, host barrier wait, IPI rounds
+	// and coalesced invalidations. The counters are process-global, so
+	// like the allocation counts they are attributable to one experiment
+	// only in a serial suite (SyncValid mirrors AllocsValid).
+	Sync      sim.SyncTelemetry
+	SyncValid bool
 }
 
 // RunSuite runs the experiments on min(parallel, len(exps)) workers
@@ -95,8 +105,10 @@ func RunSuite(exps []Experiment, parallel int) []*RunReport {
 func runOne(e Experiment, measureAllocs bool) *RunReport {
 	rep := &RunReport{ID: e.ID, Title: e.Title}
 	var m0 runtime.MemStats
+	var s0 sim.SyncTelemetry
 	if measureAllocs {
 		runtime.ReadMemStats(&m0)
+		s0 = sim.TelemetrySnapshot()
 	}
 	t0 := time.Now()
 	rep.Result, rep.Err = e.Run()
@@ -107,6 +119,8 @@ func runOne(e Experiment, measureAllocs bool) *RunReport {
 		rep.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
 		rep.AllocObjects = m1.Mallocs - m0.Mallocs
 		rep.AllocsValid = true
+		rep.Sync = sim.TelemetrySnapshot().Sub(s0)
+		rep.SyncValid = true
 	}
 	return rep
 }
@@ -138,7 +152,38 @@ type ExperimentReport struct {
 	// Heap allocations of the experiment's Run (serial suites only).
 	AllocBytes   *uint64 `json:"alloc_bytes,omitempty"`
 	AllocObjects *uint64 `json:"alloc_objects,omitempty"`
-	Error        string  `json:"error,omitempty"`
+	// Sync is the experiment's sync-telemetry delta (serial suites only).
+	Sync  *SyncReport `json:"sync,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
+// SyncReport is the JSON form of one experiment's sync-telemetry
+// delta: how much synchronization its parallel phases needed and how
+// much shootdown work the deferred-invalidation queues coalesced.
+type SyncReport struct {
+	SyncPoints      uint64  `json:"sync_points"`
+	GlobalSections  uint64  `json:"global_sections"`
+	MeanDomainCPUs  float64 `json:"mean_domain_cpus"`
+	BarrierWaitMS   float64 `json:"barrier_wait_ms"`
+	IPIRounds       uint64  `json:"ipi_rounds"`
+	IPITargets      uint64  `json:"ipi_targets"`
+	CoalescedInvals uint64  `json:"coalesced_invals"`
+}
+
+// newSyncReport converts a telemetry delta for the JSON report.
+func newSyncReport(t sim.SyncTelemetry) *SyncReport {
+	r := &SyncReport{
+		SyncPoints:      t.SyncPoints,
+		GlobalSections:  t.GlobalSections,
+		BarrierWaitMS:   float64(t.BarrierWaitNs) / 1e6,
+		IPIRounds:       t.IPIRounds,
+		IPITargets:      t.IPITargets,
+		CoalescedInvals: t.CoalescedInvals,
+	}
+	if t.SyncPoints > 0 {
+		r.MeanDomainCPUs = float64(t.DomainCPUs) / float64(t.SyncPoints)
+	}
+	return r
 }
 
 // NewSuiteReport assembles the JSON document from the suite's reports.
@@ -167,6 +212,9 @@ func NewSuiteReport(reports []*RunReport, parallel int, totalWall time.Duration)
 			b, o := r.AllocBytes, r.AllocObjects
 			er.AllocBytes = &b
 			er.AllocObjects = &o
+		}
+		if r.SyncValid {
+			er.Sync = newSyncReport(r.Sync)
 		}
 		if r.Err != nil {
 			er.Error = r.Err.Error()

@@ -45,7 +45,7 @@ func (p *Process) translate(va mem.VirtAddr, write bool) (mem.PhysAddr, error) {
 }
 
 func (p *Process) translateRanges(va mem.VirtAddr, write bool) (mem.PhysAddr, error) {
-	rtlb := p.sys.rtlbs[p.sys.machine.Current().ID()]
+	rtlb := p.sys.rtlbs[p.cpu.ID()]
 	e, hit := rtlb.Lookup(p.pid, va)
 	if !hit {
 		var ok bool
@@ -64,7 +64,7 @@ func (p *Process) translateRanges(va mem.VirtAddr, write bool) (mem.PhysAddr, er
 }
 
 func (p *Process) translateSharedPT(va mem.VirtAddr, write bool) (mem.PhysAddr, error) {
-	cur := p.sys.machine.Current()
+	cur := p.cpu
 	ptlb := p.sys.tlbs[cur.ID()]
 	if tr, hit := ptlb.Lookup(p.pid, va); hit {
 		if err := checkProt(tr.Flags, va, write); err != nil {

@@ -239,12 +239,12 @@ func (s *System) DiscardUnderPressure(want uint64) (uint64, error) {
 }
 
 // master returns the pre-created master table for a protection class,
-// creating an empty one on first use.
-func (s *System) master(prot pagetable.Flags) (*masterTable, error) {
+// creating an empty one on first use. cur is the CPU doing the work.
+func (s *System) master(cur *sim.CPU, prot pagetable.Flags) (*masterTable, error) {
 	if m, ok := s.masters[prot]; ok {
 		return m, nil
 	}
-	t, err := pagetable.New(s.machine.Current(), s.params, s.ptPool.bud, pagetable.Levels4)
+	t, err := pagetable.New(cur, s.params, s.ptPool.bud, pagetable.Levels4)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +257,7 @@ func (s *System) master(prot pagetable.Flags) (*masterTable, error) {
 // first caller pays the 512 PTE writes; the table persists (it lives
 // in the system, conceptually in NVM), so every later map of the same
 // physical chunk — by any process, ever — is a single link.
-func (s *System) ensureChunk(m *masterTable, chunkVA mem.VirtAddr) error {
+func (s *System) ensureChunk(m *masterTable, cur *sim.CPU, chunkVA mem.VirtAddr) error {
 	if m.chunks[chunkVA] {
 		return nil
 	}
@@ -265,7 +265,7 @@ func (s *System) ensureChunk(m *masterTable, chunkVA mem.VirtAddr) error {
 	if err != nil {
 		return err
 	}
-	if err := m.table.MapRange(s.machine.Current(), chunkVA, pa.Frame(), chunkPages, m.prot); err != nil {
+	if err := m.table.MapRange(cur, chunkVA, pa.Frame(), chunkPages, m.prot); err != nil {
 		return err
 	}
 	m.chunks[chunkVA] = true

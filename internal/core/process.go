@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/buddy"
 	"repro/internal/mem"
@@ -36,6 +37,17 @@ type Process struct {
 	mode TranslationMode
 	cpu  *sim.CPU // home CPU; syscalls and accesses execute here
 
+	// cpuMask[i] records that the process ever ran on CPU i — the
+	// mm_cpumask. Translations tagged with this PID can only have been
+	// cached on masked CPUs (translate fills the executing CPU's cache,
+	// and execution happens only via RunOn/MarkRanOn-tracked CPUs), so
+	// shootdowns IPI exactly the masked CPUs instead of broadcasting.
+	cpuMask []bool
+
+	// shoot batches the translation invalidations of one unmap burst
+	// into a single shootdown round (see flushShoot).
+	shoot shootList
+
 	// Ranges mode state. The range TLB itself is per-CPU (sys.rtlbs).
 	ranges *rangetable.Table
 
@@ -67,11 +79,15 @@ func (s *System) NewProcessOn(cpu *sim.CPU, mode TranslationMode) (*Process, err
 		pid:      s.procs,
 		mode:     mode,
 		cpu:      cpu,
+		cpuMask:  make([]bool, s.machine.NumCPUs()),
 		mappings: make(map[mem.VirtAddr]*Mapping),
 		stats:    metrics.NewSet(),
 	}
 	p.cTouches = p.stats.Counter("touches")
-	s.machine.SetCurrent(cpu)
+	p.cpuMask[cpu.ID()] = true
+	if !s.machine.FreeRunning() {
+		s.machine.SetCurrent(cpu)
+	}
 	switch mode {
 	case Ranges:
 		p.ranges = rangetable.New(s.clock, s.params)
@@ -92,54 +108,107 @@ func (s *System) NewProcessOn(cpu *sim.CPU, mode TranslationMode) (*Process, err
 func (p *Process) CPU() *sim.CPU { return p.cpu }
 
 // RunOn migrates the process to cpu: subsequent syscalls and accesses
-// execute (and are charged) there. No mask bookkeeping is needed —
-// shootdowns in this package broadcast unconditionally, because
-// file-grain translations are shareable machine-wide.
-func (p *Process) RunOn(cpu *sim.CPU) { p.cpu = cpu }
-
-// run switches machine execution to the process's home CPU: syscalls
-// and memory accesses below charge that CPU's clock.
-func (p *Process) run() { p.sys.machine.SetCurrent(p.cpu) }
-
-// shootdownRange invalidates one range translation on every CPU: the
-// local range TLB drops the entry directly; all other CPUs get one IPI
-// each and drop theirs in the handler. File-grain translations are
-// shareable machine-wide (every process maps a file at the same PBM
-// address), so the broadcast is unconditional — but it is one
-// invalidation per CPU regardless of the range's size.
-func (p *Process) shootdownRange(vbase mem.VirtAddr) {
-	s := p.sys
-	from := s.machine.Current()
-	s.rtlbs[from.ID()].Invalidate(p.pid, vbase)
-	s.machine.Broadcast(from, func(t *sim.CPU) {
-		s.rtlbs[t.ID()].Invalidate(p.pid, vbase)
-	})
+// execute (and are charged) there. The previous CPU stays in the
+// shootdown mask — its caches may still hold this PID's translations.
+func (p *Process) RunOn(cpu *sim.CPU) {
+	p.cpu = cpu
+	p.cpuMask[cpu.ID()] = true
 }
 
-// shootdownUnits invalidates the given subtree-unit translations on
-// every CPU. A unit spans at least 512 pages but the page TLB caches
-// individual 4 KiB translations within it, so each unit's whole range
-// must go — per-page below the single-page-flush ceiling, a full
-// flush above it (always, at subtree granularities). All units of one
-// segment batch into a single IPI round: the sender pays one send per
-// target and each target flushes in its handler, as a real kernel's
-// flush-list shootdown would.
-func (p *Process) shootdownUnits(units []linkUnit) {
+// MarkRanOn adds cpu to the shootdown mask without migrating the home
+// CPU: the mm_cpumask effect of a thread briefly scheduled there.
+func (p *Process) MarkRanOn(cpu *sim.CPU) { p.cpuMask[cpu.ID()] = true }
+
+// run switches machine execution to the process's home CPU: syscalls
+// and memory accesses below charge that CPU's clock. During a
+// host-parallel free-running window there is no single current CPU and
+// nothing to set: the paths below charge the home CPU explicitly.
+func (p *Process) run() {
+	if p.sys.machine.FreeRunning() {
+		return
+	}
+	p.sys.machine.SetCurrent(p.cpu)
+}
+
+// remoteCPUs returns the masked CPUs other than the home CPU, in ID
+// order — the shootdown IPI targets.
+func (p *Process) remoteCPUs() []*sim.CPU {
+	var out []*sim.CPU
+	for id, ran := range p.cpuMask {
+		if ran && id != p.cpu.ID() {
+			out = append(out, p.sys.machine.CPU(id))
+		}
+	}
+	return out
+}
+
+// shootList accumulates the translation invalidations of one unmap
+// burst (an Unmap, Protect, or Exit): range-table bases in Ranges
+// mode, subtree units in SharedPT mode. Queuing an entry charges the
+// flush-list maintenance cost; the whole list is then flushed with ONE
+// IPI round to the masked CPUs — the mmu_gather-style batching a real
+// kernel performs — instead of one round per segment.
+type shootList struct {
+	active bool
+	rbases []mem.VirtAddr
+	units  []linkUnit
+}
+
+// beginShoot opens a deferred-shootdown batch. Batches do not nest.
+func (p *Process) beginShoot() {
+	if p.shoot.active {
+		panic("core: nested shootdown batch")
+	}
+	p.shoot.active = true
+}
+
+// queueShootRange defers one range-translation invalidation.
+func (p *Process) queueShootRange(vbase mem.VirtAddr) {
+	p.cpu.Advance(p.sys.params.ShootdownQueueOp)
+	p.shoot.rbases = append(p.shoot.rbases, vbase)
+}
+
+// queueShootUnits defers subtree-unit invalidations.
+func (p *Process) queueShootUnits(units []linkUnit) {
+	p.cpu.Advance(sim.Time(len(units)) * p.sys.params.ShootdownQueueOp)
+	p.shoot.units = append(p.shoot.units, units...)
+}
+
+// flushShoot closes the batch and performs the shootdown: the home CPU
+// flushes its own caches directly, then one IPI round covers every
+// other masked CPU. Each range base is one invalidation per CPU
+// regardless of the range's size; each subtree unit flushes per-page
+// below the single-page-flush ceiling and with a full TLB flush above
+// it (after which further units are moot).
+func (p *Process) flushShoot() {
+	sh := &p.shoot
+	if !sh.active {
+		panic("core: flushShoot without beginShoot")
+	}
+	sh.active = false
+	if len(sh.rbases) == 0 && len(sh.units) == 0 {
+		return
+	}
 	s := p.sys
-	from := s.machine.Current()
-	flush := func(t *tlb.TLB) {
-		for _, u := range units {
+	flush := func(id int) {
+		for _, vb := range sh.rbases {
+			s.rtlbs[id].Invalidate(p.pid, vb)
+		}
+		for _, u := range sh.units {
+			t := s.tlbs[id]
 			t.InvalidateRange(p.pid, u.va, u.pages)
 			if u.pages > tlb.SinglePageFlushCeiling {
 				// The full flush emptied the TLB; further units are moot.
-				return
+				break
 			}
 		}
 	}
-	flush(s.tlbs[from.ID()])
-	s.machine.Broadcast(from, func(t *sim.CPU) {
-		flush(s.tlbs[t.ID()])
+	flush(p.cpu.ID())
+	s.machine.IPI(p.cpu, p.remoteCPUs(), func(t *sim.CPU) {
+		flush(t.ID())
 	})
+	sim.AddCoalescedInvals(len(sh.rbases) + len(sh.units))
+	sh.rbases, sh.units = sh.rbases[:0], sh.units[:0]
 }
 
 // PID returns the process id.
@@ -342,6 +411,8 @@ func (p *Process) installMapping(f *memfs.File, prot pagetable.Flags, pages, pad
 }
 
 func (p *Process) teardownPartial(m *Mapping, cause error) error {
+	p.beginShoot()
+	defer p.flushShoot()
 	for _, seg := range m.segments {
 		_ = p.unmapSegment(seg)
 	}
@@ -388,7 +459,7 @@ func (p *Process) linkSegment(seg Segment, prot pagetable.Flags) error {
 	if seg.Pages%chunkPages != 0 || uint64(seg.Frame)%chunkPages != 0 {
 		return fmt.Errorf("core: segment [%d,+%d) not chunk-aligned; use Ranges mode for foreign files", seg.Frame, seg.Pages)
 	}
-	master, err := s.master(prot)
+	master, err := s.master(p.cpu, prot)
 	if err != nil {
 		return err
 	}
@@ -396,11 +467,11 @@ func (p *Process) linkSegment(seg Segment, prot pagetable.Flags) error {
 		// A level-3 link shares a level-2 master node, which requires
 		// every 2 MiB chunk beneath it to be populated (one-time).
 		for c := uint64(0); c < u.pages; c += chunkPages {
-			if err := s.ensureChunk(master, u.va+mem.VirtAddr(c*mem.FrameSize)); err != nil {
+			if err := s.ensureChunk(master, p.cpu, u.va+mem.VirtAddr(c*mem.FrameSize)); err != nil {
 				return err
 			}
 		}
-		if err := p.pt.LinkSubtree(s.machine.Current(), u.va, master.table, u.va, u.level); err != nil {
+		if err := p.pt.LinkSubtree(p.cpu, u.va, master.table, u.va, u.level); err != nil {
 			return err
 		}
 		s.stats.Counter("chunk_links").Inc()
@@ -408,22 +479,23 @@ func (p *Process) linkSegment(seg Segment, prot pagetable.Flags) error {
 	return nil
 }
 
+// unmapSegment removes a segment's translations and queues their
+// shootdown on the caller's open batch.
 func (p *Process) unmapSegment(seg Segment) error {
-	cur := p.sys.machine.Current()
 	switch p.mode {
 	case Ranges:
 		if _, err := p.ranges.Remove(seg.VA); err != nil {
 			return err
 		}
-		p.shootdownRange(seg.VA)
+		p.queueShootRange(seg.VA)
 	case SharedPT:
 		units := linkUnits(seg)
 		for _, u := range units {
-			if err := p.pt.UnlinkSubtree(cur, u.va, u.level); err != nil {
+			if err := p.pt.UnlinkSubtree(p.cpu, u.va, u.level); err != nil {
 				return err
 			}
 		}
-		p.shootdownUnits(units)
+		p.queueShootUnits(units)
 	}
 	return nil
 }
@@ -441,6 +513,8 @@ func (p *Process) Unmap(m *Mapping) error {
 	if _, ok := p.mappings[m.Base()]; !ok {
 		return fmt.Errorf("core: mapping at %#x not installed", uint64(m.Base()))
 	}
+	p.beginShoot()
+	defer p.flushShoot()
 	for _, seg := range m.segments {
 		if err := p.unmapSegment(seg); err != nil {
 			return err
@@ -461,13 +535,15 @@ func (p *Process) Protect(m *Mapping, prot pagetable.Flags) error {
 	if _, ok := p.mappings[m.Base()]; !ok {
 		return fmt.Errorf("core: mapping at %#x not installed", uint64(m.Base()))
 	}
+	p.beginShoot()
+	defer p.flushShoot()
 	switch p.mode {
 	case Ranges:
 		for _, seg := range m.segments {
 			if err := p.ranges.UpdateFlags(seg.VA, prot); err != nil {
 				return err
 			}
-			p.shootdownRange(seg.VA)
+			p.queueShootRange(seg.VA)
 		}
 	case SharedPT:
 		for _, seg := range m.segments {
@@ -485,13 +561,23 @@ func (p *Process) Protect(m *Mapping, prot pagetable.Flags) error {
 
 // Exit tears down the process: every mapping is unmapped (O(mappings ×
 // extents) work total) and anonymous files are reclaimed as whole
-// files.
+// files. Mappings are torn down in ascending address order — Go map
+// iteration order must not leak into simulated clocks — and the whole
+// teardown's shootdowns coalesce into a single IPI round.
 func (p *Process) Exit() error {
 	if p.exited {
 		return fmt.Errorf("core: process %d already exited", p.pid)
 	}
 	p.run()
-	for _, m := range p.mappings {
+	bases := make([]mem.VirtAddr, 0, len(p.mappings))
+	for base := range p.mappings {
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	p.beginShoot()
+	defer p.flushShoot()
+	for _, base := range bases {
+		m := p.mappings[base]
 		for _, seg := range m.segments {
 			if err := p.unmapSegment(seg); err != nil {
 				return err

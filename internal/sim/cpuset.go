@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// CPUSet is a set of CPU ids, 0..63, as a bitmask. The parallel-phase
+// scheduler uses it for sync domains (the CPUs a sync point can
+// observe or mutate) and sync groups (the partition of CPUs that are
+// allowed to interact at all). Machines with more than 64 CPUs fall
+// back to the legacy global-quiescence protocol, which never builds a
+// CPUSet.
+type CPUSet uint64
+
+// maxSetCPUs is the largest machine size the sync-domain protocol
+// supports; larger machines run the legacy protocol.
+const maxSetCPUs = 64
+
+// Add inserts CPU id into the set.
+func (s *CPUSet) Add(id int) {
+	if id < 0 || id >= maxSetCPUs {
+		panic(fmt.Sprintf("sim: CPU id %d outside CPUSet range [0,%d)", id, maxSetCPUs))
+	}
+	*s |= 1 << uint(id)
+}
+
+// Has reports whether CPU id is in the set.
+func (s CPUSet) Has(id int) bool {
+	if id < 0 || id >= maxSetCPUs {
+		return false
+	}
+	return s&(1<<uint(id)) != 0
+}
+
+// Count returns the number of CPUs in the set.
+func (s CPUSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Intersects reports whether the two sets share any CPU.
+func (s CPUSet) Intersects(o CPUSet) bool { return s&o != 0 }
+
+// SubsetOf reports whether every CPU in s is also in o.
+func (s CPUSet) SubsetOf(o CPUSet) bool { return s&^o == 0 }
+
+// String formats the set as {0,1,5} for error messages and tests.
+func (s CPUSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for id := 0; id < maxSetCPUs; id++ {
+		if !s.Has(id) {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", id)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fullCPUSet returns the set of all n CPUs (saturating at the CPUSet
+// capacity; callers guard n > maxSetCPUs by forcing the legacy
+// protocol).
+func fullCPUSet(n int) CPUSet {
+	if n >= maxSetCPUs {
+		return ^CPUSet(0)
+	}
+	return CPUSet(1)<<uint(n) - 1
+}

@@ -68,13 +68,20 @@ type Machine struct {
 	// Host-parallel phase state (see parallel.go). phaseFlag and
 	// exclFlag are atomics so the cheap guards in Clock.self,
 	// Current, and SetCurrent can read them from any CPU goroutine;
-	// exclFlag's value is stable for every possible reader because
-	// grants happen only at global quiescence.
-	hostpar   bool
-	phase     *phase
-	phaseFlag atomic.Bool
-	exclFlag  atomic.Bool
-	ipiLog    []IPIDelivery
+	// exclFlag's value is stable for every possible reader because a
+	// machine-wide section is granted only with every other CPU
+	// parked. pubs mirrors each CPU's clock during a phase so the
+	// sync-domain gate can lower-bound free-running CPUs without
+	// stopping them.
+	hostpar    bool
+	syncLegacy bool
+	phase      *phase
+	phaseFlag  atomic.Bool
+	exclFlag   atomic.Bool
+	pubs       []atomic.Int64
+	groupOf    []CPUSet // per-CPU sync group; nil = one machine-wide group
+	ipiLog     []IPIDelivery
+	grantLog   []GrantRecord
 }
 
 // invariantCheck is one registered consistency check. Checks run in
@@ -94,11 +101,12 @@ func NewMachine(params *Params, n int, seed uint64) *Machine {
 	}
 	m := &Machine{params: params}
 	m.kclock = &Clock{mach: m, fwd: true}
+	m.pubs = make([]atomic.Int64, n)
 	for i := 0; i < n; i++ {
 		m.cpus = append(m.cpus, &CPU{
 			id:    i,
 			mach:  m,
-			clock: &Clock{mach: m},
+			clock: &Clock{mach: m, id: i},
 			// The golden-ratio stride decorrelates per-CPU streams
 			// while keeping them a pure function of (seed, id).
 			rng:   NewRNG(seed + uint64(i)*0x9E3779B97F4A7C15),
@@ -120,6 +128,7 @@ func MachineOf(clock *Clock, params *Params) *Machine {
 	}
 	m := &Machine{params: params}
 	m.kclock = &Clock{mach: m, fwd: true}
+	m.pubs = make([]atomic.Int64, 1)
 	cpu := &CPU{id: 0, mach: m, clock: clock, rng: NewRNG(0), stats: metrics.NewSet()}
 	clock.mach = m
 	m.cpus = []*CPU{cpu}
@@ -218,18 +227,25 @@ func (m *Machine) Others(c *CPU) []*CPU {
 //
 // During a parallel phase (Machine.RunParallel), an IPI with live
 // targets is a sync point: the sender charges its send cost, then
-// blocks until delivery is granted at key (send time, sender id), so
-// delivery order is identical between serial and host-parallel
-// execution. Inside an ordered section the targets are provably
-// parked, so delivery is inline as in the serial case.
+// blocks until delivery is granted at key (send time, sender id) over
+// the sync domain {sender} ∪ targets, so delivery order between
+// overlapping shootdowns is identical to serial execution while
+// disjoint shootdowns overlap. Inside an ordered section the targets
+// are provably parked, so delivery is inline as in the serial case.
 func (m *Machine) IPI(from *CPU, targets []*CPU, handler func(*CPU)) {
 	if len(targets) == 0 {
 		return
 	}
+	telAddIPIRound(len(targets))
 	from.Advance(Time(len(targets)) * m.params.IPISend)
 	send := from.Now()
 	if m.inFreePhase() {
-		m.phase.syncPoint(from, send, func() {
+		var dom CPUSet
+		dom.Add(from.id)
+		for _, t := range targets {
+			dom.Add(t.id)
+		}
+		m.phase.syncPoint(from, send, dom, func() {
 			m.deliverIPI(from, targets, handler, send)
 		})
 		return
@@ -240,10 +256,17 @@ func (m *Machine) IPI(from *CPU, targets []*CPU, handler func(*CPU)) {
 // deliverIPI performs the delivery half of IPI: targets merge forward
 // to the send time, pay IPIReceive, run the handler as the executing
 // CPU, and the sender finally merges to the latest finish time. Runs
-// either serially (out of phase) or under the exclusive grant.
+// serially (out of phase), under a machine-wide exclusive grant, or
+// inside a narrow-domain section — in the last case the current-CPU
+// pointer is shared with concurrently free-running CPUs and must not
+// be touched (handlers receive the target CPU explicitly).
 func (m *Machine) deliverIPI(from *CPU, targets []*CPU, handler func(*CPU), send Time) {
 	end := send
-	prev := m.cur
+	touchCur := !m.inFreePhase()
+	var prev *CPU
+	if touchCur {
+		prev = m.cur
+	}
 	for _, t := range targets {
 		if t == from {
 			panic("sim: IPI target includes the sender")
@@ -252,7 +275,9 @@ func (m *Machine) deliverIPI(from *CPU, targets []*CPU, handler func(*CPU), send
 		t.Advance(m.params.IPIReceive)
 		t.stats.Counter("ipis_received").Inc()
 		if handler != nil {
-			m.cur = t
+			if touchCur {
+				m.cur = t
+			}
 			handler(t)
 		}
 		m.ipiRecord(IPIDelivery{From: from.id, To: t.id, Send: send, Arrive: t.Now()})
@@ -260,7 +285,9 @@ func (m *Machine) deliverIPI(from *CPU, targets []*CPU, handler func(*CPU), send
 			end = t.Now()
 		}
 	}
-	m.cur = prev
+	if touchCur {
+		m.cur = prev
+	}
 	from.stats.Counter("ipis_sent").Add(uint64(len(targets)))
 	from.AdvanceTo(end)
 }

@@ -265,3 +265,146 @@ func TestNestedRunParallelPanics(t *testing.T) {
 		return nil
 	})
 }
+
+// shardedWorkload is a seeded per-CPU task whose IPIs stay narrow —
+// each CPU interrupts only its pair partner (id^1) — so the sharded
+// gate grants pair sections concurrently while different pairs never
+// barrier against each other.
+func shardedWorkload(ops int, seed uint64) func(*CPU) error {
+	return func(c *CPU) error {
+		rng := NewRNG(seed + uint64(c.ID())*0x9E3779B97F4A7C15)
+		m := c.Machine()
+		partner := c.ID() ^ 1
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				c.Advance(Time(1 + rng.Intn(500)))
+			case 2:
+				c.Stats().Counter("local_ops").Inc()
+				c.Advance(Time(1 + rng.Intn(50)))
+			case 3:
+				if partner < m.NumCPUs() {
+					m.IPI(c, []*CPU{m.CPU(partner)}, func(t *CPU) {
+						t.Advance(Time(7))
+						t.Stats().Counter("handled").Inc()
+					})
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// runSharded executes the pairwise workload under an explicit protocol
+// selection and returns the machine.
+func runSharded(t *testing.T, cpus int, hostpar, legacy bool, ops int, seed uint64, groups [][]int) *Machine {
+	t.Helper()
+	params := DefaultParams()
+	m := NewMachine(&params, cpus, seed)
+	m.SetHostParallel(hostpar)
+	m.SetSyncLegacy(legacy)
+	if groups != nil {
+		m.SetSyncGroups(groups)
+	}
+	if err := m.RunParallel(shardedWorkload(ops, seed)); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// pairGroups builds the {2i, 2i+1} sync-group partition.
+func pairGroups(cpus int) [][]int {
+	var groups [][]int
+	for i := 0; i+1 < cpus; i += 2 {
+		groups = append(groups, []int{i, i + 1})
+	}
+	return groups
+}
+
+// TestShardedMatchesSerialAndLegacy is the sharded protocol's
+// byte-identity matrix: for the same seeded workload, the legacy
+// (global-quiescence) protocol and the sharded sync-domain protocol,
+// each both serial and host-parallel, and the sharded protocol with
+// explicit pair sync groups, must all produce identical machine state.
+func TestShardedMatchesSerialAndLegacy(t *testing.T) {
+	for _, cpus := range []int{1, 2, 4, 8} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			ref := runSharded(t, cpus, false, true, 400, seed, nil)
+			for _, run := range []struct {
+				name    string
+				hostpar bool
+				legacy  bool
+				groups  [][]int
+			}{
+				{"legacy-hostpar", true, true, nil},
+				{"sharded-serial", false, false, nil},
+				{"sharded-hostpar", true, false, nil},
+				{"sharded-hostpar-groups", true, false, pairGroups(cpus)},
+			} {
+				m := runSharded(t, cpus, run.hostpar, run.legacy, 400, seed, run.groups)
+				if d := ref.CaptureState().Diff(m.CaptureState()); d != "" {
+					t.Fatalf("cpus=%d seed=%d: %s diverged from legacy-serial:\n%s", cpus, seed, run.name, d)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedGrantOrderWithinDomains is the ISSUE's property test: in
+// the grant log of a sharded host-parallel run, any two sections with
+// intersecting sync domains must have been granted in ascending
+// (simulated time, CPU id) order — the serial order. Disjoint sections
+// may interleave arbitrarily.
+func TestShardedGrantOrderWithinDomains(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		params := DefaultParams()
+		m := NewMachine(&params, 8, seed)
+		m.SetHostParallel(true)
+		m.SetSyncGroups(pairGroups(8))
+		m.EnableGrantLog()
+		if err := m.RunParallel(shardedWorkload(300, seed)); err != nil {
+			t.Fatal(err)
+		}
+		log := m.GrantLog()
+		if len(log) == 0 {
+			t.Fatal("workload generated no sync points")
+		}
+		for i := 0; i < len(log); i++ {
+			for j := i + 1; j < len(log); j++ {
+				a, b := log[i], log[j]
+				if !a.Dom.Intersects(b.Dom) {
+					continue
+				}
+				if b.At < a.At || (b.At == a.At && b.CPU < a.CPU) {
+					t.Fatalf("seed=%d: intersecting sections granted out of key order: (%d,%d,%s) before (%d,%d,%s)",
+						seed, a.At, a.CPU, a.Dom, b.At, b.CPU, b.Dom)
+				}
+			}
+		}
+	}
+}
+
+// TestSyncGroupEscapePanics: an IPI whose target set crosses the
+// caller's sync group has no ordering guarantee and must panic rather
+// than silently desynchronize.
+func TestSyncGroupEscapePanics(t *testing.T) {
+	params := DefaultParams()
+	m := NewMachine(&params, 4, 1)
+	m.SetHostParallel(true)
+	m.SetSyncGroups([][]int{{0, 1}, {2, 3}})
+	err := m.RunParallel(func(c *CPU) error {
+		if c.ID() != 0 {
+			return nil
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-group IPI did not panic")
+			}
+		}()
+		m.IPI(c, []*CPU{m.CPU(2)}, nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

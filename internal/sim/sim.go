@@ -57,6 +57,7 @@ func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) 
 type Clock struct {
 	now  Time
 	mach *Machine // non-nil for machine-owned clocks
+	id   int      // owning CPU id for machine-owned clocks
 	fwd  bool     // kernel clock: operate on the current CPU's clock
 }
 
@@ -83,7 +84,9 @@ func (c *Clock) Advance(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative clock advance %d", d))
 	}
-	c.self().now += d
+	s := c.self()
+	s.now += d
+	s.publish()
 }
 
 // AdvanceTo moves the clock forward to time t if t is in the future;
@@ -93,6 +96,19 @@ func (c *Clock) AdvanceTo(t Time) {
 	s := c.self()
 	if t > s.now {
 		s.now = t
+		s.publish()
+	}
+}
+
+// publish exposes the clock value to the parallel-phase gate. During a
+// phase every CPU's current time is mirrored into an atomic slot, so
+// the sync-domain gate can lower-bound the next sync key of a CPU that
+// is still free-running without stopping it (parallel.go). The store
+// only happens inside a phase, keeping the serial hot path at one
+// atomic load.
+func (c *Clock) publish() {
+	if c.mach != nil && c.mach.phaseFlag.Load() {
+		c.mach.pubs[c.id].Store(int64(c.now))
 	}
 }
 
@@ -189,6 +205,13 @@ type Params struct {
 	IPISend    Time
 	IPIReceive Time
 
+	// ShootdownQueueOp is the bookkeeping cost of adding one page to a
+	// CPU's deferred-invalidation batch (the mmu_gather analogue of
+	// Linux's batched TLB flush): recording the VA range and growing
+	// the pending set. A whole unmap burst then pays one range flush
+	// and one IPI round instead of a per-page shootdown.
+	ShootdownQueueOp Time
+
 	// RangeTLBHit is the lookup cost in the range TLB; RangeTableOp is
 	// the cost of one range-table insert/remove/lookup step.
 	RangeTLBHit  Time
@@ -256,39 +279,40 @@ type Params struct {
 // DefaultParams returns the calibrated default cost table.
 func DefaultParams() Params {
 	return Params{
-		SyscallOverhead: 450,
-		FaultOverhead:   2200,
-		MmapFixed:       7000,
-		PTEWrite:        15,
-		PTNodeAlloc:     120,
-		WalkLevelRef:    10,
-		MemRef:          5,
-		NVMReadPenalty:  50,
-		NVMWritePenalty: 150,
-		TLBHit:          1,
-		TLBMiss:         4,
-		TLBShootdown:    1500,
-		TLBFlushEntry:   40,
-		TLBFullFlush:    500,
-		IPISend:         800,
-		IPIReceive:      600,
-		RangeTLBHit:     2,
-		RangeTableOp:    60,
-		BuddyOp:         40,
-		SlabOp:          25,
-		ZeroPage:        250,
-		ZeroEpoch:       90,
-		ExtentOp:        150,
-		BitmapOp:        20,
-		InodeOp:         350,
-		DirOp:           120,
-		PageCacheLookup: 80,
-		PageMetaOp:      12,
-		VMAOp:           180,
-		SwapPageIO:      25000,
-		JournalAppend:   200,
-		ReadPerByte:     0, // bulk copy cost charged via ReadPerPage below
-		IPIBroadcast:    2000,
+		SyscallOverhead:  450,
+		FaultOverhead:    2200,
+		MmapFixed:        7000,
+		PTEWrite:         15,
+		PTNodeAlloc:      120,
+		WalkLevelRef:     10,
+		MemRef:           5,
+		NVMReadPenalty:   50,
+		NVMWritePenalty:  150,
+		TLBHit:           1,
+		TLBMiss:          4,
+		TLBShootdown:     1500,
+		TLBFlushEntry:    40,
+		TLBFullFlush:     500,
+		IPISend:          800,
+		IPIReceive:       600,
+		ShootdownQueueOp: 5,
+		RangeTLBHit:      2,
+		RangeTableOp:     60,
+		BuddyOp:          40,
+		SlabOp:           25,
+		ZeroPage:         250,
+		ZeroEpoch:        90,
+		ExtentOp:         150,
+		BitmapOp:         20,
+		InodeOp:          350,
+		DirOp:            120,
+		PageCacheLookup:  80,
+		PageMetaOp:       12,
+		VMAOp:            180,
+		SwapPageIO:       25000,
+		JournalAppend:    200,
+		ReadPerByte:      0, // bulk copy cost charged via ReadPerPage below
+		IPIBroadcast:     2000,
 	}
 }
 
@@ -324,6 +348,7 @@ func (p *Params) Validate() error {
 		{"TLBFullFlush", p.TLBFullFlush},
 		{"IPISend", p.IPISend},
 		{"IPIReceive", p.IPIReceive},
+		{"ShootdownQueueOp", p.ShootdownQueueOp},
 		{"JournalAppend", p.JournalAppend},
 	}
 	for _, c := range checks {

@@ -84,6 +84,11 @@ type AddressSpace struct {
 	// per-page unmap loops do not allocate a slice per page.
 	shootScratch []*sim.CPU
 
+	// shoot is the deferred-invalidation queue: one unmap/mprotect
+	// burst batches its per-page invalidations and flushes them as a
+	// single range invalidation plus one IPI round (see flushShoot).
+	shoot shootBatch
+
 	stats *metrics.Set
 	// Cached counters for the per-access and per-page paths.
 	cTouches, cPopulated *metrics.Counter
@@ -123,21 +128,11 @@ func (k *Kernel) NewAddressSpaceOn(cpu *sim.CPU) (*AddressSpace, error) {
 	a.cTouches = a.stats.Counter("touches")
 	a.cPopulated = a.stats.Counter("populated_pages")
 	a.cpuMask[cpu.ID()] = true
-	// The ASID counter and the live-space registry are shared across
-	// CPUs: during a parallel phase, registering is a sync point, which
-	// also makes ASID assignment a pure function of (virtual time, CPU
-	// id) rather than of host scheduling. Out of phase the registration
-	// is plain serial code (no current-CPU change).
-	register := func() {
-		k.nextASID++
-		a.asid = k.nextASID
-		k.spaces[a.asid] = a
-	}
-	if k.Machine.FreeRunning() {
-		k.Machine.Ordered(cpu, register)
-	} else {
-		register()
-	}
+	// The registry is sharded by creation CPU, so registering touches
+	// only cpu's own shard: no sync point even during a parallel phase,
+	// and ASID assignment stays a pure function of each CPU's creation
+	// order rather than of host scheduling.
+	k.registerSpace(a)
 	return a, nil
 }
 
@@ -149,6 +144,14 @@ func (a *AddressSpace) CPU() *sim.CPU { return a.cpu }
 // shootdown mask — its TLB may still hold entries.
 func (a *AddressSpace) RunOn(cpu *sim.CPU) {
 	a.cpu = cpu
+	a.cpuMask[cpu.ID()] = true
+}
+
+// MarkRanOn adds cpu to the shootdown mask without migrating the home
+// CPU: the mm_cpumask effect of a thread briefly scheduled there.
+// Subsequent unmaps will shoot cpu's TLB down. Workloads use it to
+// model multi-threaded tenants whose threads touch a neighbor CPU.
+func (a *AddressSpace) MarkRanOn(cpu *sim.CPU) {
 	a.cpuMask[cpu.ID()] = true
 }
 
@@ -196,6 +199,77 @@ func (a *AddressSpace) shootdownVA(from *sim.CPU, va mem.VirtAddr) {
 	k.Machine.IPI(from, a.remoteCPUs(from), func(t *sim.CPU) {
 		k.tlbs[t.ID()].InvalidateVA(a.asid, va)
 	})
+}
+
+// shootBatch is a per-burst deferred-invalidation queue, the
+// mmu_gather analogue of Linux's batched TLB flush: instead of one
+// shootdown IPI round per page, an unmap burst records the VA range it
+// zaps and invalidates it in one round at the end. Each queued page
+// charges ShootdownQueueOp (bookkeeping); the flush charges one range
+// invalidation per masked CPU — per-page INVLPGs up to the 33-page
+// ceiling, one full flush beyond it — and one IPI round to the remote
+// mask. The batch is active only inside a single burst on the home
+// CPU, so it needs no synchronization.
+type shootBatch struct {
+	active bool
+	lo, hi mem.VirtAddr // page-aligned bounds of the queued range
+	pages  uint64       // queued invalidations (4 KiB units)
+}
+
+// beginShoot opens a deferred-invalidation batch. Bursts never nest.
+func (a *AddressSpace) beginShoot() {
+	if a.shoot.active {
+		panic("vm: nested shootdown batch")
+	}
+	a.shoot = shootBatch{active: true}
+}
+
+// queueShoot records a pending invalidation of span pages at va,
+// charging the per-page batching bookkeeping; outside a batch it
+// degrades to an immediate per-page shootdown.
+func (a *AddressSpace) queueShoot(cur *sim.CPU, va mem.VirtAddr, span uint64) {
+	if !a.shoot.active {
+		a.shootdownVA(cur, va)
+		return
+	}
+	cur.Advance(a.kernel.Params.ShootdownQueueOp)
+	end := va + mem.VirtAddr(span*mem.FrameSize)
+	if a.shoot.pages == 0 {
+		a.shoot.lo, a.shoot.hi = va, end
+	} else {
+		if va < a.shoot.lo {
+			a.shoot.lo = va
+		}
+		if end > a.shoot.hi {
+			a.shoot.hi = end
+		}
+	}
+	a.shoot.pages += span
+}
+
+// flushShoot closes the batch and performs the coalesced invalidation:
+// one range invalidation on every CPU in the mask (the span covers any
+// holes conservatively — over-invalidation is safe and mirrors the
+// full-flush heuristic real kernels use for large ranges), delivered
+// to remote CPUs in a single IPI round.
+func (a *AddressSpace) flushShoot(cur *sim.CPU) {
+	if !a.shoot.active {
+		panic("vm: flush without an open shootdown batch")
+	}
+	a.shoot.active = false
+	if a.shoot.pages == 0 {
+		return
+	}
+	k := a.kernel
+	lo := a.shoot.lo
+	span := uint64(a.shoot.hi-lo) / mem.FrameSize
+	if a.cpuMask[cur.ID()] {
+		k.tlbs[cur.ID()].InvalidateRange(a.asid, lo, span)
+	}
+	k.Machine.IPI(cur, a.remoteCPUs(cur), func(t *sim.CPU) {
+		k.tlbs[t.ID()].InvalidateRange(a.asid, lo, span)
+	})
+	sim.AddCoalescedInvals(int(a.shoot.pages))
 }
 
 // remoteCPUs returns the CPUs in the shootdown mask other than from.
@@ -600,12 +674,16 @@ func (a *AddressSpace) zapVMA(v *VMA) error {
 }
 
 // zapRange unmaps pages and releases anonymous frames. Every page
-// pays a PTE clear plus a TLB shootdown across the address space's CPU
-// mask — the pages × CPUs teardown cost of the baseline design that
-// file-only memory replaces with one range invalidation per CPU.
+// pays a PTE clear, struct-page and rmap updates — the O(pages)
+// teardown work of the baseline design — but the per-page TLB
+// shootdowns are queued into one deferred-invalidation batch and
+// flushed as a single range invalidation plus one IPI round for the
+// whole burst, the way Linux's mmu_gather batches munmap flushes.
 func (a *AddressSpace) zapRange(v *VMA, start mem.VirtAddr, pages uint64) error {
 	k := a.kernel
 	cur := a.cpu
+	a.beginShoot()
+	defer a.flushShoot(cur)
 	end := start + mem.VirtAddr(pages*mem.FrameSize)
 	for va := start; va < end; {
 		if sz := a.pt.PageSize(va); sz == 0 {
@@ -616,7 +694,7 @@ func (a *AddressSpace) zapRange(v *VMA, start mem.VirtAddr, pages uint64) error 
 		if err != nil {
 			return err
 		}
-		a.shootdownVA(cur, va)
+		a.queueShoot(cur, va, span)
 		if pi, tracked := k.page(frame); tracked {
 			if err := k.delRmap(cur, pi, a, va); err != nil {
 				return err
@@ -660,6 +738,8 @@ func (a *AddressSpace) Mprotect(addr mem.VirtAddr, pages uint64, prot pagetable.
 		step = mem.HugeFrames2M
 	}
 	cur := a.cpu
+	a.beginShoot()
+	defer a.flushShoot(cur)
 	for p := uint64(0); p < pages; p += step {
 		va := addr + mem.VirtAddr(p*mem.FrameSize)
 		if _, f, ok := a.pt.Lookup(va); ok {
@@ -670,7 +750,7 @@ func (a *AddressSpace) Mprotect(addr mem.VirtAddr, pages uint64, prot pagetable.
 			if err := a.pt.Protect(cur, va, newFlags); err != nil {
 				return err
 			}
-			a.shootdownVA(cur, va)
+			a.queueShoot(cur, va, step)
 		}
 	}
 	return nil
@@ -716,6 +796,7 @@ func (a *AddressSpace) Mlock(addr mem.VirtAddr) error {
 
 // Destroy tears down the whole address space (process exit).
 func (a *AddressSpace) Destroy() error {
+	k := a.kernel
 	a.run()
 	for _, v := range a.vmas {
 		if err := a.zapVMA(v); err != nil {
@@ -723,14 +804,17 @@ func (a *AddressSpace) Destroy() error {
 		}
 	}
 	a.vmas = nil
-	// The live-space registry is shared across CPUs: deregistering
-	// during a parallel phase is a sync point (see NewAddressSpaceOn).
-	if a.kernel.Machine.FreeRunning() {
-		a.kernel.Machine.Ordered(a.cpu, func() {
-			delete(a.kernel.spaces, a.asid)
-		})
+	// The registry shard belongs to the creation CPU. Deregistering
+	// from that CPU (the common case — tenants die where they were
+	// born) is shard-local and needs no sync point; a space destroyed
+	// from another CPU during a parallel phase syncs with the shard
+	// owner only.
+	shard := (a.asid - 1) % len(k.shards)
+	deregister := func() { delete(k.shards[shard].spaces, a.asid) }
+	if k.Machine.FreeRunning() && shard != a.cpu.ID() {
+		k.Machine.OrderedDomain(a.cpu, []*sim.CPU{k.Machine.CPU(shard)}, deregister)
 	} else {
-		delete(a.kernel.spaces, a.asid)
+		deregister()
 	}
 	return a.pt.Destroy()
 }

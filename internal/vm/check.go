@@ -23,12 +23,15 @@ func (k *Kernel) CheckInvariants() error {
 
 	// Forward direction: every present leaf PTE points at a frame whose
 	// metadata exists and whose rmap records this exact (as, va).
-	for asid, as := range k.spaces {
+	err := k.eachSpace(func(asid int, as *AddressSpace) error {
 		if as.asid != asid {
 			return fmt.Errorf("vm: address space registered under ASID %d but carries %d", asid, as.asid)
 		}
 		if err := as.pt.CheckInvariants(); err != nil {
 			return fmt.Errorf("vm: asid %d: %w", asid, err)
+		}
+		if as.shoot.active {
+			return fmt.Errorf("vm: asid %d has an open shootdown batch", asid)
 		}
 		var leafErr error
 		as.pt.VisitLeaves(func(va mem.VirtAddr, frame mem.Frame, pages uint64, flags pagetable.Flags) {
@@ -45,9 +48,10 @@ func (k *Kernel) CheckInvariants() error {
 				leafErr = fmt.Errorf("vm: asid %d va %#x -> frame %d, but the frame's rmap has no such entry", asid, uint64(va), frame)
 			}
 		})
-		if leafErr != nil {
-			return leafErr
-		}
+		return leafErr
+	})
+	if err != nil {
+		return err
 	}
 
 	// Reverse direction, per metadata domain: every rmap entry points
@@ -55,7 +59,7 @@ func (k *Kernel) CheckInvariants() error {
 	// this frame, and the per-frame counts agree with the forward walk.
 	// A frame filed in the wrong domain would fail here too: domainOf
 	// routes by frame number, so the walk would not find it.
-	err := k.domains(func(label string, d *metaDomain, pool *buddy.Allocator) error {
+	err = k.domains(func(label string, d *metaDomain, pool *buddy.Allocator) error {
 		for frame, pi := range d.pages {
 			if k.domainOf(frame) != d {
 				return fmt.Errorf("vm: frame %d tracked in the wrong domain (%s)", frame, label)
@@ -70,7 +74,7 @@ func (k *Kernel) CheckInvariants() error {
 				return fmt.Errorf("vm: frame %d has %d rmap entries but %d page-table mappings", frame, len(pi.rmap), got)
 			}
 			for _, e := range pi.rmap {
-				live, ok := k.spaces[e.as.asid]
+				live, ok := k.space(e.as.asid)
 				if !ok || live != e.as {
 					return fmt.Errorf("vm: frame %d rmap references dead address space (asid %d)", frame, e.as.asid)
 				}
@@ -115,14 +119,14 @@ func (k *Kernel) CheckInvariants() error {
 	// space (ASIDs are never reused, so a dead ASID proves a missed
 	// shootdown) and agree exactly with that space's page table.
 	for cpuID, t := range k.tlbs {
-		if err := checkTLB(t, cpuID, k.spaces); err != nil {
+		if err := k.checkTLB(t, cpuID); err != nil {
 			return err
 		}
 	}
 
 	// Swap: a swapped-out va must not simultaneously be present in the
 	// page table, and its slot must hold data.
-	for asid, as := range k.spaces {
+	err = k.eachSpace(func(asid int, as *AddressSpace) error {
 		for va, slot := range as.swapped {
 			if _, _, ok := as.pt.Lookup(va); ok {
 				return fmt.Errorf("vm: asid %d va %#x is both swapped (slot %d) and mapped", asid, uint64(va), slot)
@@ -131,6 +135,10 @@ func (k *Kernel) CheckInvariants() error {
 				return fmt.Errorf("vm: asid %d va %#x references empty swap slot %d", asid, uint64(va), slot)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	// LRU lists: membership flags and counts must agree, and every
@@ -153,12 +161,12 @@ func (k *Kernel) CheckInvariants() error {
 	if err := k.Memory.SpareScrubbed(); err != nil {
 		return err
 	}
-	for asid, as := range k.spaces {
+	return k.eachSpace(func(asid int, as *AddressSpace) error {
 		if err := as.pt.SpareScrubbed(); err != nil {
 			return fmt.Errorf("vm: asid %d: %w", asid, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 func rmapContains(pi *PageInfo, as *AddressSpace, va mem.VirtAddr) bool {
@@ -172,13 +180,13 @@ func rmapContains(pi *PageInfo, as *AddressSpace, va mem.VirtAddr) bool {
 
 // checkTLB audits one CPU's TLB against the page tables of all live
 // address spaces.
-func checkTLB(t *tlb.TLB, cpuID int, spaces map[int]*AddressSpace) error {
+func (k *Kernel) checkTLB(t *tlb.TLB, cpuID int) error {
 	var tlbErr error
 	t.VisitEntries(func(asid int, va mem.VirtAddr, tr tlb.Translation) {
 		if tlbErr != nil {
 			return
 		}
-		as, ok := spaces[asid]
+		as, ok := k.space(asid)
 		if !ok {
 			tlbErr = fmt.Errorf("vm: CPU %d TLB holds entry for dead ASID %d (va %#x)", cpuID, asid, uint64(va))
 			return

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/pagetable"
+	"repro/internal/sim"
 )
 
 // sortedVAs returns a swap map's keys in ascending address order.
@@ -21,21 +22,45 @@ func sortedVAs(m map[mem.VirtAddr]int) []mem.VirtAddr {
 // Fork duplicates the address space with copy-on-write semantics: every
 // VMA is copied, every present writable private page is downgraded to
 // COW in both parent and child, and the child's page table is built
-// entry by entry — the linear fork cost of the baseline design.
+// entry by entry — the linear fork cost of the baseline design. The
+// child is homed round-robin across the machine's CPUs; since that
+// touches the shared round-robin counter, Fork is not valid inside a
+// host-parallel free-running window (use ForkOn there).
 func (a *AddressSpace) Fork() (*AddressSpace, error) {
 	k := a.kernel
 	a.run()
-	cur := a.cpu
-	// The child is homed round-robin, so its page-table setup charges
-	// another CPU — fork is a cross-CPU operation and is not valid
-	// inside a host-parallel free-running window.
 	child, err := k.NewAddressSpace()
 	if err != nil {
 		return nil, err
 	}
-	// The fork itself executes on the parent's CPU.
 	a.run()
+	return a.forkInto(child)
+}
+
+// ForkOn is Fork with the child homed on an explicit CPU. With the
+// child on the parent's own CPU the whole fork is CPU-local (the
+// fork/exec churn path of the multi-tenant workload): page-table
+// frames come from that CPU's arena and no shared state is touched,
+// so it is valid during a host-parallel phase. The parent's COW
+// downgrades batch their shootdowns into one IPI round.
+func (a *AddressSpace) ForkOn(cpu *sim.CPU) (*AddressSpace, error) {
+	k := a.kernel
+	a.run()
+	child, err := k.NewAddressSpaceOn(cpu)
+	if err != nil {
+		return nil, err
+	}
+	a.run()
+	return a.forkInto(child)
+}
+
+// forkInto performs the copy half of fork on the parent's CPU.
+func (a *AddressSpace) forkInto(child *AddressSpace) (*AddressSpace, error) {
+	k := a.kernel
+	cur := a.cpu
 	cur.Advance(k.Params.SyscallOverhead)
+	a.beginShoot()
+	defer a.flushShoot(cur)
 	for _, v := range a.vmas {
 		if v.Huge {
 			// Real kernels split or COW-share huge pages on fork; this
@@ -64,7 +89,7 @@ func (a *AddressSpace) Fork() (*AddressSpace, error) {
 				if err := a.pt.Protect(cur, va, cow); err != nil {
 					return nil, err
 				}
-				a.shootdownVA(cur, va)
+				a.queueShoot(cur, va, 1)
 				childFlags = cow
 			} else if !sharedWrites && flags&pagetable.FlagCOW != 0 {
 				childFlags = flags
@@ -91,7 +116,7 @@ func (a *AddressSpace) Fork() (*AddressSpace, error) {
 					if err := a.pt.Protect(cur, va, flags); err != nil {
 						return nil, err
 					}
-					a.shootdownVA(cur, va)
+					a.queueShoot(cur, va, 1)
 				}
 				if err := child.pt.Map(cur, va, pa.Frame(), flags); err != nil {
 					return nil, err

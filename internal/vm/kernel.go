@@ -61,11 +61,14 @@ type Kernel struct {
 	// rmapScratch is evictPage's reusable reverse-map snapshot buffer.
 	rmapScratch []rmapEntry
 
-	// spaces registers every live address space by ASID so the
-	// invariant checker can audit the pagetable ↔ rmap bijection
-	// machine-wide. ASIDs are never reused, so a TLB entry whose ASID is
-	// absent here is provably stale.
-	spaces map[int]*AddressSpace
+	// shards[i] registers the live address spaces created on CPU i, so
+	// the invariant checker can audit the pagetable ↔ rmap bijection
+	// machine-wide. ASIDs are striped by creation CPU (shard + N*index
+	// + 1) and never reused, so a TLB entry whose ASID is absent here
+	// is provably stale. Sharding makes registration CPU-local: a CPU
+	// creating or destroying its own spaces during a host-parallel
+	// phase touches only its shard and needs no sync point.
+	shards []asidShard
 
 	swap *SwapDevice
 
@@ -74,8 +77,6 @@ type Kernel struct {
 
 	// levels is the page-table depth for new address spaces.
 	levels int
-
-	nextASID int
 
 	stats *metrics.Set
 	// Cached counters for the fault and reclaim hot paths.
@@ -131,10 +132,13 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 		levels:   levels,
 		pool:     pool,
 		meta:     newMetaDomain(),
-		spaces:   make(map[int]*AddressSpace),
+		shards:   make([]asidShard, machine.NumCPUs()),
 		swap:     newSwapDevice(cfg.SwapFrames),
 		lowWater: low,
 		stats:    metrics.NewSet(),
+	}
+	for i := range k.shards {
+		k.shards[i].spaces = make(map[int]*AddressSpace)
 	}
 	k.cMinorFaults = k.stats.Counter("minor_faults")
 	k.cAnonAllocs = k.stats.Counter("anon_allocs")
@@ -154,6 +158,47 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 	machine.RegisterInvariants("vm", k.CheckInvariants)
 	machine.RegisterStats("vm", k.stats)
 	return k, nil
+}
+
+// asidShard is one CPU's slice of the live address-space registry.
+// The owning CPU mutates it without synchronization; other CPUs only
+// read it outside parallel phases (invariant checks, recovery).
+type asidShard struct {
+	next   int                   // spaces created on this shard so far
+	spaces map[int]*AddressSpace // live spaces by ASID
+}
+
+// registerSpace assigns a the next ASID of its home CPU's shard and
+// registers it. The striped formula (shard + N*index + 1) reproduces
+// the old single-counter assignment exactly for round-robin creation
+// order — space j lands on CPU j%N and receives ASID j+1 — while
+// letting each CPU register without touching shared state.
+func (k *Kernel) registerSpace(a *AddressSpace) {
+	sh := &k.shards[a.cpu.ID()]
+	a.asid = a.cpu.ID() + len(k.shards)*sh.next + 1
+	sh.next++
+	sh.spaces[a.asid] = a
+}
+
+// space returns the live address space registered under asid.
+func (k *Kernel) space(asid int) (*AddressSpace, bool) {
+	if asid < 1 {
+		return nil, false
+	}
+	a, ok := k.shards[(asid-1)%len(k.shards)].spaces[asid]
+	return a, ok
+}
+
+// eachSpace calls fn for every live address space, shard by shard.
+func (k *Kernel) eachSpace(fn func(asid int, as *AddressSpace) error) error {
+	for i := range k.shards {
+		for asid, as := range k.shards[i].spaces {
+			if err := fn(asid, as); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // TLBFor returns the TLB of the given CPU.

@@ -16,9 +16,10 @@ func (k *Kernel) RecoverMetadata() uint64 {
 	pages := uint64(k.TrackedPages())
 	k.Clock.Advance(sim.Time(pages) * (k.Params.PageMetaOp + k.Params.PTEWrite))
 	var vmas uint64
-	for _, as := range k.spaces {
+	_ = k.eachSpace(func(asid int, as *AddressSpace) error {
 		vmas += uint64(len(as.vmas))
-	}
+		return nil
+	})
 	k.Clock.Advance(sim.Time(vmas) * k.Params.VMAOp)
 	return pages
 }

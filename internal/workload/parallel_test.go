@@ -74,3 +74,135 @@ func TestLatencyMergeAndQuantiles(t *testing.T) {
 		t.Fatalf("p99.9 = %d, want the 10k outlier's bucket", got)
 	}
 }
+
+// TestSplitEdgeCases pins the degenerate shapes the ISSUE calls out:
+// zero items, fewer items than CPUs, and non-divisible counts.
+func TestSplitEdgeCases(t *testing.T) {
+	// Zero items: every share empty.
+	for _, s := range Split(0, 8) {
+		if s != 0 {
+			t.Fatalf("Split(0,8) = %v", Split(0, 8))
+		}
+	}
+	// Fewer items than CPUs: the low IDs get one each, the rest zero.
+	shares := Split(3, 8)
+	for i, s := range shares {
+		want := uint64(0)
+		if i < 3 {
+			want = 1
+		}
+		if s != want {
+			t.Fatalf("Split(3,8)[%d] = %d, want %d (%v)", i, s, want, shares)
+		}
+	}
+	// Non-divisible: remainder goes to the lowest IDs, shares differ by
+	// at most one and never increase with the ID.
+	shares = Split(10, 3)
+	if shares[0] != 4 || shares[1] != 3 || shares[2] != 3 {
+		t.Fatalf("Split(10,3) = %v", shares)
+	}
+	// n=1 is the whole workload.
+	if s := Split(42, 1); len(s) != 1 || s[0] != 42 {
+		t.Fatalf("Split(42,1) = %v", s)
+	}
+}
+
+// TestPartitionEdgeCases: empty traces, empty shares in the middle,
+// and the single-share identity.
+func TestPartitionEdgeCases(t *testing.T) {
+	// Empty trace: every partition empty.
+	for _, p := range Partition(nil, Split(100, 4)) {
+		if len(p) != 0 {
+			t.Fatal("Partition(nil) not empty")
+		}
+	}
+	// Shares with zero-size tails (fewer items than CPUs): touches all
+	// land in the owning non-empty share and empty shares get nothing.
+	shares := Split(3, 8) // 1,1,1,0,0,0,0,0
+	parts := Partition([]uint64{2, 0, 1, 2}, shares)
+	if len(parts[0]) != 1 || len(parts[1]) != 1 || len(parts[2]) != 2 {
+		t.Fatalf("partition sizes = %v", parts)
+	}
+	for i := 3; i < 8; i++ {
+		if len(parts[i]) != 0 {
+			t.Fatalf("empty share %d received touches: %v", i, parts[i])
+		}
+	}
+	// Local indices: share i covers exactly [i,i+1), so every local
+	// index is 0.
+	for i := 0; i < 3; i++ {
+		for _, v := range parts[i] {
+			if v != 0 {
+				t.Fatalf("share %d local index %d, want 0", i, v)
+			}
+		}
+	}
+	// One share: the partition is the original trace.
+	idx := []uint64{5, 3, 9, 3}
+	one := Partition(idx, Split(10, 1))
+	if len(one) != 1 || len(one[0]) != len(idx) {
+		t.Fatalf("single-share partition = %v", one)
+	}
+	for i, v := range one[0] {
+		if v != idx[i] {
+			t.Fatalf("single-share partition reordered: %v", one[0])
+		}
+	}
+}
+
+// TestTenantTraceDeterministicAndWellFormed: the trace is a pure
+// function of the config, per-tenant independent, and every tenant's
+// ops follow the spawn … exit lifecycle with valid operands.
+func TestTenantTraceDeterministicAndWellFormed(t *testing.T) {
+	cfg := TenantConfig{Tenants: 50, Bursts: 4, HeapPages: 64, Seed: 7}
+	a, err := TenantTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TenantTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != cfg.Tenants {
+		t.Fatalf("trace has %d tenants", len(a))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("tenant %d not deterministic", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("tenant %d op %d differs: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+		ops := a[i]
+		if ops[0].Kind != TenantSpawn || ops[1].Kind != TenantMapShared || ops[len(ops)-1].Kind != TenantExit {
+			t.Fatalf("tenant %d lifecycle malformed: %v", i, ops)
+		}
+		for j := 2; j < len(ops)-1; j += 3 {
+			alloc, touch, free := ops[j], ops[j+1], ops[j+2]
+			if alloc.Kind != TenantAlloc || touch.Kind != TenantTouch || free.Kind != TenantFree {
+				t.Fatalf("tenant %d burst %d malformed: %v %v %v", i, j, alloc, touch, free)
+			}
+			if alloc.Pages == 0 || alloc.Pages > cfg.HeapPages {
+				t.Fatalf("tenant %d alloc %d pages outside [1,%d]", i, alloc.Pages, cfg.HeapPages)
+			}
+			if touch.Pages == 0 || touch.Pages > alloc.Pages {
+				t.Fatalf("tenant %d touches %d of %d pages", i, touch.Pages, alloc.Pages)
+			}
+		}
+	}
+	// A bigger config reuses the smaller one's per-tenant streams:
+	// tenant i's ops depend only on (Seed, i).
+	big, err := TenantTrace(TenantConfig{Tenants: 60, Bursts: 4, HeapPages: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if big[i][j] != a[i][j] {
+				t.Fatalf("tenant %d ops depend on the tenant count", i)
+			}
+		}
+	}
+}

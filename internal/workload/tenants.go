@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Sustained multi-tenant churn: thousands of short-lived tenants per
+// CPU, each spawning from a template (fork/exec), mapping a shared
+// object, running a few allocate/touch/free bursts over an anonymous
+// heap, and tearing down. The trace is a pure function of the config —
+// the same ops feed the serial and host-parallel runs, and both the
+// baseline (package vm) and file-only-memory (package core) drivers.
+
+// TenantOpKind is one step in a tenant's life.
+type TenantOpKind int
+
+const (
+	// TenantSpawn forks the tenant's address space from its CPU's
+	// template — the fork/exec cost of starting the tenant.
+	TenantSpawn TenantOpKind = iota
+	// TenantMapShared maps the shared object every tenant uses.
+	TenantMapShared
+	// TenantAlloc grows the tenant's heap by Pages anonymous pages.
+	TenantAlloc
+	// TenantTouch accesses Pages pages of the latest allocation.
+	TenantTouch
+	// TenantFree releases the latest allocation.
+	TenantFree
+	// TenantExit tears the tenant down: unmap everything, destroy the
+	// address space.
+	TenantExit
+)
+
+// String names the op kind.
+func (k TenantOpKind) String() string {
+	switch k {
+	case TenantSpawn:
+		return "spawn"
+	case TenantMapShared:
+		return "map-shared"
+	case TenantAlloc:
+		return "alloc"
+	case TenantTouch:
+		return "touch"
+	case TenantFree:
+		return "free"
+	case TenantExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("TenantOpKind(%d)", int(k))
+	}
+}
+
+// TenantOp is one operation of one tenant. Pages is the size operand
+// of Alloc/Touch (Touch covers the first Pages pages of the latest
+// allocation) and zero otherwise.
+type TenantOp struct {
+	Kind  TenantOpKind
+	Pages uint64
+}
+
+// TenantConfig sizes a multi-tenant trace.
+type TenantConfig struct {
+	// Tenants is the total tenant count (distributed over CPUs by the
+	// driver).
+	Tenants int
+	// Bursts is the number of alloc/touch/free rounds per tenant.
+	Bursts int
+	// HeapPages bounds one burst's allocation size (sizes are drawn
+	// uniformly from [1, HeapPages]).
+	HeapPages uint64
+	// Seed decorrelates traces; tenant i's ops depend only on
+	// (Seed, i), never on other tenants.
+	Seed uint64
+}
+
+// TenantTrace generates each tenant's op sequence: spawn, map the
+// shared object, Bursts alloc/touch/free rounds, exit. Deterministic
+// and per-tenant independent, so any assignment of tenants to CPUs
+// yields the same per-tenant ops.
+func TenantTrace(cfg TenantConfig) ([][]TenantOp, error) {
+	if cfg.Tenants <= 0 {
+		return nil, fmt.Errorf("workload: tenant count %d", cfg.Tenants)
+	}
+	if cfg.HeapPages == 0 {
+		return nil, fmt.Errorf("workload: zero heap bound")
+	}
+	traces := make([][]TenantOp, cfg.Tenants)
+	for i := range traces {
+		rng := sim.NewRNG(cfg.Seed + uint64(i)*0x9E3779B97F4A7C15)
+		ops := make([]TenantOp, 0, 2+3*cfg.Bursts+1)
+		ops = append(ops, TenantOp{Kind: TenantSpawn}, TenantOp{Kind: TenantMapShared})
+		for b := 0; b < cfg.Bursts; b++ {
+			pages := 1 + rng.Uint64n(cfg.HeapPages)
+			// Touch a prefix of the burst: tenants rarely use every
+			// page they allocate — the sparse use that makes per-page
+			// populate costs hurt.
+			touched := 1 + rng.Uint64n(pages)
+			ops = append(ops,
+				TenantOp{Kind: TenantAlloc, Pages: pages},
+				TenantOp{Kind: TenantTouch, Pages: touched},
+				TenantOp{Kind: TenantFree})
+		}
+		ops = append(ops, TenantOp{Kind: TenantExit})
+		traces[i] = ops
+	}
+	return traces, nil
+}

@@ -165,15 +165,15 @@ func gcd(a, b uint64) uint64 {
 // experiments depend on for working-set sizing) from regressing.
 func TestTouchesStridedNonCoprime(t *testing.T) {
 	cases := []struct{ total, stride uint64 }{
-		{12, 8},    // gcd 4: only 3 of 12 pages
-		{64, 24},   // gcd 8: 8 of 64
-		{100, 35},  // gcd 5: 20 of 100
-		{128, 48},  // gcd 16
-		{9, 6},     // gcd 3
-		{16, 16},   // stride == total: pinned to page 0
-		{1, 5},     // single page
-		{97, 35},   // coprime control: full coverage
-		{100, 0},   // default stride 8: gcd(8,100)=4
+		{12, 8},   // gcd 4: only 3 of 12 pages
+		{64, 24},  // gcd 8: 8 of 64
+		{100, 35}, // gcd 5: 20 of 100
+		{128, 48}, // gcd 16
+		{9, 6},    // gcd 3
+		{16, 16},  // stride == total: pinned to page 0
+		{1, 5},    // single page
+		{97, 35},  // coprime control: full coverage
+		{100, 0},  // default stride 8: gcd(8,100)=4
 	}
 	for _, tc := range cases {
 		stride := tc.stride
