@@ -124,3 +124,8 @@ func BenchmarkScale(b *testing.B) { benchmarkExperiment(b, "scale") }
 // BenchmarkHeapChurn regenerates the §1/§3.1 language-runtime claim:
 // an arena allocator over O(1) files vs a mapping per object.
 func BenchmarkHeapChurn(b *testing.B) { benchmarkExperiment(b, "heapchurn") }
+
+// BenchmarkTiering regenerates the §3 tiered-memory sweep: migration
+// policies over fast/slow frame tiers, with migration granularity set
+// by each configuration's translation scheme.
+func BenchmarkTiering(b *testing.B) { benchmarkExperiment(b, "tiering") }

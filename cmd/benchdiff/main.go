@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 )
@@ -62,10 +63,12 @@ func run() error {
 
 	failed := 0
 	var oldTotal, newTotal float64 // over experiments present in both
+	var newIDs []string            // experiments with no baseline row
 	for _, e := range newRep.Experiments {
 		base, ok := oldByID[e.ID]
 		if !ok {
 			fmt.Printf("  %-16s NEW      %8.1f ms (no baseline, excluded from total)\n", e.ID, e.WallMS)
+			newIDs = append(newIDs, e.ID)
 			continue
 		}
 		oldTotal += base
@@ -81,8 +84,15 @@ func run() error {
 	}
 
 	totalRatio := newTotal / oldTotal
-	fmt.Printf("  %-16s %-9s %8.1f ms -> %8.1f ms (%+.1f%%)\n",
+	summary := fmt.Sprintf("  %-16s %-9s %8.1f ms -> %8.1f ms (%+.1f%%)",
 		"TOTAL(common)", "", oldTotal, newTotal, (totalRatio-1)*100)
+	if len(newIDs) > 0 {
+		// Name what the total does NOT cover, so a baseline refresh that
+		// picks up the new experiments is an explicit follow-up, not a
+		// silent hole in the gate.
+		summary += fmt.Sprintf(" [new, ungated: %s]", strings.Join(newIDs, ", "))
+	}
+	fmt.Println(summary)
 	if totalRatio > 1+*maxRegress {
 		failed++
 	}

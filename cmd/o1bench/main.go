@@ -46,6 +46,8 @@ func run() error {
 	cpus := flag.Int("cpus", 1, "simulated CPU count for every experiment machine")
 	hostpar := flag.Bool("hostpar", false, "run each experiment's simulated CPU contexts on host goroutines (simulated numbers unchanged; wall-clock drops)")
 	syncMode := flag.String("syncmode", "sharded", "host-parallel sync protocol: sharded (domain-scoped sync points) | global (legacy full quiescence); simulated numbers are identical")
+	tierPolicy := flag.String("tier-policy", "all", "tiering experiment policy sweep: 'all' or a comma list of none,promote,demote,smart")
+	fastRatio := flag.String("fast-ratio", "all", "tiering experiment fast-tier sizes: 'all' or a comma list of fractions of the working set like 1/8,1/2")
 	traceFile := flag.String("trace", "", "write a runtime execution trace of the suite to this file (goroutines are labeled sim_cpu=N)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker count (1 = serial, enables per-experiment alloc counts)")
 	benchJSON := flag.String("benchjson", "", "write per-experiment wall-clock times as JSON to this file")
@@ -63,6 +65,12 @@ func run() error {
 		bench.SetSyncLegacy(true)
 	default:
 		return fmt.Errorf("unknown -syncmode %q (want sharded or global)", *syncMode)
+	}
+	if err := bench.SetTierPolicies(*tierPolicy); err != nil {
+		return err
+	}
+	if err := bench.SetTierRatios(*fastRatio); err != nil {
+		return err
 	}
 
 	if *dumpParams {

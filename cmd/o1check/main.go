@@ -40,6 +40,7 @@ func main() {
 		checkEvery   = flag.Int("check-every", 1024, "run invariant sweeps every N ops (0 = only at the end)")
 		shrink       = flag.Bool("shrink", true, "shrink failing traces to a minimal reproducer")
 		crashRecover = flag.Bool("crash-recover", false, "after a clean replay, checkpoint + journal + crash at a seeded op and verify recovery")
+		tiered       = flag.Bool("tier", false, "attach a tier migration engine (smart policy) to every world: frames migrate between DRAM and NVM under the trace")
 		repro        = flag.String("repro", "", "on failure, write the (shrunk) failing trace to this file")
 		seeds        = flag.Int("seeds", 1, "number of consecutive seeds to sweep, starting at -seed")
 		workers      = flag.Int("workers", 1, "host goroutines for the seed sweep (0 = GOMAXPROCS)")
@@ -66,6 +67,7 @@ func main() {
 		CheckEvery:   *checkEvery,
 		Shrink:       *shrink,
 		CrashRecover: *crashRecover,
+		Tier:         *tiered,
 	}, *seeds, nWorkers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "o1check: %v\n", err)

@@ -13,7 +13,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fragmentation", "headroom", "heapchurn",
 		"metadata", "o1", "pinning", "readvsmap", "reclaim",
 		"recovery", "scale", "shootdown",
-		"snapshot-restore", "snapshot-save", "tenants", "walkdepth", "zero",
+		"snapshot-restore", "snapshot-save", "tenants", "tiering",
+		"walkdepth", "zero",
 	}
 	all := All()
 	if len(all) != len(want) {

@@ -64,6 +64,53 @@ func mergeLatencies(lats []*workload.Latency) *workload.Latency {
 	return out
 }
 
+// tenantKinds is the number of TenantOpKind values (exit is last).
+const tenantKinds = int(workload.TenantExit) + 1
+
+// tenantLats is one CPU's latency recorders: the all-ops histogram
+// plus one histogram per op kind — the spawn vs map vs alloc vs
+// teardown split.
+type tenantLats struct {
+	total  workload.Latency
+	byKind [tenantKinds]workload.Latency
+}
+
+func (l *tenantLats) record(k workload.TenantOpKind, d sim.Time) {
+	l.total.Record(d)
+	l.byKind[k].Record(d)
+}
+
+// newTenantLats allocates one recorder per CPU.
+func newTenantLats(n int) []*tenantLats {
+	out := make([]*tenantLats, n)
+	for i := range out {
+		out[i] = &tenantLats{}
+	}
+	return out
+}
+
+// mergeTenantLats folds the per-CPU recorders in CPU order.
+func mergeTenantLats(lats []*tenantLats) *tenantLats {
+	out := lats[0]
+	for _, l := range lats[1:] {
+		out.total.Merge(&l.total)
+		for k := range out.byKind {
+			out.byKind[k].Merge(&l.byKind[k])
+		}
+	}
+	return out
+}
+
+// addKindRows appends one row per op kind to the split table.
+func addKindRows(t *metrics.Table, name string, l *tenantLats) {
+	for k := 0; k < tenantKinds; k++ {
+		h := &l.byKind[k]
+		t.AddRow(name, workload.TenantOpKind(k).String(),
+			fmt.Sprint(h.Count()), fmt.Sprintf("%.1f", h.Mean()),
+			fmt.Sprint(int64(h.Quantile(0.50))), fmt.Sprint(int64(h.Quantile(0.99))))
+	}
+}
+
 func tenants() (*Result, error) {
 	traces, err := workload.TenantTrace(workload.TenantConfig{
 		Tenants: tenantCount, Bursts: tenantBursts, HeapPages: tenantHeapPages, Seed: 17,
@@ -77,6 +124,10 @@ func tenants() (*Result, error) {
 			tenantCount, tenantBursts),
 		"config", "ops", "mean_ns", "p50_ns", "p99_ns", "p99.9_ns", "max_ns")
 
+	kindTable := metrics.NewTable(
+		"the same ops split by kind: where each configuration's time goes (ns)",
+		"config", "op_kind", "ops", "mean_ns", "p50_ns", "p99_ns")
+
 	for _, cfg := range []struct {
 		name     string
 		populate bool
@@ -85,7 +136,8 @@ func tenants() (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tenants %s: %w", cfg.name, err)
 		}
-		addLatencyRow(table, cfg.name, lat)
+		addLatencyRow(table, cfg.name, &lat.total)
+		addKindRows(kindTable, cfg.name, lat)
 	}
 	for _, cfg := range []struct {
 		name string
@@ -95,14 +147,15 @@ func tenants() (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tenants %s: %w", cfg.name, err)
 		}
-		addLatencyRow(table, cfg.name, lat)
+		addLatencyRow(table, cfg.name, &lat.total)
+		addKindRows(kindTable, cfg.name, lat)
 	}
 
 	return &Result{
 		ID:     "tenants",
 		Title:  "sustained multi-tenant churn",
 		Paper:  "§2/§3 consolidation premise",
-		Tables: []*metrics.Table{table},
+		Tables: []*metrics.Table{table, kindTable},
 		Notes: []string{
 			"each tenant forks from its CPU's 64-page template (the shared object), touches 8 shared pages, runs alloc/touch/free bursts over an anonymous heap, and exits; odd tenants run a thread on the pair-partner CPU, so their teardowns pay real cross-CPU shootdowns",
 			"the baseline pays per-page fork copies, per-page populate or demand faults, and per-page teardown; file-only memory spawns a fresh process (no per-page fork cost), maps the shared object in O(extents), and allocates/frees whole files",
@@ -124,7 +177,7 @@ func addLatencyRow(t *metrics.Table, name string, l *workload.Latency) {
 // template (per-page PTE copies), the shared object is the template
 // memory inherited through it, and teardown is per-page zap with
 // coalesced shootdowns.
-func tenantsBaseline(traces [][]workload.TenantOp, populate bool) (*workload.Latency, error) {
+func tenantsBaseline(traces [][]workload.TenantOp, populate bool) (*tenantLats, error) {
 	m, err := NewMachine()
 	if err != nil {
 		return nil, err
@@ -136,10 +189,7 @@ func tenantsBaseline(traces [][]workload.TenantOp, populate bool) (*workload.Lat
 	m.Sim.SetSyncGroups(tenantPairGroups(n))
 	defer m.Sim.SetSyncGroups(nil)
 
-	lats := make([]*workload.Latency, n)
-	for i := range lats {
-		lats[i] = &workload.Latency{}
-	}
+	lats := newTenantLats(n)
 	err = m.Sim.RunParallel(func(c *sim.CPU) error {
 		lat := lats[c.ID()]
 		partner := tenantPartner(c.ID(), n)
@@ -200,7 +250,7 @@ func tenantsBaseline(traces [][]workload.TenantOp, populate bool) (*workload.Lat
 						return err
 					}
 				}
-				lat.Record(c.Now() - t0)
+				lat.record(op.Kind, c.Now()-t0)
 			}
 		}
 		return tmpl.Destroy()
@@ -208,7 +258,7 @@ func tenantsBaseline(traces [][]workload.TenantOp, populate bool) (*workload.Lat
 	if err != nil {
 		return nil, err
 	}
-	return mergeLatencies(lats), nil
+	return mergeTenantLats(lats), nil
 }
 
 // tenantsFOM replays the trace against file-only memory. Every CPU
@@ -216,7 +266,7 @@ func tenantsBaseline(traces [][]workload.TenantOp, populate bool) (*workload.Lat
 // masters) clocked on that CPU, so all charges are CPU-local with no
 // kernel-clock forwarding; the shared object is a per-CPU file mapped
 // by each tenant in O(extents).
-func tenantsFOM(traces [][]workload.TenantOp, mode core.TranslationMode) (*workload.Latency, error) {
+func tenantsFOM(traces [][]workload.TenantOp, mode core.TranslationMode) (*tenantLats, error) {
 	const (
 		cpuDRAMFrames = uint64(256) << 20 >> mem.FrameShift // page-table pool
 		cpuNVMFrames  = uint64(1) << 30 >> mem.FrameShift   // file store
@@ -248,10 +298,7 @@ func tenantsFOM(traces [][]workload.TenantOp, mode core.TranslationMode) (*workl
 		}
 	}
 
-	lats := make([]*workload.Latency, n)
-	for i := range lats {
-		lats[i] = &workload.Latency{}
-	}
+	lats := newTenantLats(n)
 	err := machine.RunParallel(func(c *sim.CPU) error {
 		lat := lats[c.ID()]
 		partner := tenantPartner(c.ID(), n)
@@ -303,7 +350,7 @@ func tenantsFOM(traces [][]workload.TenantOp, mode core.TranslationMode) (*workl
 						return err
 					}
 				}
-				lat.Record(c.Now() - t0)
+				lat.record(op.Kind, c.Now()-t0)
 			}
 		}
 		return nil
@@ -311,5 +358,5 @@ func tenantsFOM(traces [][]workload.TenantOp, mode core.TranslationMode) (*workl
 	if err != nil {
 		return nil, err
 	}
-	return mergeLatencies(lats), nil
+	return mergeTenantLats(lats), nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/tier"
 )
 
 // Select resolves a comma-separated experiment spec — "all" or a list
@@ -64,6 +65,12 @@ type RunReport struct {
 	// only in a serial suite (SyncValid mirrors AllocsValid).
 	Sync      sim.SyncTelemetry
 	SyncValid bool
+
+	// Tier is the delta of the tier package's migration telemetry over
+	// Run (promotions, demotions, pages moved, migration time). Like
+	// Sync it is process-global and only attributable serially.
+	Tier      tier.Telemetry
+	TierValid bool
 }
 
 // RunSuite runs the experiments on min(parallel, len(exps)) workers
@@ -106,9 +113,11 @@ func runOne(e Experiment, measureAllocs bool) *RunReport {
 	rep := &RunReport{ID: e.ID, Title: e.Title}
 	var m0 runtime.MemStats
 	var s0 sim.SyncTelemetry
+	var t0tier tier.Telemetry
 	if measureAllocs {
 		runtime.ReadMemStats(&m0)
 		s0 = sim.TelemetrySnapshot()
+		t0tier = tier.TelemetrySnapshot()
 	}
 	t0 := time.Now()
 	rep.Result, rep.Err = e.Run()
@@ -121,6 +130,8 @@ func runOne(e Experiment, measureAllocs bool) *RunReport {
 		rep.AllocsValid = true
 		rep.Sync = sim.TelemetrySnapshot().Sub(s0)
 		rep.SyncValid = true
+		rep.Tier = tier.TelemetrySnapshot().Sub(t0tier)
+		rep.TierValid = true
 	}
 	return rep
 }
@@ -153,7 +164,10 @@ type ExperimentReport struct {
 	AllocBytes   *uint64 `json:"alloc_bytes,omitempty"`
 	AllocObjects *uint64 `json:"alloc_objects,omitempty"`
 	// Sync is the experiment's sync-telemetry delta (serial suites only).
-	Sync  *SyncReport `json:"sync,omitempty"`
+	Sync *SyncReport `json:"sync,omitempty"`
+	// Tier is the experiment's tier-migration telemetry delta (serial
+	// suites only; omitted when the experiment migrated nothing).
+	Tier  *TierReport `json:"tier,omitempty"`
 	Error string      `json:"error,omitempty"`
 }
 
@@ -168,6 +182,43 @@ type SyncReport struct {
 	IPIRounds       uint64  `json:"ipi_rounds"`
 	IPITargets      uint64  `json:"ipi_targets"`
 	CoalescedInvals uint64  `json:"coalesced_invals"`
+}
+
+// TierReport is the JSON form of one experiment's tier-migration
+// telemetry delta: what the migration engine did on the experiment's
+// behalf and how much simulated time the moves cost.
+type TierReport struct {
+	Promotions  uint64  `json:"promotions"`
+	Demotions   uint64  `json:"demotions"`
+	Swaps       uint64  `json:"swaps"`
+	Stalls      uint64  `json:"stalls"`
+	PagesMoved  uint64  `json:"pages_moved"`
+	ExtentMoves uint64  `json:"extent_moves"`
+	Splits      uint64  `json:"splits"`
+	Scans       uint64  `json:"scans"`
+	SampledRefs uint64  `json:"sampled_refs"`
+	MigrateMS   float64 `json:"migrate_ms"`
+}
+
+// newTierReport converts a telemetry delta for the JSON report, or
+// returns nil when the experiment exercised no tier machinery at all.
+func newTierReport(t tier.Telemetry) *TierReport {
+	if t.Promotions|t.Demotions|t.Swaps|t.Stalls|t.PagesMoved|
+		t.Splits|t.Scans|t.SampledRefs|t.MigrateTime == 0 {
+		return nil
+	}
+	return &TierReport{
+		Promotions:  t.Promotions,
+		Demotions:   t.Demotions,
+		Swaps:       t.Swaps,
+		Stalls:      t.Stalls,
+		PagesMoved:  t.PagesMoved,
+		ExtentMoves: t.ExtentMoves,
+		Splits:      t.Splits,
+		Scans:       t.Scans,
+		SampledRefs: t.SampledRefs,
+		MigrateMS:   float64(t.MigrateTime) / 1e6,
+	}
 }
 
 // newSyncReport converts a telemetry delta for the JSON report.
@@ -215,6 +266,9 @@ func NewSuiteReport(reports []*RunReport, parallel int, totalWall time.Duration)
 		}
 		if r.SyncValid {
 			er.Sync = newSyncReport(r.Sync)
+		}
+		if r.TierValid {
+			er.Tier = newTierReport(r.Tier)
 		}
 		if r.Err != nil {
 			er.Error = r.Err.Error()

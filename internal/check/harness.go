@@ -24,6 +24,15 @@ type Options struct {
 	// CheckEvery runs every world's invariant sweep after each
 	// CheckEvery operations; 0 checks only at the end.
 	CheckEvery int
+	// Tier attaches a tier migration engine (Smart policy) to every
+	// world, so the differential comparison and the invariant sweeps run
+	// with frames migrating between DRAM and NVM underneath the trace.
+	// Migrations must preserve byte contents (the readback and final
+	// comparisons prove it), TLB freshness (the TLB invariants prove
+	// it), and per-tier accounting (the tier invariants prove it).
+	// Incompatible with CrashRecover: hotness state is volatile and
+	// outside snapshot scope.
+	Tier bool
 	// Shrink reduces a failing trace to a minimal reproducer.
 	Shrink bool
 	// ShrinkBudget caps the number of shrink replays (default 400).
@@ -118,6 +127,9 @@ func (r *Report) Format() string {
 	if r.Opts.CrashRecover {
 		extra = " -crash-recover"
 	}
+	if r.Opts.Tier {
+		extra += " -tier"
+	}
 	fmt.Fprintf(&b, "reproduce: o1check -seed %d -ops %d -cpus %d -config %s%s\n",
 		r.Opts.Seed, r.Opts.Ops, r.Opts.CPUs, strings.Join(r.Opts.Configs, ","), extra)
 	return b.String()
@@ -129,8 +141,11 @@ func (r *Report) Format() string {
 // reports setup problems only; test outcomes are in the Report.
 func Run(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
+	if opts.Tier && opts.CrashRecover {
+		return nil, fmt.Errorf("check: -tier and -crash-recover are incompatible (hotness state is volatile, outside snapshot scope)")
+	}
 	for _, cfg := range opts.Configs {
-		if _, err := newWorld(cfg, 1, 0); err != nil {
+		if _, err := newWorld(cfg, 1, 0, opts.Tier); err != nil {
 			return nil, err
 		}
 	}
@@ -226,7 +241,7 @@ func replay(trace []Op, opts Options) *Failure {
 	mdl := newModel(opts.CPUs)
 	worlds := make([]world, len(opts.Configs))
 	for i, cfg := range opts.Configs {
-		w, err := newWorld(cfg, opts.CPUs, opts.Seed)
+		w, err := newWorld(cfg, opts.CPUs, opts.Seed, opts.Tier)
 		if err != nil {
 			return &Failure{World: cfg, Reason: fmt.Sprintf("world setup: %v", err)}
 		}
@@ -248,11 +263,10 @@ func replay(trace []Op, opts Options) *Failure {
 					return &Failure{OpIndex: i, World: w.name(),
 						Reason: fmt.Sprintf("%s: read %#02x, model (and every agreeing configuration) says %#02x", op, got, want)}
 				}
-				continue
-			}
-			if err := w.apply(op); err != nil {
+			} else if err := w.apply(op); err != nil {
 				return &Failure{OpIndex: i, World: w.name(), Reason: fmt.Sprintf("%s: %v", op, err)}
 			}
+			w.tierStep(i)
 		}
 		if opts.CheckEvery > 0 && (i+1)%opts.CheckEvery == 0 {
 			for _, w := range worlds {

@@ -198,7 +198,7 @@ func BuildSnapshot(config string, opts Options, at int) (*snapshot.Snapshot, err
 	if at < 0 || at > len(trace) {
 		return nil, fmt.Errorf("check: snapshot point %d outside trace [0,%d]", at, len(trace))
 	}
-	w, err := newWorld(config, opts.CPUs, opts.Seed)
+	w, err := newWorld(config, opts.CPUs, opts.Seed, false)
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +236,7 @@ func restoreWorld(snap *snapshot.Snapshot) (world, *model, []Op, error) {
 	if snap.Meta.SnapAt < 0 || snap.Meta.SnapAt > len(trace) {
 		return nil, nil, nil, fmt.Errorf("check: snapshot point %d outside trace [0,%d]", snap.Meta.SnapAt, len(trace))
 	}
-	w, err := newWorld(snap.Meta.Config, snap.Meta.CPUs, snap.Meta.Seed)
+	w, err := newWorld(snap.Meta.Config, snap.Meta.CPUs, snap.Meta.Seed, false)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -334,7 +334,7 @@ func CrashRecover(opts Options, snapAt, crashAt int, torn bool) ([]*CrashRecover
 
 func crashRecoverOne(cfg string, opts Options, trace []Op, snapAt, crashAt int, torn bool) (*CrashRecoverReport, *Failure, error) {
 	// Control timeline: no crash, full trace.
-	control, err := newWorld(cfg, opts.CPUs, opts.Seed)
+	control, err := newWorld(cfg, opts.CPUs, opts.Seed, false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -351,7 +351,7 @@ func crashRecoverOne(cfg string, opts Options, trace []Op, snapAt, crashAt int, 
 	finalState, finalSum := capture(control)
 
 	// Crashed timeline: run to snapAt, checkpoint, journal, crash.
-	crashed, err := newWorld(cfg, opts.CPUs, opts.Seed)
+	crashed, err := newWorld(cfg, opts.CPUs, opts.Seed, false)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -25,6 +25,10 @@ type world interface {
 	fileByte(path string, page uint64) (byte, error)
 	// check runs the machine-wide invariant sweep.
 	check() error
+	// tierStep drives the tier engine between operations (promotion
+	// pump where the data path has no CPU handle, periodic hotness
+	// scan). No-op without tiering.
+	tierStep(i int)
 	// machine exposes the world's simulated machine (persistence
 	// captures its state; see persist.go).
 	machine() *sim.Machine
@@ -42,20 +46,57 @@ const (
 	nvmFrames  = 1 << 17 // 512 MiB: file stores
 )
 
+// Tier-enabled world sizing. Each fast cap sits BELOW the working set
+// a generated trace sustains in that world (measured: ~90 live anon
+// pages in baseline, ~1150 live file pages in fom/ranges, several
+// 512-page chunks in pbm), so every policy direction — first-touch
+// overflow into the slow tier, promotion, demotion — actually
+// exercises under a generated trace; internal/check/tier_test.go
+// asserts it via telemetry deltas.
+// Each physical fast region is 2× its engine cap: the policy's
+// watermarks must relieve pressure before the fast buddy physically
+// fills, or multi-page extent promotions start failing on
+// fragmentation while the engine still believes there is room.
+const (
+	// tierFastCapVM bounds the baseline kernel's fast-tier anon frames;
+	// overflow allocates from a slow pool carved off the top of NVM (the
+	// physical fast region is all of DRAM, so only the cap matters).
+	tierFastCapVM    = 48
+	tierSlowFramesVM = 1 << 15
+	// tierFastCapFOM/RegionFOM size the DRAM block region added to the
+	// fom store.
+	tierFastCapFOM    = 256
+	tierFastRegionFOM = 512
+	// tierFastCapPBM must hold whole SharedPT extents (512-page
+	// chunks), since core migrates at extent granularity.
+	tierFastCapPBM    = 4096
+	tierFastRegionPBM = 8192
+	// tierFastCapRanges can be small: range extents are at most
+	// maxFilePages (64) long.
+	tierFastCapRanges    = 512
+	tierFastRegionRanges = 1024
+	// tierScanEvery/tierScanBatch pace the harness's clock-hand scan.
+	tierScanEvery = 8
+	tierScanBatch = 32
+)
+
 // rwProt is the protection every harness mapping uses.
 var rwProt = pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
 
-// newWorld builds the named configuration on a fresh machine.
-func newWorld(config string, cpus int, seed uint64) (world, error) {
+// newWorld builds the named configuration on a fresh machine. With
+// tiered set, the world attaches a tier.Engine under the Smart policy —
+// the bidirectional one, so promotions, demotions, and swaps all happen
+// on a long enough trace.
+func newWorld(config string, cpus int, seed uint64, tiered bool) (world, error) {
 	switch config {
 	case "baseline":
-		return newVMWorld(cpus, seed)
+		return newVMWorld(cpus, seed, tiered)
 	case "fom":
-		return newFOMWorld(cpus, seed)
+		return newFOMWorld(cpus, seed, tiered)
 	case "pbm":
-		return newCoreWorld("pbm", cpus, seed)
+		return newCoreWorld("pbm", cpus, seed, tiered)
 	case "ranges":
-		return newCoreWorld("ranges", cpus, seed)
+		return newCoreWorld("ranges", cpus, seed, tiered)
 	default:
 		return nil, fmt.Errorf("check: unknown configuration %q (want baseline, fom, pbm, or ranges)", config)
 	}

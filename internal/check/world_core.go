@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/memfs"
 	"repro/internal/sim"
+	"repro/internal/tier"
 )
 
 // coreWorld drives file-only memory with PBM translations, in either
@@ -31,14 +32,35 @@ type coreWorld struct {
 	files map[string]*memfs.File
 }
 
-func newCoreWorld(cfg string, cpus int, seed uint64) (*coreWorld, error) {
+func newCoreWorld(cfg string, cpus int, seed uint64, tiered bool) (*coreWorld, error) {
 	machine, params, memory, err := newWorldMachine(cpus, seed)
 	if err != nil {
 		return nil, err
 	}
-	sys, err := core.NewSystem(machine.Clock(), params, memory, core.Options{})
+	opts := core.Options{}
+	if tiered {
+		// Split DRAM: the page-table pool keeps the bottom half, the
+		// tier's fast region takes frames above it (the default pool
+		// would cover all of DRAM and overlap the fast region).
+		opts.PTPoolBase = 0
+		opts.PTPoolFrames = dramFrames / 2
+	}
+	sys, err := core.NewSystem(machine.Clock(), params, memory, opts)
 	if err != nil {
 		return nil, err
+	}
+	if tiered {
+		// SharedPT migrates 512-page chunk extents, so its fast region
+		// must hold several; ranges extents are small, and a small cap
+		// keeps the tier under genuine pressure.
+		fastCap, fastFrames := uint64(tierFastCapPBM), uint64(tierFastRegionPBM)
+		if cfg == "ranges" {
+			fastCap, fastFrames = tierFastCapRanges, tierFastRegionRanges
+		}
+		eng := tier.New(params, memory, tier.Smart, fastCap)
+		if err := sys.AttachTier(eng, mem.Frame(dramFrames/2), fastFrames); err != nil {
+			return nil, err
+		}
 	}
 	mode := core.SharedPT
 	if cfg == "ranges" {
@@ -240,6 +262,14 @@ func (w *coreWorld) fileByte(path string, page uint64) (byte, error) {
 }
 
 func (w *coreWorld) check() error { return w.m.CheckInvariants() }
+
+// tierStep runs the periodic hotness scan; promotions pump inside the
+// access paths of core processes.
+func (w *coreWorld) tierStep(i int) {
+	if w.sys.Tier() != nil && (i+1)%tierScanEvery == 0 {
+		w.sys.TierScan(w.m.Current(), tierScanBatch)
+	}
+}
 
 func (w *coreWorld) machine() *sim.Machine { return w.m }
 

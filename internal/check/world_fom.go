@@ -6,6 +6,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/memfs"
 	"repro/internal/sim"
+	"repro/internal/tier"
 )
 
 // fomWorld drives file-only memory through the syscall interface
@@ -29,7 +30,7 @@ type fomWorld struct {
 	files map[string]*memfs.File
 }
 
-func newFOMWorld(cpus int, seed uint64) (*fomWorld, error) {
+func newFOMWorld(cpus int, seed uint64, tiered bool) (*fomWorld, error) {
 	machine, params, memory, err := newWorldMachine(cpus, seed)
 	if err != nil {
 		return nil, err
@@ -38,6 +39,15 @@ func newFOMWorld(cpus int, seed uint64) (*fomWorld, error) {
 		mem.Frame(dramFrames), nvmFrames)
 	if err != nil {
 		return nil, err
+	}
+	if tiered {
+		// DRAM is otherwise unused here; its bottom becomes the fast
+		// tier. The FS itself is the backend: single-page extent-split
+		// migration.
+		eng := tier.New(params, memory, tier.Smart, tierFastCapFOM)
+		if err := fs.AttachTier(eng, 0, tierFastRegionFOM); err != nil {
+			return nil, err
+		}
 	}
 	return &fomWorld{
 		m:      machine,
@@ -215,6 +225,20 @@ func (w *fomWorld) fileByte(path string, page uint64) (byte, error) {
 }
 
 func (w *fomWorld) check() error { return w.m.CheckInvariants() }
+
+// tierStep pumps promotions (the file store's read/write paths have no
+// CPU handle, so the harness pumps for them) and runs the periodic
+// hotness scan, both charged to the machine's current CPU.
+func (w *fomWorld) tierStep(i int) {
+	eng := w.fs.Tier()
+	if eng == nil {
+		return
+	}
+	eng.Pump(w.m.Current())
+	if (i+1)%tierScanEvery == 0 {
+		eng.Scan(w.m.Current(), tierScanBatch)
+	}
+}
 
 func (w *fomWorld) machine() *sim.Machine { return w.m }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/memfs"
 	"repro/internal/sim"
+	"repro/internal/tier"
 	"repro/internal/vm"
 )
 
@@ -28,20 +29,31 @@ type vmWorld struct {
 	files map[string]*memfs.File
 }
 
-func newVMWorld(cpus int, seed uint64) (*vmWorld, error) {
+func newVMWorld(cpus int, seed uint64, tiered bool) (*vmWorld, error) {
 	machine, params, memory, err := newWorldMachine(cpus, seed)
 	if err != nil {
 		return nil, err
 	}
-	k, err := vm.NewKernel(machine.Clock(), params, memory, vm.Config{
+	cfg := vm.Config{
 		PoolBase:   0,
 		PoolFrames: dramFrames,
-	})
+	}
+	fsFrames := uint64(nvmFrames)
+	if tiered {
+		// The slow pool takes the top of NVM; tmpfs keeps the rest.
+		fsFrames = nvmFrames - tierSlowFramesVM
+		cfg.SlowPoolBase = mem.Frame(dramFrames + fsFrames)
+		cfg.SlowPoolFrames = tierSlowFramesVM
+	}
+	k, err := vm.NewKernel(machine.Clock(), params, memory, cfg)
 	if err != nil {
 		return nil, err
 	}
+	if tiered {
+		k.AttachTier(tier.New(params, memory, tier.Smart, tierFastCapVM))
+	}
 	fs, err := memfs.New("tmpfs", memfs.PerPage, machine.Clock(), params, memory,
-		mem.Frame(dramFrames), nvmFrames)
+		mem.Frame(dramFrames), fsFrames)
 	if err != nil {
 		return nil, err
 	}
@@ -199,6 +211,14 @@ func (w *vmWorld) fileByte(path string, page uint64) (byte, error) {
 }
 
 func (w *vmWorld) check() error { return w.m.CheckInvariants() }
+
+// tierStep runs the periodic hotness scan; promotions pump inside the
+// kernel's own access paths.
+func (w *vmWorld) tierStep(i int) {
+	if w.k.Tier() != nil && (i+1)%tierScanEvery == 0 {
+		w.k.TierScan(w.m.Current(), tierScanBatch)
+	}
+}
 
 func (w *vmWorld) machine() *sim.Machine { return w.m }
 

@@ -30,6 +30,7 @@ func (e *AccessError) Error() string {
 // map, so the worst case is a range-table walk or page walk.
 func (p *Process) Touch(va mem.VirtAddr, write bool) error {
 	_, err := p.translate(va, write)
+	p.sys.tierPump(p.cpu)
 	return err
 }
 
@@ -109,6 +110,9 @@ func (p *Process) chargeDataRef(pa mem.PhysAddr, write bool) {
 		}
 	}
 	s.clock.Advance(cost)
+	if s.tier != nil {
+		s.tier.Record(pa.Frame(), write)
+	}
 }
 
 // WriteBuf stores buf at va through the translation path.
@@ -126,6 +130,7 @@ func (p *Process) WriteBuf(va mem.VirtAddr, buf []byte) error {
 		buf = buf[n:]
 		va += mem.VirtAddr(n)
 	}
+	p.sys.tierPump(p.cpu)
 	return nil
 }
 
@@ -144,6 +149,7 @@ func (p *Process) ReadBuf(va mem.VirtAddr, buf []byte) error {
 		buf = buf[n:]
 		va += mem.VirtAddr(n)
 	}
+	p.sys.tierPump(p.cpu)
 	return nil
 }
 

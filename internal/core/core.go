@@ -37,6 +37,7 @@ import (
 	"repro/internal/pagetable"
 	"repro/internal/rangetable"
 	"repro/internal/sim"
+	"repro/internal/tier"
 	"repro/internal/tlb"
 )
 
@@ -131,6 +132,11 @@ type System struct {
 	masters map[pagetable.Flags]*masterTable
 
 	rtlbEntries int
+
+	// tier is the optional migration engine (AttachTier). The system —
+	// not the FS — is its backend: range translations address whole
+	// extents, so migration moves extents, not single pages.
+	tier *tier.Engine
 
 	procs int
 

@@ -130,12 +130,14 @@ func (p *Process) run() {
 	p.sys.machine.SetCurrent(p.cpu)
 }
 
-// remoteCPUs returns the masked CPUs other than the home CPU, in ID
-// order — the shootdown IPI targets.
-func (p *Process) remoteCPUs() []*sim.CPU {
+// shootTargets returns the masked CPUs other than cur, in ID order —
+// the IPI targets of a shootdown initiated on cur. cur is normally the
+// home CPU, but a tier migration flushes from whichever CPU runs the
+// migration engine, which must then IPI the home CPU too.
+func (p *Process) shootTargets(cur *sim.CPU) []*sim.CPU {
 	var out []*sim.CPU
 	for id, ran := range p.cpuMask {
-		if ran && id != p.cpu.ID() {
+		if ran && id != cur.ID() {
 			out = append(out, p.sys.machine.CPU(id))
 		}
 	}
@@ -164,13 +166,24 @@ func (p *Process) beginShoot() {
 
 // queueShootRange defers one range-translation invalidation.
 func (p *Process) queueShootRange(vbase mem.VirtAddr) {
-	p.cpu.Advance(p.sys.params.ShootdownQueueOp)
+	p.queueShootRangeOn(p.cpu, vbase)
+}
+
+// queueShootRangeOn is queueShootRange charging an explicit CPU (the
+// tier migration path runs on the migrating CPU, not the home CPU).
+func (p *Process) queueShootRangeOn(cur *sim.CPU, vbase mem.VirtAddr) {
+	cur.Advance(p.sys.params.ShootdownQueueOp)
 	p.shoot.rbases = append(p.shoot.rbases, vbase)
 }
 
 // queueShootUnits defers subtree-unit invalidations.
 func (p *Process) queueShootUnits(units []linkUnit) {
-	p.cpu.Advance(sim.Time(len(units)) * p.sys.params.ShootdownQueueOp)
+	p.queueShootUnitsOn(p.cpu, units)
+}
+
+// queueShootUnitsOn is queueShootUnits charging an explicit CPU.
+func (p *Process) queueShootUnitsOn(cur *sim.CPU, units []linkUnit) {
+	cur.Advance(sim.Time(len(units)) * p.sys.params.ShootdownQueueOp)
 	p.shoot.units = append(p.shoot.units, units...)
 }
 
@@ -181,6 +194,13 @@ func (p *Process) queueShootUnits(units []linkUnit) {
 // below the single-page-flush ceiling and with a full TLB flush above
 // it (after which further units are moot).
 func (p *Process) flushShoot() {
+	p.flushShootOn(p.cpu)
+}
+
+// flushShootOn is flushShoot initiated from an explicit CPU: cur
+// flushes its own caches directly and IPIs every other masked CPU —
+// including the home CPU when a tier migration flushes from elsewhere.
+func (p *Process) flushShootOn(cur *sim.CPU) {
 	sh := &p.shoot
 	if !sh.active {
 		panic("core: flushShoot without beginShoot")
@@ -203,8 +223,8 @@ func (p *Process) flushShoot() {
 			}
 		}
 	}
-	flush(p.cpu.ID())
-	s.machine.IPI(p.cpu, p.remoteCPUs(), func(t *sim.CPU) {
+	flush(cur.ID())
+	s.machine.IPI(cur, p.shootTargets(cur), func(t *sim.CPU) {
 		flush(t.ID())
 	})
 	sim.AddCoalescedInvals(len(sh.rbases) + len(sh.units))
@@ -455,11 +475,17 @@ func linkUnits(seg Segment) []linkUnit {
 // per 2 MiB chunk, or per whole GiB when alignment allows (the paper's
 // "natural granularities of page table structures (e.g., 2MB, 1GB)").
 func (p *Process) linkSegment(seg Segment, prot pagetable.Flags) error {
+	return p.linkSegmentOn(p.cpu, seg, prot)
+}
+
+// linkSegmentOn is linkSegment charging an explicit CPU (tier
+// migrations relink segments from the migrating CPU).
+func (p *Process) linkSegmentOn(cur *sim.CPU, seg Segment, prot pagetable.Flags) error {
 	s := p.sys
 	if seg.Pages%chunkPages != 0 || uint64(seg.Frame)%chunkPages != 0 {
 		return fmt.Errorf("core: segment [%d,+%d) not chunk-aligned; use Ranges mode for foreign files", seg.Frame, seg.Pages)
 	}
-	master, err := s.master(p.cpu, prot)
+	master, err := s.master(cur, prot)
 	if err != nil {
 		return err
 	}
@@ -467,11 +493,11 @@ func (p *Process) linkSegment(seg Segment, prot pagetable.Flags) error {
 		// A level-3 link shares a level-2 master node, which requires
 		// every 2 MiB chunk beneath it to be populated (one-time).
 		for c := uint64(0); c < u.pages; c += chunkPages {
-			if err := s.ensureChunk(master, p.cpu, u.va+mem.VirtAddr(c*mem.FrameSize)); err != nil {
+			if err := s.ensureChunk(master, cur, u.va+mem.VirtAddr(c*mem.FrameSize)); err != nil {
 				return err
 			}
 		}
-		if err := p.pt.LinkSubtree(p.cpu, u.va, master.table, u.va, u.level); err != nil {
+		if err := p.pt.LinkSubtree(cur, u.va, master.table, u.va, u.level); err != nil {
 			return err
 		}
 		s.stats.Counter("chunk_links").Inc()
@@ -482,20 +508,25 @@ func (p *Process) linkSegment(seg Segment, prot pagetable.Flags) error {
 // unmapSegment removes a segment's translations and queues their
 // shootdown on the caller's open batch.
 func (p *Process) unmapSegment(seg Segment) error {
+	return p.unmapSegmentOn(p.cpu, seg)
+}
+
+// unmapSegmentOn is unmapSegment charging an explicit CPU.
+func (p *Process) unmapSegmentOn(cur *sim.CPU, seg Segment) error {
 	switch p.mode {
 	case Ranges:
 		if _, err := p.ranges.Remove(seg.VA); err != nil {
 			return err
 		}
-		p.queueShootRange(seg.VA)
+		p.queueShootRangeOn(cur, seg.VA)
 	case SharedPT:
 		units := linkUnits(seg)
 		for _, u := range units {
-			if err := p.pt.UnlinkSubtree(p.cpu, u.va, u.level); err != nil {
+			if err := p.pt.UnlinkSubtree(cur, u.va, u.level); err != nil {
 				return err
 			}
 		}
-		p.queueShootUnits(units)
+		p.queueShootUnitsOn(cur, units)
 	}
 	return nil
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pagetable"
 	"repro/internal/sim"
+	"repro/internal/tier"
 )
 
 // AllocPolicy selects how file space maps to frames.
@@ -182,6 +183,14 @@ type FS struct {
 	params *sim.Params
 	memory *mem.Memory
 	bud    *buddy.Allocator
+
+	// Tiering (nil/empty unless AttachTier ran): fastBud is a second
+	// block region over the fast tier, tier the migration engine, and
+	// owners an index from block frame to owning inode so backends can
+	// resolve migration candidates.
+	tier    *tier.Engine
+	fastBud *buddy.Allocator
+	owners  map[mem.Frame]*Inode
 
 	root    *Inode
 	inodes  map[uint64]*Inode
@@ -654,7 +663,8 @@ func (fs *FS) freeExtents(ino *Inode) error {
 		// O(1) security erase per extent (the paper's constant-time
 		// erase requirement for reused volatile memory).
 		fs.memory.EraseRangeEpoch(e.Start, e.Count)
-		if err := fs.bud.FreeRun(buddy.Run{Start: e.Start, Count: e.Count}); err != nil {
+		fs.untrackRun(e.Start, e.Count)
+		if err := fs.freeRun(buddy.Run{Start: e.Start, Count: e.Count}); err != nil {
 			return fmt.Errorf("memfs %s: freeing extent of inode %d: %w", fs.name, ino.ino, err)
 		}
 	}
@@ -694,6 +704,7 @@ func (ino *Inode) findExtent(page uint64) (ExtentRun, bool) {
 func (ino *Inode) insertExtent(run ExtentRun) {
 	fs := ino.fs
 	fs.clock.Advance(fs.params.ExtentOp)
+	fs.trackRun(ino, run.Start, run.Count)
 	i := sort.Search(len(ino.extents), func(i int) bool {
 		return ino.extents[i].Logical > run.Logical
 	})
@@ -796,7 +807,8 @@ func (f *File) shrinkTo(pages uint64) error {
 			kept = append(kept, e)
 		case e.Logical >= pages:
 			fs.memory.EraseRangeEpoch(e.Start, e.Count)
-			if err := fs.bud.FreeRun(buddy.Run{Start: e.Start, Count: e.Count}); err != nil {
+			fs.untrackRun(e.Start, e.Count)
+			if err := fs.freeRun(buddy.Run{Start: e.Start, Count: e.Count}); err != nil {
 				return err
 			}
 			fs.unchargeQuota(ino, e.Count)
@@ -806,7 +818,8 @@ func (f *File) shrinkTo(pages uint64) error {
 			kept = append(kept, ExtentRun{Logical: e.Logical, Start: e.Start, Count: keep})
 			dropStart := e.Start + mem.Frame(keep)
 			fs.memory.EraseRangeEpoch(dropStart, e.Count-keep)
-			if err := fs.bud.FreeRun(buddy.Run{Start: dropStart, Count: e.Count - keep}); err != nil {
+			fs.untrackRun(dropStart, e.Count-keep)
+			if err := fs.freeRun(buddy.Run{Start: dropStart, Count: e.Count - keep}); err != nil {
 				return err
 			}
 			fs.unchargeQuota(ino, e.Count-keep)
@@ -829,7 +842,7 @@ func (f *File) allocateRange(page, count uint64) error {
 	rollback := func(cause error) error {
 		for _, r := range runs {
 			fs.unchargeQuota(ino, r.Count)
-			if ferr := fs.bud.FreeRun(r); ferr != nil {
+			if ferr := fs.freeRun(r); ferr != nil {
 				return fmt.Errorf("memfs %s: rollback failed: %v (after %w)", fs.name, ferr, cause)
 			}
 		}
@@ -840,7 +853,7 @@ func (f *File) allocateRange(page, count uint64) error {
 		want := remaining
 		var run buddy.Run
 		for {
-			r, err := fs.bud.AllocRun(want)
+			r, err := fs.allocRun(want)
 			if err == nil {
 				run = r
 				break
@@ -852,7 +865,7 @@ func (f *File) allocateRange(page, count uint64) error {
 			fs.clock.Advance(fs.params.BitmapOp)
 		}
 		if err := fs.chargeQuota(ino, run.Count); err != nil {
-			if ferr := fs.bud.FreeRun(run); ferr != nil {
+			if ferr := fs.freeRun(run); ferr != nil {
 				return ferr
 			}
 			return rollback(err)
@@ -894,7 +907,7 @@ func (f *File) PageFrame(page uint64, allocate bool) (mem.Frame, bool, error) {
 		if err := fs.chargeQuota(ino, 1); err != nil {
 			return 0, false, err
 		}
-		fr, err := fs.bud.AllocFrame()
+		fr, err := fs.allocFrame()
 		if err != nil {
 			fs.unchargeQuota(ino, 1)
 			return 0, false, fmt.Errorf("memfs %s: %w", fs.name, err)
@@ -931,7 +944,7 @@ func (f *File) EnsureContiguous(pages uint64) error {
 	if err := fs.chargeQuota(ino, pages); err != nil {
 		return err
 	}
-	run, err := fs.bud.AllocRun(pages)
+	run, err := fs.allocRun(pages)
 	if err != nil {
 		fs.unchargeQuota(ino, pages)
 		return fmt.Errorf("memfs %s: contiguous allocation of %d pages: %w", fs.name, pages, err)
@@ -978,7 +991,7 @@ func (f *File) EnsureExtents(pages, alignPages uint64) error {
 	rollback := func(cause error) error {
 		for _, r := range runs {
 			fs.unchargeQuota(ino, r.Count)
-			if ferr := fs.bud.FreeRun(r); ferr != nil {
+			if ferr := fs.freeRun(r); ferr != nil {
 				return fmt.Errorf("memfs %s: rollback failed: %v (after %w)", fs.name, ferr, cause)
 			}
 		}
@@ -992,7 +1005,7 @@ func (f *File) EnsureExtents(pages, alignPages uint64) error {
 		}
 		var run buddy.Run
 		for {
-			r, err := fs.bud.AllocRun(want)
+			r, err := fs.allocRun(want)
 			if err == nil {
 				run = r
 				break
@@ -1007,7 +1020,7 @@ func (f *File) EnsureExtents(pages, alignPages uint64) error {
 			fs.clock.Advance(fs.params.BitmapOp)
 		}
 		if err := fs.chargeQuota(ino, run.Count); err != nil {
-			if ferr := fs.bud.FreeRun(run); ferr != nil {
+			if ferr := fs.freeRun(run); ferr != nil {
 				return ferr
 			}
 			return rollback(err)
@@ -1056,8 +1069,9 @@ func (f *File) ReadAt(buf []byte, off uint64) (int, error) {
 				buf[read+i] = 0
 			}
 		} else {
-			pa := (e.Start + mem.Frame(page-e.Logical)).Addr() + mem.PhysAddr(pgOff)
-			fs.memory.ReadAt(pa, buf[read:read+chunk])
+			fr := e.Start + mem.Frame(page-e.Logical)
+			fs.record(fr, false)
+			fs.memory.ReadAt(fr.Addr()+mem.PhysAddr(pgOff), buf[read:read+chunk])
 		}
 		read += chunk
 	}
@@ -1089,6 +1103,7 @@ func (f *File) WriteAt(buf []byte, off uint64) (int, error) {
 		if err != nil {
 			return int(written), err
 		}
+		fs.record(fr, true)
 		fs.memory.WriteAt(fr.Addr()+mem.PhysAddr(pgOff), buf[written:written+chunk])
 		written += chunk
 	}

@@ -269,6 +269,17 @@ type Params struct {
 	// kernel copy (charged in addition to SyscallOverhead).
 	ReadPerByte Time
 
+	// TierScanFrame is the cost of one clock-hand hotness-scanner
+	// visit: read and age one frame's access bit (a page-struct
+	// read/modify/write, same order as PageMetaOp).
+	TierScanFrame Time
+
+	// TierPolicyOp is the cost of one tier-migration policy decision:
+	// consult occupancy, pick a candidate, enqueue the move. Charged
+	// per decision, separate from the copy/remap costs the migration
+	// itself accrues through the normal machinery.
+	TierPolicyOp Time
+
 	// IPIBroadcast is retained for cost-table compatibility: it was the
 	// flat broadcast-shootdown stand-in used before per-CPU clocks.
 	// Nothing charges it anymore; broadcasts now cost IPISend per
@@ -312,6 +323,8 @@ func DefaultParams() Params {
 		SwapPageIO:       25000,
 		JournalAppend:    200,
 		ReadPerByte:      0, // bulk copy cost charged via ReadPerPage below
+		TierScanFrame:    12,
+		TierPolicyOp:     20,
 		IPIBroadcast:     2000,
 	}
 }
@@ -350,6 +363,8 @@ func (p *Params) Validate() error {
 		{"IPIReceive", p.IPIReceive},
 		{"ShootdownQueueOp", p.ShootdownQueueOp},
 		{"JournalAppend", p.JournalAppend},
+		{"TierScanFrame", p.TierScanFrame},
+		{"TierPolicyOp", p.TierPolicyOp},
 	}
 	for _, c := range checks {
 		if c.v <= 0 {

@@ -1,0 +1,111 @@
+package tier
+
+import "sync/atomic"
+
+// Migration telemetry: package-global counters mirroring
+// sim.SyncTelemetry. Cumulative across engines; per-experiment numbers
+// come from snapshotting before and after (experiments run one at a
+// time in internal/bench).
+
+type atomicU64 = atomic.Uint64
+
+var telemetry struct {
+	promotions  atomicU64
+	demotions   atomicU64
+	swaps       atomicU64
+	stalls      atomicU64
+	pagesMoved  atomicU64
+	extentMoves atomicU64
+	splits      atomicU64
+	scans       atomicU64
+	sampledRefs atomicU64
+	migrateTime atomicU64
+	peakFast    atomicU64
+	peakSlow    atomicU64
+}
+
+// Telemetry is a snapshot (or delta) of the migration counters.
+type Telemetry struct {
+	// Promotions/Demotions count slow→fast and fast→slow migrations;
+	// Swaps the smart-policy bidirectional pairs; Stalls the migration
+	// decisions that could not proceed (fast tier full under promote,
+	// backend declined, queue overflow).
+	Promotions uint64
+	Demotions  uint64
+	Swaps      uint64
+	Stalls     uint64
+
+	// PagesMoved is the total frames relocated; ExtentMoves counts
+	// migrations that had to move more than one frame (whole-extent
+	// moves under range translations); Splits counts extent splits
+	// performed to keep a migration to one page.
+	PagesMoved  uint64
+	ExtentMoves uint64
+	Splits      uint64
+
+	// Scans counts clock-hand frame visits; SampledRefs the access-bit
+	// samples recorded from fault/touch paths.
+	Scans       uint64
+	SampledRefs uint64
+
+	// MigrateTime is the total simulated time (ns) spent inside
+	// backend migrations — the migration-cost share of each op's
+	// latency.
+	MigrateTime uint64
+
+	// PeakFast/PeakSlow are high-water marks of tracked per-tier
+	// occupancy (frames).
+	PeakFast uint64
+	PeakSlow uint64
+}
+
+// TelemetrySnapshot returns the current cumulative counter values.
+func TelemetrySnapshot() Telemetry {
+	return Telemetry{
+		Promotions:  telemetry.promotions.Load(),
+		Demotions:   telemetry.demotions.Load(),
+		Swaps:       telemetry.swaps.Load(),
+		Stalls:      telemetry.stalls.Load(),
+		PagesMoved:  telemetry.pagesMoved.Load(),
+		ExtentMoves: telemetry.extentMoves.Load(),
+		Splits:      telemetry.splits.Load(),
+		Scans:       telemetry.scans.Load(),
+		SampledRefs: telemetry.sampledRefs.Load(),
+		MigrateTime: telemetry.migrateTime.Load(),
+		PeakFast:    telemetry.peakFast.Load(),
+		PeakSlow:    telemetry.peakSlow.Load(),
+	}
+}
+
+// Sub returns the delta t - prev, counter by counter. Peak gauges are
+// carried from t (they are high-water marks, not monotone sums).
+func (t Telemetry) Sub(prev Telemetry) Telemetry {
+	return Telemetry{
+		Promotions:  t.Promotions - prev.Promotions,
+		Demotions:   t.Demotions - prev.Demotions,
+		Swaps:       t.Swaps - prev.Swaps,
+		Stalls:      t.Stalls - prev.Stalls,
+		PagesMoved:  t.PagesMoved - prev.PagesMoved,
+		ExtentMoves: t.ExtentMoves - prev.ExtentMoves,
+		Splits:      t.Splits - prev.Splits,
+		Scans:       t.Scans - prev.Scans,
+		SampledRefs: t.SampledRefs - prev.SampledRefs,
+		MigrateTime: t.MigrateTime - prev.MigrateTime,
+		PeakFast:    t.PeakFast,
+		PeakSlow:    t.PeakSlow,
+	}
+}
+
+// AddSplit records one extent split performed on behalf of a
+// migration (called by backends).
+func AddSplit() { telemetry.splits.Add(1) }
+
+// gaugeMax raises a peak gauge to at least v.
+func gaugeMax(g *atomicU64, v uint64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

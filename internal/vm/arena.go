@@ -179,6 +179,9 @@ func (k *Kernel) poolFor(f mem.Frame) *buddy.Allocator {
 	if ar := k.arenaOf(f); ar != nil {
 		return ar.pool
 	}
+	if sp := k.slowPool; sp != nil && f >= sp.Base() && uint64(f-sp.Base()) < sp.Size() {
+		return sp
+	}
 	return k.pool
 }
 

@@ -115,6 +115,30 @@ func (k *Kernel) CheckInvariants() error {
 		return err
 	}
 
+	// The slow-tier pool shares the global metadata domain, so it is
+	// audited separately: internal accounting plus the same no-free-
+	// but-tracked rule as the other pools.
+	if k.slowPool != nil {
+		if err := k.slowPool.CheckInvariants(); err != nil {
+			return fmt.Errorf("vm: slow pool: %w", err)
+		}
+		var freeErr error
+		k.slowPool.VisitFree(func(start mem.Frame, count uint64) {
+			if freeErr != nil {
+				return
+			}
+			for i := uint64(0); i < count; i++ {
+				if _, tracked := k.page(start + mem.Frame(i)); tracked {
+					freeErr = fmt.Errorf("vm: frame %d is on the slow-pool free list but still tracked", start+mem.Frame(i))
+					return
+				}
+			}
+		})
+		if freeErr != nil {
+			return freeErr
+		}
+	}
+
 	// Per-CPU TLBs: every valid entry must belong to a live address
 	// space (ASIDs are never reused, so a dead ASID proves a missed
 	// shootdown) and agree exactly with that space's page table.

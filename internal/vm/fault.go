@@ -31,6 +31,7 @@ func (e *AccessError) Error() string {
 // "accesses one byte of each page".
 func (a *AddressSpace) Touch(va mem.VirtAddr, write bool) error {
 	_, err := a.translate(va, write)
+	a.kernel.tierPump(a.cpu)
 	return err
 }
 
@@ -139,6 +140,9 @@ func (a *AddressSpace) markAccess(pa mem.PhysAddr, write bool) {
 		if write {
 			pi.Flags |= PGDirty
 		}
+	}
+	if t := a.kernel.tier; t != nil {
+		t.Record(pa.Frame(), write)
 	}
 }
 

@@ -21,6 +21,7 @@ func (a *AddressSpace) WriteBuf(va mem.VirtAddr, buf []byte) error {
 		buf = buf[n:]
 		va += mem.VirtAddr(n)
 	}
+	a.kernel.tierPump(a.cpu)
 	return nil
 }
 
@@ -39,6 +40,7 @@ func (a *AddressSpace) ReadBuf(va mem.VirtAddr, buf []byte) error {
 		buf = buf[n:]
 		va += mem.VirtAddr(n)
 	}
+	a.kernel.tierPump(a.cpu)
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/tier"
 	"repro/internal/tlb"
 )
 
@@ -45,6 +46,14 @@ type Kernel struct {
 	// pool allocates anonymous pages and page-table nodes (the DRAM
 	// region in the default machine).
 	pool *buddy.Allocator
+
+	// slowPool, when configured, is a second anonymous-frame pool over
+	// the slow tier (NVM): first-touch overflow and demotion target of
+	// the tier engine. Nil in the classic single-tier configuration.
+	slowPool *buddy.Allocator
+
+	// tier is the attached migration engine (nil without tiering).
+	tier *tier.Engine
 
 	// meta is the global frame-metadata domain: struct-page map,
 	// recycled records, and the LRU lists the reclaim scanner walks.
@@ -88,6 +97,11 @@ type Config struct {
 	// PoolBase/PoolFrames locate the anonymous-memory pool.
 	PoolBase   mem.Frame
 	PoolFrames uint64
+	// SlowPoolBase/SlowPoolFrames locate an optional second pool over
+	// the slow tier (NVM) for tiered configurations. Zero frames means
+	// no slow pool.
+	SlowPoolBase   mem.Frame
+	SlowPoolFrames uint64
 	// LowWater is the free-frame threshold below which allocation
 	// triggers reclaim. Zero means PoolFrames/32.
 	LowWater uint64
@@ -112,6 +126,13 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 	if err != nil {
 		return nil, err
 	}
+	var slowPool *buddy.Allocator
+	if cfg.SlowPoolFrames > 0 {
+		slowPool, err = buddy.New(clock, params, cfg.SlowPoolBase, cfg.SlowPoolFrames)
+		if err != nil {
+			return nil, err
+		}
+	}
 	low := cfg.LowWater
 	if low == 0 {
 		low = cfg.PoolFrames / 32
@@ -131,6 +152,7 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 		Machine:  machine,
 		levels:   levels,
 		pool:     pool,
+		slowPool: slowPool,
 		meta:     newMetaDomain(),
 		shards:   make([]asidShard, machine.NumCPUs()),
 		swap:     newSwapDevice(cfg.SwapFrames),
@@ -148,7 +170,7 @@ func NewKernel(clock *sim.Clock, params *sim.Params, memory *mem.Memory, cfg Con
 	// during a host-parallel phase.
 	for _, name := range []string{
 		"major_faults", "cow_breaks", "swapouts", "swapins",
-		"reclaimed_pages", "user_faults", "forks",
+		"reclaimed_pages", "user_faults", "forks", "tier_migrations",
 	} {
 		k.stats.Counter(name)
 	}
@@ -246,6 +268,18 @@ func (k *Kernel) allocAnonFrame(cur *sim.CPU, ar *Arena) (mem.Frame, error) {
 		k.Memory.ZeroFramesOn(cur, f, 1)
 		k.cAnonAllocs.Inc()
 		return f, nil
+	}
+	// Tiered first-touch placement: once the engine's fast-tier budget
+	// is spent, new anonymous frames land in the slow pool (and the
+	// demote/smart policies open fast room back up over time). The
+	// fast pool + reclaim path below remains the fallback when the
+	// slow tier is itself exhausted.
+	if k.tier != nil && k.slowPool != nil && !k.tier.PreferFast() {
+		if f, err := k.slowPool.AllocFrame(); err == nil {
+			k.Memory.ZeroFramesOn(cur, f, 1)
+			k.cAnonAllocs.Inc()
+			return f, nil
+		}
 	}
 	if k.pool.FreeFrames() < k.lowWater {
 		// Background reclaim would run here; the simulator reclaims

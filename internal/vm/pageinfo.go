@@ -103,12 +103,18 @@ func (k *Kernel) trackPage(cur *sim.CPU, f mem.Frame, flags PageFlags) *PageInfo
 	}
 	d.pages[f] = p
 	k.chargeMeta(cur, 1)
+	if k.tier != nil && flags&PGAnon != 0 {
+		k.tier.Track(f)
+	}
 	return p
 }
 
 // forgetPage drops a frame's metadata and recycles the record into its
 // domain's spare pool.
 func (k *Kernel) forgetPage(cur *sim.CPU, p *PageInfo) {
+	if k.tier != nil && p.Flags&PGAnon != 0 {
+		k.tier.Untrack(p.Frame)
+	}
 	d := k.domainOf(p.Frame)
 	if p.list != nil {
 		p.list.remove(p)
