@@ -1,8 +1,9 @@
 // Command o1check runs the kernel invariant checker's differential
 // stress harness: a seeded random operation sequence is executed
 // against the selected memory-system configurations (baseline VM,
-// file-only memory via read/write, and PBM-mapped file-only memory in
-// shared-page-table and range-translation modes), with machine-wide
+// file-only memory via read/write, PBM-mapped file-only memory in
+// shared-page-table and range-translation modes, and user-mode
+// software-managed memory over granted extents), with machine-wide
 // invariant sweeps at a configurable interval and a full cross-
 // configuration comparison of observable outcomes. On failure it
 // prints the seed, a (shrunk) minimal operation trace, and the exact
@@ -36,7 +37,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed (determines the whole trace)")
 		ops        = flag.Int("ops", 50000, "number of operations to generate")
 		cpus       = flag.Int("cpus", 4, "CPUs per simulated machine")
-		config     = flag.String("config", "all", "comma-separated configurations (baseline,fom,pbm,ranges) or 'all'")
+		config     = flag.String("config", "all", "comma-separated configurations (baseline,fom,pbm,ranges,usermode) or 'all'")
 		checkEvery   = flag.Int("check-every", 1024, "run invariant sweeps every N ops (0 = only at the end)")
 		shrink       = flag.Bool("shrink", true, "shrink failing traces to a minimal reproducer")
 		crashRecover = flag.Bool("crash-recover", false, "after a clean replay, checkpoint + journal + crash at a seeded op and verify recovery")

@@ -301,6 +301,16 @@ func TestShootdownShape(t *testing.T) {
 	if spt[last] >= base[last] {
 		t.Fatalf("shared-pt teardown (%v) not below baseline (%v)", spt[last], base[last])
 	}
+	// Usermode teardown (one queue round trip + one grant revoke per
+	// process) is flat across sizes and at least as cheap as the range
+	// shootdown.
+	um := col(t, r, 0, 4)
+	if um[last] != um[0] {
+		t.Fatalf("usermode teardown not flat across sizes: %v", um)
+	}
+	if um[last] > rng[last] {
+		t.Fatalf("usermode teardown (%v) above range shootdown (%v)", um[last], rng[last])
+	}
 
 	// CPU sweep (second table): unbatched page-at-a-time teardown grows
 	// with the CPU count (one IPI round per page), the batched munmap's
@@ -310,8 +320,16 @@ func TestShootdownShape(t *testing.T) {
 	batchCPU := col(t, r, 1, 1)
 	perPageCPU := col(t, r, 1, 2)
 	rngCPU := col(t, r, 1, 3)
-	ipis := col(t, r, 1, 5)
+	umCPU := col(t, r, 1, 5)
+	ipis := col(t, r, 1, 6)
 	lastC := len(cpus) - 1
+	// Usermode sends no IPIs and has nothing to invalidate, so its
+	// release cost is identical at every CPU count.
+	for i := range umCPU {
+		if umCPU[i] != umCPU[0] {
+			t.Fatalf("usermode release not flat across CPU counts: %v", umCPU)
+		}
+	}
 	if perPageCPU[lastC] < 10*perPageCPU[0] {
 		t.Fatalf("unbatched shootdown not growing with CPU count: %v", perPageCPU)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/memfs"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/usermode"
 	"repro/internal/vm"
 )
 
@@ -28,7 +29,28 @@ func shootdown() (*Result, error) {
 	const procs = 4
 	table := metrics.NewTable(
 		fmt.Sprintf("tear down a shared mapping in %d processes (µs, simulated, total)", procs),
-		"size_MB", "baseline_us", "fom_ranges_us", "fom_sharedpt_us")
+		"size_MB", "baseline_us", "fom_ranges_us", "fom_sharedpt_us", "usermode_us")
+
+	// Usermode runs on its own small machine: the standard machine's
+	// regions are fully assigned to the baseline pool and file stores,
+	// and the grant pool must not overlap anything else.
+	const umPoolFrames = uint64(512) << 20 >> mem.FrameShift
+	uparams := machineParams()
+	um := newSimMachine(&uparams, benchCPUs)
+	umem, err := mem.New(um.Clock(), &uparams, mem.Config{DRAMFrames: umPoolFrames})
+	if err != nil {
+		return nil, err
+	}
+	gt, err := usermode.NewGrantTable(um.Clock(), &uparams, umem, usermode.Config{
+		PoolBase: 0, PoolFrames: umPoolFrames,
+	})
+	if err != nil {
+		return nil, err
+	}
+	creator, err := gt.NewProcessOn(um.CPU(0))
+	if err != nil {
+		return nil, err
+	}
 
 	for _, mb := range []uint64{2, 16, 128} {
 		pages := mb << 20 >> mem.FrameShift
@@ -99,7 +121,37 @@ func shootdown() (*Result, error) {
 			}
 			times[mode] = d
 		}
-		table.AddRow(fmt.Sprint(mb), us(baseT), us(times[core.Ranges]), us(times[core.SharedPT]))
+
+		// Usermode: the object is one refcounted shared segment; each
+		// process's teardown is a grant-queue round trip plus a single
+		// grant-table revoke, whatever the size.
+		seg, err := gt.NewShared(creator, pages)
+		if err != nil {
+			return nil, err
+		}
+		var uprocs []*usermode.Process
+		for i := 0; i < procs; i++ {
+			up, err := gt.NewProcessOn(um.CPU(0))
+			if err != nil {
+				return nil, err
+			}
+			if err := up.MapShared(seg); err != nil {
+				return nil, err
+			}
+			uprocs = append(uprocs, up)
+		}
+		umT, err := timeOp(um.Clock(), func() error {
+			for _, up := range uprocs {
+				if err := up.UnmapShared(seg); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(fmt.Sprint(mb), us(baseT), us(times[core.Ranges]), us(times[core.SharedPT]), us(umT))
 	}
 
 	cpuTable, err := shootdownCPUSweep()
@@ -112,8 +164,8 @@ func shootdown() (*Result, error) {
 		Paper:  "§3.2/§4.3",
 		Tables: []*metrics.Table{table, cpuTable},
 		Notes: []string{
-			"the baseline clears one PTE per page per process; file-only memory removes one range entry (or unlinks one subtree per 2 MiB/1 GiB) and invalidates a single translation per process",
-			"the CPU sweep unmaps a mapping whose address space ran on every CPU: a whole-mapping munmap coalesces its invalidations into one IPI round (mmu_gather batching) but still pays per-page PTE/rmap teardown, page-at-a-time release pays pages × CPUs IPI work, and the range shootdown stays one range-TLB invalidation per CPU",
+			"the baseline clears one PTE per page per process; file-only memory removes one range entry (or unlinks one subtree per 2 MiB/1 GiB) and invalidates a single translation per process; usermode has no translations at all — releasing a shared segment is one grant-queue round trip plus one grant-table revoke per process, independent of size",
+			"the CPU sweep unmaps a mapping whose address space ran on every CPU: a whole-mapping munmap coalesces its invalidations into one IPI round (mmu_gather batching) but still pays per-page PTE/rmap teardown, page-at-a-time release pays pages × CPUs IPI work, and the range shootdown stays one range-TLB invalidation per CPU; the usermode release sends no IPIs and is flat in both axes",
 		},
 	}, nil
 }
@@ -131,7 +183,7 @@ const shootdownCPUSweepSizeMB = 16
 func shootdownCPUSweep() (*metrics.Table, error) {
 	table := metrics.NewTable(
 		fmt.Sprintf("tear down one %d MB shared mapping vs CPU count (µs, simulated)", shootdownCPUSweepSizeMB),
-		"cpus", "base_batched_us", "base_perpage_us", "fom_ranges_us", "fom_sharedpt_us", "perpage_ipis")
+		"cpus", "base_batched_us", "base_perpage_us", "fom_ranges_us", "fom_sharedpt_us", "usermode_us", "perpage_ipis")
 	pages := uint64(shootdownCPUSweepSizeMB) << 20 >> mem.FrameShift
 
 	for _, ncpu := range []int{1, 2, 4, 8, 16} {
@@ -217,8 +269,45 @@ func shootdownCPUSweep() (*metrics.Table, error) {
 			}
 			times[mode] = d
 		}
+
+		// Usermode: no translations exist, so a process's threads having
+		// run on every CPU leaves nothing to invalidate anywhere — the
+		// release is the same two queue/table operations at any CPU count.
+		const umPoolFrames = uint64(64) << 20 >> mem.FrameShift
+		uparams := machineParams()
+		um := newSimMachine(&uparams, ncpu)
+		umem, err := mem.New(um.Clock(), &uparams, mem.Config{DRAMFrames: umPoolFrames})
+		if err != nil {
+			return nil, err
+		}
+		gt, err := usermode.NewGrantTable(um.Clock(), &uparams, umem, usermode.Config{
+			PoolBase: 0, PoolFrames: umPoolFrames,
+		})
+		if err != nil {
+			return nil, err
+		}
+		creator, err := gt.NewProcessOn(um.CPU(0))
+		if err != nil {
+			return nil, err
+		}
+		seg, err := gt.NewShared(creator, pages)
+		if err != nil {
+			return nil, err
+		}
+		up, err := gt.NewProcessOn(um.CPU(0))
+		if err != nil {
+			return nil, err
+		}
+		if err := up.MapShared(seg); err != nil {
+			return nil, err
+		}
+		umT, err := timeOp(um.Clock(), func() error { return up.UnmapShared(seg) })
+		if err != nil {
+			return nil, err
+		}
+
 		table.AddRow(fmt.Sprint(ncpu), us(batchT), us(perPageT), us(times[core.Ranges]), us(times[core.SharedPT]),
-			fmt.Sprint(ipis))
+			us(umT), fmt.Sprint(ipis))
 	}
 	return table, nil
 }

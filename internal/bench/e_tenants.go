@@ -4,10 +4,12 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/heap"
 	"repro/internal/mem"
 	"repro/internal/memfs"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/usermode"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -150,6 +152,14 @@ func tenants() (*Result, error) {
 		addLatencyRow(table, cfg.name, &lat.total)
 		addKindRows(kindTable, cfg.name, lat)
 	}
+	{
+		lat, err := tenantsUsermode(traces)
+		if err != nil {
+			return nil, fmt.Errorf("tenants usermode: %w", err)
+		}
+		addLatencyRow(table, "usermode", &lat.total)
+		addKindRows(kindTable, "usermode", lat)
+	}
 
 	return &Result{
 		ID:     "tenants",
@@ -159,6 +169,7 @@ func tenants() (*Result, error) {
 		Notes: []string{
 			"each tenant forks from its CPU's 64-page template (the shared object), touches 8 shared pages, runs alloc/touch/free bursts over an anonymous heap, and exits; odd tenants run a thread on the pair-partner CPU, so their teardowns pay real cross-CPU shootdowns",
 			"the baseline pays per-page fork copies, per-page populate or demand faults, and per-page teardown; file-only memory spawns a fresh process (no per-page fork cost), maps the shared object in O(extents), and allocates/frees whole files",
+			"usermode spawn includes the up-front grant batch (one queue round trip + grant install for 512 pages); map-shared is one grant-table install; alloc/free are pure user-level free-list operations with no kernel involvement; exit revokes the tenant's grants in O(grants) — and there are no TLBs in this world, so the odd tenants' partner threads cost nothing to tear down",
 			"tenants are CPU-local by construction (per-CPU templates, arenas, and file systems), so pair sync groups let disjoint pairs proceed without ever synchronizing — the sharded-sync-domain scaling case",
 			"with multiple CPUs the max column includes cross-CPU rendezvous: an IPI merges the sender's clock with its partner's, so one op absorbs the pair's clock skew",
 		},
@@ -343,6 +354,106 @@ func tenantsFOM(traces [][]workload.TenantOp, mode core.TranslationMode) (*tenan
 					}
 				case workload.TenantFree:
 					if err := p.Unmap(heap); err != nil {
+						return err
+					}
+				case workload.TenantExit:
+					if err := p.Exit(); err != nil {
+						return err
+					}
+				}
+				lat.record(op.Kind, c.Now()-t0)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeTenantLats(lats), nil
+}
+
+// tenantsUsermode replays the trace against user-mode software-managed
+// memory. Every CPU gets its own grant table and pool clocked on that
+// CPU; spawn admits the process and installs its up-front grant batch
+// (the Cichlid model — the 512-page batch covers every burst, so no
+// tenant ever refills), the shared object is a per-CPU refcounted
+// shared segment held alive by a template process, alloc/free are pure
+// user-level free-list operations, and exit revokes the tenant's
+// grants through the queue in O(grants). There are no TLBs in this
+// world, so the odd tenants' partner threads need no teardown work and
+// nothing is marked as having run anywhere.
+func tenantsUsermode(traces [][]workload.TenantOp) (*tenantLats, error) {
+	const cpuPoolFrames = uint64(256) << 20 >> mem.FrameShift // grant pool
+	params := machineParams()
+	machine := newSimMachine(&params, benchCPUs)
+	n := machine.NumCPUs()
+	machine.SetSyncGroups(tenantPairGroups(n))
+	defer machine.SetSyncGroups(nil)
+
+	gts := make([]*usermode.GrantTable, n)
+	segs := make([]*usermode.SharedSeg, n)
+	for i := 0; i < n; i++ {
+		c := machine.CPU(i)
+		cpuMem, err := mem.New(c.Clock(), &params, mem.Config{DRAMFrames: cpuPoolFrames})
+		if err != nil {
+			return nil, err
+		}
+		gts[i], err = usermode.NewGrantTable(c.Clock(), &params, cpuMem, usermode.Config{
+			PoolBase: 0, PoolFrames: cpuPoolFrames,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tmpl, err := gts[i].NewProcessOn(c)
+		if err != nil {
+			return nil, err
+		}
+		segs[i], err = gts[i].NewShared(tmpl, tenantTmplPages)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	lats := newTenantLats(n)
+	err := machine.RunParallel(func(c *sim.CPU) error {
+		lat := lats[c.ID()]
+		gt, seg := gts[c.ID()], segs[c.ID()]
+		var one [1]byte
+		for ti := c.ID(); ti < len(traces); ti += n {
+			var p *usermode.Process
+			var hr heap.Region
+			for _, op := range traces[ti] {
+				t0 := c.Now()
+				switch op.Kind {
+				case workload.TenantSpawn:
+					var err error
+					p, err = gt.NewProcessOn(c)
+					if err != nil {
+						return err
+					}
+				case workload.TenantMapShared:
+					if err := p.MapShared(seg); err != nil {
+						return err
+					}
+					for pg := uint64(0); pg < tenantSharedHot; pg++ {
+						if err := p.ReadBuf(seg.Base()+mem.VirtAddr(pg*mem.FrameSize), one[:]); err != nil {
+							return err
+						}
+					}
+				case workload.TenantAlloc:
+					var err error
+					hr, err = p.AllocPages(op.Pages)
+					if err != nil {
+						return err
+					}
+				case workload.TenantTouch:
+					for pg := uint64(0); pg < op.Pages; pg++ {
+						if err := p.WriteBuf(hr.Base()+mem.VirtAddr(pg*mem.FrameSize), one[:1]); err != nil {
+							return err
+						}
+					}
+				case workload.TenantFree:
+					if err := p.FreeRegion(hr); err != nil {
 						return err
 					}
 				case workload.TenantExit:

@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/tier"
+	"repro/internal/usermode"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -110,7 +111,7 @@ func SetTierRatios(spec string) error {
 	return nil
 }
 
-var tierConfigs = []string{"baseline", "fom", "pbm", "ranges"}
+var tierConfigs = []string{"baseline", "fom", "pbm", "ranges", "usermode"}
 
 func tiering() (*Result, error) {
 	table := metrics.NewTable(
@@ -144,7 +145,8 @@ func tiering() (*Result, error) {
 		Notes: []string{
 			"fast = fast-tier capacity as a fraction of the working set; pages past the cap first-touch into the slow tier and pay the NVM read/write penalty on every access until promoted",
 			"none = static first-touch placement; promote = on-access promotion that stalls once the fast tier fills; demote = watermark-driven background demotion only; smart = both, with coldest-out swaps when full",
-			"migration granularity follows the translation scheme: baseline moves single pages (rmap + PTE rewrite + coalesced shootdown), fom splits extents to move single pages, ranges moves whole 64-page extents, pbm moves whole 512-page chunk extents — extent_migs × extent size = pages_moved",
+			"migration granularity follows the translation scheme: baseline moves single pages (rmap + PTE rewrite + coalesced shootdown), fom splits extents to move single pages, ranges moves whole 64-page extents, pbm moves whole 512-page chunk extents, usermode moves whole 64-page granted extents — extent_migs × extent size = pages_moved",
+			"usermode has no translations to invalidate: a migration is a grant-queue round trip, a frame copy, and a cooperative relocation callback that rebases the process's view — the software analogue of a shootdown, minus the IPIs",
 			"mig_us is simulated time spent inside backend migrations; it lands in the latency window of the touch whose pump triggered it, which is what stretches p99 for the extent-granular configs",
 			"each CPU runs an isolated context (own memory, kernel, files, engine) in its own sync group, so host-parallel runs are byte-identical to serial",
 		},
@@ -254,6 +256,8 @@ func newTierCtx(cfg string, c *sim.CPU, params *sim.Params, policy tier.Policy, 
 		return newTierCtxCore(c, params, policy, fastCap, core.SharedPT, e19ChunkFilePages, true)
 	case "ranges":
 		return newTierCtxCore(c, params, policy, fastCap, core.Ranges, e19RangeFilePages, false)
+	case "usermode":
+		return newTierCtxUsermode(c, params, policy, fastCap)
 	}
 	return nil, fmt.Errorf("unknown tiering config %q", cfg)
 }
@@ -339,6 +343,70 @@ func newTierCtxFOM(c *sim.CPU, params *sim.Params, policy tier.Policy, fastCap u
 				_, err = f.ReadAt(one[:], off)
 			}
 			return err
+		},
+		pump: func(c *sim.CPU) { eng.Pump(c) },
+		scan: func(c *sim.CPU, batch int) { eng.Scan(c, batch) },
+	}, nil
+}
+
+// newTierCtxUsermode: user-mode software-managed memory. The working
+// set lives in granted extents the size of a ranges extent (64 pages),
+// allocated batch-at-a-time from a fast (DRAM) and a slow (NVM) pool;
+// accesses pay a software bounds check instead of a page walk, and
+// migration relocates a whole granted extent cooperatively — the
+// process learns the new base through its relocation callback, so
+// there is nothing to shoot down.
+func newTierCtxUsermode(c *sim.CPU, params *sim.Params, policy tier.Policy, fastCap uint64) (*tierCtx, error) {
+	cpuMem, err := mem.New(c.Clock(), params, mem.Config{
+		DRAMFrames: e19FomFast, NVMFrames: e19FilePool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gt, err := usermode.NewGrantTable(c.Clock(), params, cpuMem, usermode.Config{
+		PoolBase: mem.Frame(e19FomFast), PoolFrames: e19FilePool,
+		FastBase: 0, FastFrames: e19FomFast,
+		// One grant = one ranges-sized extent, so the migration
+		// granularity matches the ranges configuration.
+		BatchPages: e19RangeFilePages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng := tier.New(params, cpuMem, policy, fastCap)
+	gt.SetEngine(eng)
+	p, err := gt.NewProcessOn(c)
+	if err != nil {
+		return nil, err
+	}
+	// Allocate the high chunks first (grants are placed fast-first at
+	// refill time), so the hot low pages start in the slow tier — see
+	// run's populate. Each chunk exactly fills one grant.
+	bases := make([]mem.VirtAddr, e19Pages/e19RangeFilePages)
+	for i := len(bases) - 1; i >= 0; i-- {
+		r, err := p.AllocPages(e19RangeFilePages)
+		if err != nil {
+			return nil, err
+		}
+		bases[i] = r.Base()
+	}
+	p.SetRelocate(func(old, new mem.VirtAddr, pages uint64) {
+		span := mem.VirtAddr(pages * mem.FrameSize)
+		for i := range bases {
+			if bases[i] >= old && bases[i] < old+span {
+				bases[i] = new + (bases[i] - old)
+			}
+		}
+	})
+	var one [1]byte
+	return &tierCtx{
+		eng: eng,
+		touch: func(c *sim.CPU, page uint64, write bool) error {
+			addr := bases[page/e19RangeFilePages] + mem.VirtAddr((page%e19RangeFilePages)*mem.FrameSize)
+			if write {
+				return p.WriteBuf(addr, []byte{byte(page)})
+			}
+			return p.ReadBuf(addr, one[:])
 		},
 		pump: func(c *sim.CPU) { eng.Pump(c) },
 		scan: func(c *sim.CPU, batch int) { eng.Scan(c, batch) },

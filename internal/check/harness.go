@@ -9,7 +9,7 @@ import (
 
 // AllConfigs lists every configuration the harness can drive, in the
 // order runs report them.
-var AllConfigs = []string{"baseline", "fom", "pbm", "ranges"}
+var AllConfigs = []string{"baseline", "fom", "pbm", "ranges", "usermode"}
 
 // Options configure one stress run.
 type Options struct {

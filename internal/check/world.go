@@ -97,8 +97,10 @@ func newWorld(config string, cpus int, seed uint64, tiered bool) (world, error) 
 		return newCoreWorld("pbm", cpus, seed, tiered)
 	case "ranges":
 		return newCoreWorld("ranges", cpus, seed, tiered)
+	case "usermode":
+		return newUsermodeWorld(cpus, seed, tiered)
 	default:
-		return nil, fmt.Errorf("check: unknown configuration %q (want baseline, fom, pbm, or ranges)", config)
+		return nil, fmt.Errorf("check: unknown configuration %q (want baseline, fom, pbm, ranges, or usermode)", config)
 	}
 }
 

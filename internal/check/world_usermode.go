@@ -1,0 +1,280 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/sim"
+	"repro/internal/tier"
+	"repro/internal/usermode"
+)
+
+// usermodeWorld drives the fifth configuration: user-mode
+// software-managed physical memory. Every process owns batches of
+// granted extents and runs a heap.Heap over them (so the user-level
+// allocator itself sits on the differential fast path); addresses are
+// identity-mapped and accesses pay software bounds checks instead of
+// page walks. Shared objects are refcounted shared segments at a
+// single identity address. Like fom, fork copies private objects
+// eagerly and named files live in an extent-based memfs store; unlike
+// every other world, OpReclaim does observable-free real work — it
+// trims the heap's reserve arenas and revokes wholly-free grants back
+// to the kernel pool.
+type usermodeWorld struct {
+	m   *sim.Machine
+	phy *mem.Memory
+	gt  *usermode.GrantTable
+	fs  *memfs.FS // named files, Extent policy over NVM
+
+	procs  map[int]*umProc
+	priv   map[int]map[int]mem.VirtAddr // proc -> obj -> heap payload
+	shared map[int]*usermode.SharedSeg
+	mapped map[int]map[int]bool // obj -> procs mapping it
+	pages  map[int]uint64
+
+	files map[string]*memfs.File
+}
+
+// umProc pairs a usermode process with its private heap.
+type umProc struct {
+	p *usermode.Process
+	h *heap.Heap
+}
+
+// usermodePoolBase keeps the grant pool clear of the DRAM bottom the
+// tiered file store uses as its fast region (tierFastRegionFOM).
+const usermodePoolBase = 1024
+
+func newUsermodeWorld(cpus int, seed uint64, tiered bool) (*usermodeWorld, error) {
+	machine, params, memory, err := newWorldMachine(cpus, seed)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := memfs.New("usermode", memfs.Extent, machine.Clock(), params, memory,
+		mem.Frame(dramFrames), nvmFrames)
+	if err != nil {
+		return nil, err
+	}
+	if tiered {
+		// The grant extents have no translation layer to update, so the
+		// engine migrates file extents (as in fom); grants stay put.
+		eng := tier.New(params, memory, tier.Smart, tierFastCapFOM)
+		if err := fs.AttachTier(eng, 0, tierFastRegionFOM); err != nil {
+			return nil, err
+		}
+	}
+	gt, err := usermode.NewGrantTable(machine.Clock(), params, memory, usermode.Config{
+		PoolBase:   usermodePoolBase,
+		PoolFrames: dramFrames - usermodePoolBase,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p0, err := gt.NewProcessOn(machine.BootCPU())
+	if err != nil {
+		return nil, err
+	}
+	return &usermodeWorld{
+		m:      machine,
+		phy:    memory,
+		gt:     gt,
+		fs:     fs,
+		procs:  map[int]*umProc{0: {p: p0, h: heap.NewOn(p0)}},
+		priv:   map[int]map[int]mem.VirtAddr{0: {}},
+		shared: make(map[int]*usermode.SharedSeg),
+		mapped: make(map[int]map[int]bool),
+		pages:  make(map[int]uint64),
+		files:  make(map[string]*memfs.File),
+	}, nil
+}
+
+func (w *usermodeWorld) name() string { return "usermode" }
+
+func (w *usermodeWorld) apply(op Op) error {
+	switch op.Kind {
+	case OpMap:
+		u := w.procs[op.Proc]
+		if op.Shared {
+			seg, err := w.gt.NewShared(u.p, op.Pages)
+			if err != nil {
+				return err
+			}
+			w.shared[op.Obj] = seg
+		} else {
+			addr, err := u.h.Alloc(op.Pages * pageSize)
+			if err != nil {
+				return err
+			}
+			w.priv[op.Proc][op.Obj] = addr
+		}
+		w.mapped[op.Obj] = map[int]bool{op.Proc: true}
+		w.pages[op.Obj] = op.Pages
+		return nil
+
+	case OpUnmap:
+		u := w.procs[op.Proc]
+		if addr, ok := w.priv[op.Proc][op.Obj]; ok {
+			delete(w.priv[op.Proc], op.Obj)
+			if err := u.h.Free(addr); err != nil {
+				return err
+			}
+		} else if seg, ok := w.shared[op.Obj]; ok {
+			if err := u.p.UnmapShared(seg); err != nil {
+				return err
+			}
+		}
+		delete(w.mapped[op.Obj], op.Proc)
+		if len(w.mapped[op.Obj]) == 0 {
+			delete(w.mapped, op.Obj)
+			delete(w.pages, op.Obj)
+			delete(w.shared, op.Obj)
+		}
+		return nil
+
+	case OpWrite:
+		u := w.procs[op.Proc]
+		addr, err := w.objectAddr(op.Obj, op.Proc)
+		if err != nil {
+			return err
+		}
+		return u.p.WriteBuf(addr+mem.VirtAddr(op.Page*pageSize), []byte{op.Val})
+
+	case OpFork:
+		parent := w.procs[op.Proc]
+		child, err := w.gt.NewProcessOn(parent.p.CPU())
+		if err != nil {
+			return err
+		}
+		u := &umProc{p: child, h: heap.NewOn(child)}
+		w.procs[op.Child] = u
+		w.priv[op.Child] = make(map[int]mem.VirtAddr)
+		// Join the parent's shared segments, then copy private objects,
+		// both in object-ID order for a deterministic layout.
+		for _, obj := range sortedKeys(w.shared) {
+			if w.mapped[obj][op.Proc] {
+				if err := child.MapShared(w.shared[obj]); err != nil {
+					return err
+				}
+				w.mapped[obj][op.Child] = true
+			}
+		}
+		for _, obj := range sortedKeys(w.priv[op.Proc]) {
+			src := w.priv[op.Proc][obj]
+			dst, err := u.h.Alloc(w.pages[obj] * pageSize)
+			if err != nil {
+				return err
+			}
+			var b [1]byte
+			for pg := uint64(0); pg < w.pages[obj]; pg++ {
+				if err := parent.p.ReadBuf(src+mem.VirtAddr(pg*pageSize), b[:]); err != nil {
+					return err
+				}
+				if err := child.WriteBuf(dst+mem.VirtAddr(pg*pageSize), b[:]); err != nil {
+					return err
+				}
+			}
+			w.priv[op.Child][obj] = dst
+			w.mapped[obj][op.Child] = true
+		}
+		return nil
+
+	case OpShare:
+		if err := w.procs[op.Proc].p.MapShared(w.shared[op.Obj]); err != nil {
+			return err
+		}
+		w.mapped[op.Obj][op.Proc] = true
+		return nil
+
+	case OpReclaim:
+		// Observably a no-op, but real work here: release the heap's
+		// cached empty arenas, then revoke every wholly-free grant.
+		u := w.procs[op.Proc]
+		if err := u.h.TrimReserves(); err != nil {
+			return err
+		}
+		_, err := u.p.Reclaim()
+		return err
+
+	case OpMigrate:
+		w.procs[op.Proc].p.RunOn(w.m.CPU(op.CPU))
+		return nil
+
+	case OpFSCreate:
+		f, err := w.fs.Create(fsPath(op.Path), memfs.CreateOptions{})
+		if err != nil {
+			return err
+		}
+		w.files[op.Path] = f
+		return nil
+
+	case OpFSWrite:
+		_, err := w.files[op.Path].WriteAt([]byte{op.Val}, op.Page*pageSize)
+		return err
+
+	case OpFSDelete:
+		if err := w.files[op.Path].Close(); err != nil {
+			return err
+		}
+		delete(w.files, op.Path)
+		return w.fs.Unlink(fsPath(op.Path))
+	}
+	return fmt.Errorf("check: %s world cannot apply %s", w.name(), op.Kind)
+}
+
+// objectAddr resolves the identity address of the object's content as
+// seen by proc.
+func (w *usermodeWorld) objectAddr(obj, proc int) (mem.VirtAddr, error) {
+	if seg, ok := w.shared[obj]; ok {
+		return seg.Base(), nil
+	}
+	if addr, ok := w.priv[proc][obj]; ok {
+		return addr, nil
+	}
+	return 0, fmt.Errorf("check: usermode world has no extent for obj %d proc %d", obj, proc)
+}
+
+func (w *usermodeWorld) readback(op Op) (byte, error) {
+	return w.objectByte(op.Obj, op.Proc, op.Page)
+}
+
+func (w *usermodeWorld) objectByte(obj, proc int, page uint64) (byte, error) {
+	addr, err := w.objectAddr(obj, proc)
+	if err != nil {
+		return 0, err
+	}
+	var b [1]byte
+	if err := w.procs[proc].p.ReadBuf(addr+mem.VirtAddr(page*pageSize), b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (w *usermodeWorld) fileByte(path string, page uint64) (byte, error) {
+	var b [1]byte
+	if _, err := w.files[path].ReadAt(b[:], page*pageSize); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (w *usermodeWorld) check() error { return w.m.CheckInvariants() }
+
+// tierStep drives the file store's engine exactly as fom does; grant
+// extents are immovable in this world (no relocation callback), so the
+// trace migrates file extents underneath the named files.
+func (w *usermodeWorld) tierStep(i int) {
+	eng := w.fs.Tier()
+	if eng == nil {
+		return
+	}
+	eng.Pump(w.m.Current())
+	if (i+1)%tierScanEvery == 0 {
+		eng.Scan(w.m.Current(), tierScanBatch)
+	}
+}
+
+func (w *usermodeWorld) machine() *sim.Machine { return w.m }
+
+func (w *usermodeWorld) memory() *mem.Memory { return w.phy }

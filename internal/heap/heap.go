@@ -4,15 +4,16 @@
 // virtual memory mechanisms").
 //
 // Small allocations are carved from size-class free lists inside arena
-// mappings; each arena is one single-extent anonymous file obtained
-// from core.Process.AllocVolatile in O(1). Large allocations get their
-// own file-backed mapping directly. Every block carries an in-memory
-// header (written through the simulated translation path), so alloc
-// and free exercise real loads and stores, and corruption or double
-// frees are detected from the header magic.
+// regions; each arena is one contiguous region obtained from the
+// backing Space in O(1) (a single-extent anonymous file under core, a
+// granted physical extent under usermode). Large allocations get their
+// own region directly. Every block carries an in-memory header
+// (written through the simulated translation path), so alloc and free
+// exercise real loads and stores, and corruption or double frees are
+// detected from the header magic.
 //
 // The allocator never returns memory page-by-page (there is no
-// madvise): arenas are released as whole files when they empty,
+// madvise): arenas are released as whole regions when they empty,
 // exactly the file-grain reclamation story of §3.1.
 package heap
 
@@ -43,9 +44,43 @@ const (
 
 const rw = pagetable.FlagRead | pagetable.FlagWrite | pagetable.FlagUser
 
-// Heap allocates user objects from file-only memory.
+// Region is one contiguous chunk of address space the allocator carves
+// blocks from. core.Mapping and usermode extents both satisfy it.
+type Region interface {
+	Base() mem.VirtAddr
+	Pages() uint64
+}
+
+// Space is the address-space contract the allocator runs on: O(1)
+// region allocation and release plus byte access through whatever
+// translation (or bounds-check) path the space simulates.
+type Space interface {
+	AllocPages(pages uint64) (Region, error)
+	FreeRegion(Region) error
+	WriteBuf(mem.VirtAddr, []byte) error
+	ReadBuf(mem.VirtAddr, []byte) error
+}
+
+// coreSpace adapts a file-only-memory process to the Space interface.
+type coreSpace struct{ p *core.Process }
+
+func (s coreSpace) AllocPages(pages uint64) (Region, error) {
+	m, err := s.p.AllocVolatile(pages, rw)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (s coreSpace) FreeRegion(r Region) error { return s.p.Unmap(r.(*core.Mapping)) }
+
+func (s coreSpace) WriteBuf(a mem.VirtAddr, b []byte) error { return s.p.WriteBuf(a, b) }
+
+func (s coreSpace) ReadBuf(a mem.VirtAddr, b []byte) error { return s.p.ReadBuf(a, b) }
+
+// Heap allocates user objects from a Space.
 type Heap struct {
-	proc *core.Process
+	space Space
 
 	// free[c] holds recycled blocks of class c (block addresses,
 	// header included). Virgin blocks are handed out by bump pointer
@@ -53,20 +88,25 @@ type Heap struct {
 	free [numClasses][]mem.VirtAddr
 
 	// arenas tracks small-object arenas and their live-block counts.
-	arenas map[*core.Mapping]*arenaInfo
+	arenas map[Region]*arenaInfo
 	// classArenas lists the arenas of each class (for bump allocation).
-	classArenas [numClasses][]*core.Mapping
+	classArenas [numClasses][]Region
 	// arenaOf locates the arena of a block address.
-	arenaOf map[mem.VirtAddr]*core.Mapping
+	arenaOf map[mem.VirtAddr]Region
 
 	// reserve caches one empty arena per class (hysteresis, like
 	// malloc's trim threshold), so alloc/free ping-pong does not
 	// release and re-create arenas.
-	reserve [numClasses]*core.Mapping
+	reserve [numClasses]Region
 
 	// large maps the user address of a large allocation to its
-	// dedicated mapping.
-	large map[mem.VirtAddr]*core.Mapping
+	// dedicated region.
+	large map[mem.VirtAddr]Region
+
+	// zeroScratch is a reusable all-zero buffer for re-zeroing
+	// recycled blocks, so the steady-state alloc path is free of host
+	// allocations.
+	zeroScratch []byte
 
 	bytesInUse  uint64
 	liveObjects int
@@ -81,11 +121,18 @@ type arenaInfo struct {
 
 // New creates a heap for the given file-only-memory process.
 func New(p *core.Process) *Heap {
+	return NewOn(coreSpace{p})
+}
+
+// NewOn creates a heap on an arbitrary Space (usermode processes run
+// their allocator on granted physical extents through this).
+func NewOn(s Space) *Heap {
 	return &Heap{
-		proc:    p,
-		arenas:  make(map[*core.Mapping]*arenaInfo),
-		arenaOf: make(map[mem.VirtAddr]*core.Mapping),
-		large:   make(map[mem.VirtAddr]*core.Mapping),
+		space:       s,
+		arenas:      make(map[Region]*arenaInfo),
+		arenaOf:     make(map[mem.VirtAddr]Region),
+		large:       make(map[mem.VirtAddr]Region),
+		zeroScratch: make([]byte, uint64(1)<<maxClassShift),
 	}
 }
 
@@ -125,8 +172,8 @@ func (h *Heap) Alloc(size uint64) (mem.VirtAddr, error) {
 	// blocks come from an epoch-erased extent and are already zero.
 	if recycled {
 		payload := block + headerSize
-		zero := make([]byte, blockSize(c)-headerSize)
-		if err := h.proc.WriteBuf(payload, zero); err != nil {
+		zero := h.zeroScratch[:blockSize(c)-headerSize]
+		if err := h.space.WriteBuf(payload, zero); err != nil {
 			return 0, err
 		}
 	}
@@ -172,7 +219,7 @@ func (h *Heap) takeBlock(c int) (block mem.VirtAddr, recycled bool, err error) {
 
 func (h *Heap) allocLarge(size uint64) (mem.VirtAddr, error) {
 	pages := (size + headerSize + mem.FrameSize - 1) / mem.FrameSize
-	m, err := h.proc.AllocVolatile(pages, rw)
+	m, err := h.space.AllocPages(pages)
 	if err != nil {
 		return 0, err
 	}
@@ -186,10 +233,10 @@ func (h *Heap) allocLarge(size uint64) (mem.VirtAddr, error) {
 	return payload, nil
 }
 
-// grow adds one arena for class c: a single O(1) file allocation, with
-// no per-block work — blocks are issued lazily by bump pointer.
-func (h *Heap) grow(c int) (*core.Mapping, error) {
-	m, err := h.proc.AllocVolatile(arenaPages, rw)
+// grow adds one arena for class c: a single O(1) region allocation,
+// with no per-block work — blocks are issued lazily by bump pointer.
+func (h *Heap) grow(c int) (Region, error) {
+	m, err := h.space.AllocPages(arenaPages)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +255,7 @@ func (h *Heap) Free(payload mem.VirtAddr) error {
 		delete(h.large, payload)
 		h.bytesInUse -= m.Pages() * mem.FrameSize
 		h.liveObjects--
-		return h.proc.Unmap(m)
+		return h.space.FreeRegion(m)
 	}
 	block := payload - headerSize
 	magic, class, err := h.readHeader(block)
@@ -239,15 +286,15 @@ func (h *Heap) Free(payload mem.VirtAddr) error {
 	h.liveObjects--
 	h.free[c] = append(h.free[c], block)
 
-	// Whole-file reclamation with hysteresis: one empty arena per
-	// class stays cached; further empties are unmapped as whole files.
+	// Whole-region reclamation with hysteresis: one empty arena per
+	// class stays cached; further empties are released whole.
 	if info.live == 0 {
 		if h.reserve[c] == nil {
 			h.reserve[c] = arena
 			return nil
 		}
 		h.releaseArena(arena, info)
-		return h.proc.Unmap(arena)
+		return h.space.FreeRegion(arena)
 	}
 	return nil
 }
@@ -261,14 +308,14 @@ func (h *Heap) TrimReserves() error {
 		}
 		h.reserve[c] = nil
 		h.releaseArena(arena, h.arenas[arena])
-		if err := h.proc.Unmap(arena); err != nil {
+		if err := h.space.FreeRegion(arena); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (h *Heap) releaseArena(arena *core.Mapping, info *arenaInfo) {
+func (h *Heap) releaseArena(arena Region, info *arenaInfo) {
 	c := info.class
 	kept := h.free[c][:0]
 	for _, b := range h.free[c] {
@@ -293,12 +340,12 @@ func (h *Heap) writeHeader(block mem.VirtAddr, magic uint32, class uint32) error
 	var b [headerSize]byte
 	binary.LittleEndian.PutUint32(b[0:4], magic)
 	binary.LittleEndian.PutUint32(b[4:8], class)
-	return h.proc.WriteBuf(block, b[:])
+	return h.space.WriteBuf(block, b[:])
 }
 
 func (h *Heap) readHeader(block mem.VirtAddr) (magic, class uint32, err error) {
 	var b [headerSize]byte
-	if err := h.proc.ReadBuf(block, b[:]); err != nil {
+	if err := h.space.ReadBuf(block, b[:]); err != nil {
 		return 0, 0, err
 	}
 	return binary.LittleEndian.Uint32(b[0:4]), binary.LittleEndian.Uint32(b[4:8]), nil
@@ -328,7 +375,7 @@ func (h *Heap) Write(payload mem.VirtAddr, data []byte) error {
 	if uint64(len(data)) > n {
 		return fmt.Errorf("heap: write of %d bytes into %d-byte allocation", len(data), n)
 	}
-	return h.proc.WriteBuf(payload, data)
+	return h.space.WriteBuf(payload, data)
 }
 
 // Read loads from an allocation.
@@ -340,7 +387,7 @@ func (h *Heap) Read(payload mem.VirtAddr, buf []byte) error {
 	if uint64(len(buf)) > n {
 		return fmt.Errorf("heap: read of %d bytes from %d-byte allocation", len(buf), n)
 	}
-	return h.proc.ReadBuf(payload, buf)
+	return h.space.ReadBuf(payload, buf)
 }
 
 // Stats describes the heap's occupancy.
@@ -358,6 +405,18 @@ func (h *Heap) Stats() Stats {
 		BytesInUse:  h.bytesInUse,
 		Arenas:      len(h.arenas),
 		LargeAllocs: len(h.large),
+	}
+}
+
+// Regions calls fn for every region the heap currently holds from its
+// Space — arenas, the cached per-class reserves, and large
+// allocations. usermode uses it to prove heap↔grant containment.
+func (h *Heap) Regions(fn func(Region)) {
+	for arena := range h.arenas {
+		fn(arena)
+	}
+	for _, m := range h.large {
+		fn(m)
 	}
 }
 

@@ -337,3 +337,186 @@ func TestQuickRandomAllocFree(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAllocSizeEdges drives the class boundaries: zero-size requests,
+// the exact largest class payload (32 KiB minus the header), one byte
+// over it (the large-allocation path), and header-straddling sizes.
+func TestAllocSizeEdges(t *testing.T) {
+	maxSmall := uint64(1)<<maxClassShift - headerSize
+	cases := []struct {
+		name  string
+		size  uint64
+		large bool
+	}{
+		{"zero", 0, false},
+		{"one", 1, false},
+		{"min-class-exact", 16 - headerSize, false},
+		{"min-class-plus-one", 16 - headerSize + 1, false},
+		{"page", mem.FrameSize, false},
+		{"max-class-exact", maxSmall, false},
+		{"max-class-plus-one", maxSmall + 1, true},
+		{"multi-page-large", 10 * mem.FrameSize, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, _, _ := newHeap(t)
+			a, err := h.Alloc(tc.size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := h.Stats().LargeAllocs; (got == 1) != tc.large {
+				t.Fatalf("large=%v, want large=%v", got == 1, tc.large)
+			}
+			n, err := h.UsableSize(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tc.size
+			if want == 0 {
+				want = 1
+			}
+			if n < want {
+				t.Fatalf("usable %d < requested %d", n, tc.size)
+			}
+			buf := make([]byte, n)
+			if err := h.Read(a, buf); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range buf {
+				if v != 0 {
+					t.Fatalf("byte %d = %#x, want 0", i, v)
+				}
+			}
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Free(a); err != nil {
+				t.Fatal(err)
+			}
+			if s := h.Stats(); s.LiveObjects != 0 || s.BytesInUse != 0 {
+				t.Fatalf("stats after free: %+v", s)
+			}
+		})
+	}
+}
+
+// TestInterleavedFreePatterns frees a batch of mixed-class blocks in
+// several orders and reallocates after each: free-list recycling and
+// arena release must hold up whatever the free order.
+func TestInterleavedFreePatterns(t *testing.T) {
+	sizes := []uint64{24, 120, 500, 2000, 24, 120, 500, 2000, 24, 120, 500, 2000}
+	patterns := []struct {
+		name  string
+		order func(n int) []int
+	}{
+		{"lifo", func(n int) []int {
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = n - 1 - i
+			}
+			return idx
+		}},
+		{"fifo", func(n int) []int {
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			return idx
+		}},
+		{"evens-then-odds", func(n int) []int {
+			var idx []int
+			for i := 0; i < n; i += 2 {
+				idx = append(idx, i)
+			}
+			for i := 1; i < n; i += 2 {
+				idx = append(idx, i)
+			}
+			return idx
+		}},
+		{"inside-out", func(n int) []int {
+			var idx []int
+			lo, hi := n/2-1, n/2
+			for lo >= 0 || hi < n {
+				if lo >= 0 {
+					idx = append(idx, lo)
+					lo--
+				}
+				if hi < n {
+					idx = append(idx, hi)
+					hi++
+				}
+			}
+			return idx
+		}},
+	}
+	for _, pat := range patterns {
+		t.Run(pat.name, func(t *testing.T) {
+			h, _, _ := newHeap(t)
+			for round := 0; round < 3; round++ {
+				ptrs := make([]mem.VirtAddr, len(sizes))
+				for i, s := range sizes {
+					a, err := h.Alloc(s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := h.Write(a, bytes.Repeat([]byte{byte(i + 1)}, int(s))); err != nil {
+						t.Fatal(err)
+					}
+					ptrs[i] = a
+				}
+				if err := h.CheckInvariants(); err != nil {
+					t.Fatalf("round %d after allocs: %v", round, err)
+				}
+				for _, i := range pat.order(len(sizes)) {
+					got := make([]byte, sizes[i])
+					if err := h.Read(ptrs[i], got); err != nil {
+						t.Fatal(err)
+					}
+					for _, v := range got {
+						if v != byte(i+1) {
+							t.Fatalf("round %d block %d corrupted before free", round, i)
+						}
+					}
+					if err := h.Free(ptrs[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := h.CheckInvariants(); err != nil {
+					t.Fatalf("round %d after frees: %v", round, err)
+				}
+				if s := h.Stats(); s.LiveObjects != 0 || s.BytesInUse != 0 {
+					t.Fatalf("round %d stats: %+v", round, s)
+				}
+			}
+		})
+	}
+}
+
+// TestAllocFreeHotPathAllocs pins the host-allocation cost of the
+// steady-state alloc/free cycle: once the size class is warm (arena
+// grown, free list populated, zero-scratch reused), recycling a block
+// must not allocate on the host beyond the simulated machine's own
+// bookkeeping. The bound is deliberately tight — a regression that
+// adds a per-Alloc buffer (as the old re-zeroing path did) trips it.
+func TestAllocFreeHotPathAllocs(t *testing.T) {
+	h, _, _ := newHeap(t)
+	warm, err := h.Alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Free(warm); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		a, err := h.Alloc(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Free(a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 4 {
+		t.Fatalf("steady-state alloc/free averages %.1f host allocations, want <= 4", avg)
+	}
+}

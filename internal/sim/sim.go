@@ -280,6 +280,24 @@ type Params struct {
 	// itself accrues through the normal machinery.
 	TierPolicyOp Time
 
+	// UQueueOp is the user-side cost of posting or reaping one request
+	// on the user↔kernel shared-memory grant queue (a few cache-line
+	// writes and a doorbell read — no privilege transition). Every
+	// usermode fault, grant refill, revocation, and pin is two of
+	// these: one submit, one completion reap.
+	UQueueOp Time
+
+	// GrantInstall is the kernel-side cost of installing or revoking
+	// one physical extent in a process's grant table (capability-table
+	// update plus accounting).
+	GrantInstall Time
+
+	// UserAllocOp is the cost of one user-level allocator step over
+	// granted extents: a free-run list operation or the software bounds
+	// check a no-virtual-memory process performs instead of a hardware
+	// walk.
+	UserAllocOp Time
+
 	// IPIBroadcast is retained for cost-table compatibility: it was the
 	// flat broadcast-shootdown stand-in used before per-CPU clocks.
 	// Nothing charges it anymore; broadcasts now cost IPISend per
@@ -325,6 +343,9 @@ func DefaultParams() Params {
 		ReadPerByte:      0, // bulk copy cost charged via ReadPerPage below
 		TierScanFrame:    12,
 		TierPolicyOp:     20,
+		UQueueOp:         30,
+		GrantInstall:     90,
+		UserAllocOp:      15,
 		IPIBroadcast:     2000,
 	}
 }
@@ -365,6 +386,9 @@ func (p *Params) Validate() error {
 		{"JournalAppend", p.JournalAppend},
 		{"TierScanFrame", p.TierScanFrame},
 		{"TierPolicyOp", p.TierPolicyOp},
+		{"UQueueOp", p.UQueueOp},
+		{"GrantInstall", p.GrantInstall},
+		{"UserAllocOp", p.UserAllocOp},
 	}
 	for _, c := range checks {
 		if c.v <= 0 {
