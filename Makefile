@@ -37,12 +37,18 @@ profile:
 	@echo "wrote cpu.pprof and mem.pprof; try: go tool pprof -top cpu.pprof"
 
 # Persistence smoke: checkpoint a machine, restore it with a
-# bit-identity proof, then crash-and-recover every configuration with
-# a torn journal tail.
+# bit-identity proof, then the incremental path — base + dirty-extent
+# deltas, journal compaction, differential-image restore — and finally
+# crash-and-recover every configuration with a torn journal tail.
 snap:
 	$(GO) run ./cmd/o1snap save -config ranges -seed 1 -ops 2000 -o .o1snap.tmp
 	$(GO) run ./cmd/o1snap restore -i .o1snap.tmp
 	$(GO) run ./cmd/o1snap info -i .o1snap.tmp
+	$(GO) run ./cmd/o1snap save -config fom -seed 1 -ops 2000 -incremental -deltas 3 -o .o1snap.tmp
+	$(GO) run ./cmd/o1snap restore -i .o1snap.tmp
+	$(GO) run ./cmd/o1snap compact -i .o1snap.tmp
+	$(GO) run ./cmd/o1snap info -i .o1snap.tmp
+	$(GO) run ./cmd/o1snap restore -i .o1snap.tmp
 	@rm -f .o1snap.tmp
 	$(GO) run ./cmd/o1snap crash -config all -seed 2 -ops 1500 -torn
 

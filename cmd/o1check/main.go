@@ -19,6 +19,7 @@
 //	o1check -seed 1 -ops 50000 -cpus 4
 //	o1check -seed 7 -ops 20000 -config baseline,ranges -check-every 512
 //	o1check -seed 3 -ops 20000 -crash-recover -repro fail.trace
+//	o1check -seed 3 -ops 20000 -crash-recover -incremental
 //	o1check -seed 1 -seeds 32 -ops 5000 -hostpar
 package main
 
@@ -41,6 +42,7 @@ func main() {
 		checkEvery   = flag.Int("check-every", 1024, "run invariant sweeps every N ops (0 = only at the end)")
 		shrink       = flag.Bool("shrink", true, "shrink failing traces to a minimal reproducer")
 		crashRecover = flag.Bool("crash-recover", false, "after a clean replay, checkpoint + journal + crash at a seeded op and verify recovery")
+		incremental  = flag.Bool("incremental", false, "with -crash-recover: base + dirty-extent delta checkpoints with journal compaction, plus a differential-image proof")
 		tiered       = flag.Bool("tier", false, "attach a tier migration engine (smart policy) to every world: frames migrate between DRAM and NVM under the trace")
 		repro        = flag.String("repro", "", "on failure, write the (shrunk) failing trace to this file")
 		seeds        = flag.Int("seeds", 1, "number of consecutive seeds to sweep, starting at -seed")
@@ -68,6 +70,7 @@ func main() {
 		CheckEvery:   *checkEvery,
 		Shrink:       *shrink,
 		CrashRecover: *crashRecover,
+		Incremental:  *incremental,
 		Tier:         *tiered,
 	}, *seeds, nWorkers)
 	if err != nil {

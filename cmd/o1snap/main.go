@@ -1,28 +1,35 @@
 // Command o1snap drives the persistence subsystem from the shell:
-// checkpoint a simulated machine mid-trace, restore a checkpoint and
-// prove the rebuilt machine bit-identical, inject a crash (optionally
-// tearing the metadata journal mid-record) and verify recovery, or
-// inspect a snapshot file.
+// checkpoint a simulated machine mid-trace (full snapshot or an
+// incremental base+delta chain), restore a checkpoint and prove the
+// rebuilt machine bit-identical, compact a chain's journal, inject a
+// crash (optionally tearing the metadata journal mid-record) and
+// verify recovery, or inspect a snapshot/chain file.
 //
 // Usage:
 //
 //	o1snap save -config ranges -seed 1 -ops 2000 -at 1000 -o m.snap
-//	o1snap restore -i m.snap
+//	o1snap save -config fom -seed 1 -ops 2000 -incremental -deltas 3 -o m.ckpt
+//	o1snap restore -i m.snap          # also accepts chain files
+//	o1snap compact -i m.ckpt
 //	o1snap crash -config all -seed 1 -ops 2000 -snap-at 500 -at 1500 -torn
-//	o1snap info -i m.snap
+//	o1snap info -i m.ckpt
 //
 // Every subcommand exits non-zero on failure; restore and crash run a
-// full invariant sweep and bit-identity proof, so a zero exit means
+// full invariant sweep and bit-identity proof (chains additionally
+// prove the assembled differential image exact), so a zero exit means
 // the persistence contract held.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/check"
+	"repro/internal/ckpt"
 	"repro/internal/snapshot"
 )
 
@@ -36,6 +43,8 @@ func main() {
 		err = cmdSave(os.Args[2:])
 	case "restore":
 		err = cmdRestore(os.Args[2:])
+	case "compact":
+		err = cmdCompact(os.Args[2:])
 	case "crash":
 		err = cmdCrash(os.Args[2:])
 	case "info":
@@ -50,7 +59,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: o1snap <save|restore|crash|info> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: o1snap <save|restore|compact|crash|info> [flags]")
 	os.Exit(2)
 }
 
@@ -74,9 +83,28 @@ func configList(spec string) []string {
 func cmdSave(args []string) error {
 	fs := flag.NewFlagSet("save", flag.ExitOnError)
 	seed, ops, cpus, config := traceFlags(fs)
-	at := fs.Int("at", -1, "checkpoint after this many ops (default ops/2)")
+	at := fs.Int("at", -1, "checkpoint after this many ops (default ops/2; incremental base default ops/3)")
+	incremental := fs.Bool("incremental", false, "save a base + dirty-extent delta chain instead of a full snapshot")
+	deltas := fs.Int("deltas", 2, "with -incremental: number of delta checkpoints between base and end of trace")
 	out := fs.String("o", "machine.snap", "output file")
 	_ = fs.Parse(args)
+	if *incremental {
+		if *at < 0 {
+			*at = *ops / 3
+		}
+		deltaAts := spacedDeltas(*at, *ops, *deltas)
+		chain, err := check.BuildChain(*config, check.Options{Seed: *seed, Ops: *ops, CPUs: *cpus}, *at, deltaAts)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(*out, func(f *os.File) error { return chain.Save(f) }); err != nil {
+			return err
+		}
+		st, _ := os.Stat(*out)
+		fmt.Printf("saved %s: config=%s seed=%d base@%d deltas@%v of %d ops, %d journal records, %d bytes\n",
+			*out, chain.Base.Meta.Config, chain.Base.Meta.Seed, *at, deltaAts, *ops, chain.Journal.Len(), st.Size())
+		return nil
+	}
 	if *at < 0 {
 		*at = *ops / 2
 	}
@@ -84,15 +112,7 @@ func cmdSave(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	if err := snap.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeFile(*out, func(f *os.File) error { return snap.Save(f) }); err != nil {
 		return err
 	}
 	st, _ := os.Stat(*out)
@@ -101,28 +121,105 @@ func cmdSave(args []string) error {
 	return nil
 }
 
-func loadSnap(path string) (*snapshot.Snapshot, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// spacedDeltas places n delta points evenly in (base, end).
+func spacedDeltas(base, end, n int) []int {
+	var out []int
+	last := base
+	for i := 1; i <= n; i++ {
+		at := base + (end-base)*i/(n+1)
+		if at > last {
+			out = append(out, at)
+			last = at
+		}
 	}
-	defer f.Close()
-	return snapshot.Load(f)
+	return out
+}
+
+func writeFile(path string, save func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadAny reads a persistence file, sniffing the chain magic first and
+// falling back to the full-snapshot format. Exactly one return is
+// non-nil on success.
+func loadAny(path string) (*ckpt.Chain, *snapshot.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	chain, cerr := ckpt.Load(bytes.NewReader(data))
+	if cerr == nil {
+		return chain, nil, nil
+	}
+	if !errors.Is(cerr, ckpt.ErrNotChain) {
+		return nil, nil, cerr
+	}
+	snap, serr := snapshot.Load(bytes.NewReader(data))
+	if serr != nil {
+		return nil, nil, serr
+	}
+	return nil, snap, nil
 }
 
 func cmdRestore(args []string) error {
 	fs := flag.NewFlagSet("restore", flag.ExitOnError)
-	in := fs.String("i", "machine.snap", "snapshot file")
+	in := fs.String("i", "machine.snap", "snapshot or chain file")
 	_ = fs.Parse(args)
-	snap, err := loadSnap(*in)
+	chain, snap, err := loadAny(*in)
 	if err != nil {
 		return err
+	}
+	if chain != nil {
+		if err := check.VerifyChain(chain); err != nil {
+			return err
+		}
+		end := chain.Base.Meta.SnapAt + int(chain.Journal.Watermark()) + chain.Journal.Len()
+		fmt.Printf("restored %s: config=%s base@%d + %d delta(s) to op %d, journal replayed to op %d/%d — machine state, differential image, and invariants all bit-identical\n",
+			*in, chain.Base.Meta.Config, chain.Base.Meta.SnapAt, len(chain.Deltas),
+			chain.LastUpTo(), end, chain.Base.Meta.TraceOps)
+		return nil
 	}
 	if err := check.VerifySnapshot(snap); err != nil {
 		return err
 	}
 	fmt.Printf("restored %s: config=%s rebuilt to op %d/%d — machine state, memory checksum, and invariants all bit-identical\n",
 		*in, snap.Meta.Config, snap.Meta.SnapAt, snap.Meta.TraceOps)
+	return nil
+}
+
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	in := fs.String("i", "machine.ckpt", "chain file")
+	out := fs.String("o", "", "output file (default: rewrite in place)")
+	_ = fs.Parse(args)
+	if *out == "" {
+		*out = *in
+	}
+	chain, _, err := loadAny(*in)
+	if err != nil {
+		return err
+	}
+	if chain == nil {
+		return fmt.Errorf("%s is a full snapshot; only incremental chains have a journal to compact", *in)
+	}
+	before := chain.Journal.Len()
+	upTo := uint64(chain.LastUpTo() - chain.Base.Meta.SnapAt)
+	if err := chain.Journal.Compact(upTo); err != nil {
+		return err
+	}
+	if err := writeFile(*out, func(f *os.File) error { return chain.Save(f) }); err != nil {
+		return err
+	}
+	fmt.Printf("compacted %s: %d -> %d journal records, watermark %d (op %d, the last delta)\n",
+		*out, before, chain.Journal.Len(), chain.Journal.Watermark(), chain.LastUpTo())
 	return nil
 }
 
@@ -156,25 +253,55 @@ func cmdCrash(args []string) error {
 
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
-	in := fs.String("i", "machine.snap", "snapshot file")
+	in := fs.String("i", "machine.snap", "snapshot or chain file")
 	_ = fs.Parse(args)
-	snap, err := loadSnap(*in)
+	chain, snap, err := loadAny(*in)
 	if err != nil {
 		return err
+	}
+	if chain != nil {
+		return chainInfo(chain)
 	}
 	trace, err := check.DecodeTrace(snap.Trace)
 	if err != nil {
 		return err
 	}
+	fmt.Printf("format:        full snapshot\n")
 	fmt.Printf("config:        %s\n", snap.Meta.Config)
 	fmt.Printf("cpus:          %d\n", snap.Meta.CPUs)
 	fmt.Printf("seed:          %d\n", snap.Meta.Seed)
 	fmt.Printf("snap-at:       op %d of %d\n", snap.Meta.SnapAt, snap.Meta.TraceOps)
+	fmt.Printf("tier:          %v\n", snap.Meta.Tier)
 	fmt.Printf("mem checksum:  %#x\n", snap.MemChecksum)
 	fmt.Printf("machine:       %d CPUs captured, %d stat sets\n", len(snap.Machine.CPUs), len(snap.Machine.Stats))
 	for _, c := range snap.Machine.CPUs {
 		fmt.Printf("  cpu %d: clock=%d rng=%#x counters=%d\n", c.ID, int64(c.Clock), c.RNG, len(c.Counters))
 	}
 	fmt.Printf("trace:         %d ops (%d bytes encoded)\n", len(trace), len(snap.Trace))
+	return nil
+}
+
+func chainInfo(chain *ckpt.Chain) error {
+	trace, err := check.DecodeTrace(chain.Base.Trace)
+	if err != nil {
+		return err
+	}
+	meta := chain.Base.Meta
+	fmt.Printf("format:        incremental chain (base + %d deltas)\n", len(chain.Deltas))
+	fmt.Printf("config:        %s\n", meta.Config)
+	fmt.Printf("cpus:          %d\n", meta.CPUs)
+	fmt.Printf("seed:          %d\n", meta.Seed)
+	fmt.Printf("tier:          %v\n", meta.Tier)
+	fmt.Printf("base:          op %d of %d, %d materialized frames, mem checksum %#x\n",
+		meta.SnapAt, meta.TraceOps, len(chain.BaseFrames), chain.Base.MemChecksum)
+	for _, d := range chain.Deltas {
+		fmt.Printf("  delta %d: up to op %d — %d dirty frames in %d units, mem checksum %#x\n",
+			d.Epoch, d.UpTo, len(d.Frames), len(d.Units), d.MemChecksum)
+	}
+	wm := chain.Journal.Watermark()
+	first := meta.SnapAt + int(wm)
+	fmt.Printf("journal:       %d records (ops %d..%d), watermark %d (%d records compacted away)\n",
+		chain.Journal.Len(), first, first+chain.Journal.Len(), wm, wm)
+	fmt.Printf("trace:         %d ops (%d bytes encoded)\n", len(trace), len(chain.Base.Trace))
 	return nil
 }

@@ -11,7 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablate-extent", "ablate-huge", "ablate-pt", "ablate-slab",
 		"faults", "fig6a", "fig6b", "fig7", "fig8", "fig9",
 		"fragmentation", "headroom", "heapchurn",
-		"metadata", "o1", "pinning", "readvsmap", "reclaim",
+		"metadata", "o1", "online-ckpt", "pinning", "readvsmap", "reclaim",
 		"recovery", "scale", "shootdown",
 		"snapshot-restore", "snapshot-save", "tenants", "tiering",
 		"walkdepth", "zero",

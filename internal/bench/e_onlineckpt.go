@@ -1,0 +1,690 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/memfs"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/usermode"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "online-ckpt",
+		Title: "online incremental checkpointing: fence jitter and dirty-set scaling under tenant churn",
+		Paper: "§4 persistence: checkpoint cost is O(dirty extents) for extent-structured memory vs O(dirty pages) for the baseline",
+		Run:   onlineCkpt,
+	})
+}
+
+// Online-checkpoint sizing. A smaller tenant fleet than the tenants
+// experiment (the fence math, not raw churn, is the subject), fenced
+// every ockFenceEvery tenants on each CPU.
+const (
+	ockTenants    = 600
+	ockBursts     = 2
+	ockHeapPages  = 48
+	ockTmplPages  = 64
+	ockSharedHot  = 8
+	ockFenceEvery = 24
+)
+
+// ockStats accumulates one CPU's checkpoint-fence observations; the
+// per-CPU instances are merged in CPU order after the parallel phase.
+type ockStats struct {
+	checkpoints uint64
+	dirtyPages  uint64
+	liveUnits   uint64
+	deadPages   uint64
+	copiedPages uint64
+	fence       workload.Latency
+}
+
+func newOckStats(n int) []*ockStats {
+	out := make([]*ockStats, n)
+	for i := range out {
+		out[i] = &ockStats{}
+	}
+	return out
+}
+
+func mergeOckStats(stats []*ockStats) *ockStats {
+	out := stats[0]
+	for _, s := range stats[1:] {
+		out.checkpoints += s.checkpoints
+		out.dirtyPages += s.dirtyPages
+		out.liveUnits += s.liveUnits
+		out.deadPages += s.deadPages
+		out.copiedPages += s.copiedPages
+		out.fence.Merge(&s.fence)
+	}
+	return out
+}
+
+// ockFence is one CPU's epoch-fence machinery: the per-CPU memory
+// whose dirty set it drains, the subsystem closure that maps dirty
+// frames onto checkpoint units, the per-unit metadata cost (per-page
+// records for the baseline, per-extent records for extent-structured
+// memory), and the DRAM boundary — dirty frames below it hold the only
+// copy of their data and must be copied into the checkpoint stream,
+// while NVM-resident frames are already durable in place.
+type ockFence struct {
+	machine *sim.Machine
+	params  *sim.Params
+	mem     *mem.Memory
+	units   func([]mem.Frame) []ckpt.Unit
+	metaOp  sim.Time
+	dram    mem.Frame
+	stats   *ockStats
+}
+
+// run quiesces the CPU's sync domain with an ordered section, captures
+// the dirty set, charges the modeled fence cost on the CPU's clock
+// (journal append + one metadata record per live unit + a page copy
+// per DRAM-resident live dirty frame), and opens the next epoch.
+// Dirty frames no subsystem claims are dead — their owner was freed
+// before the fence, the allocator's journaled metadata already records
+// them as free, and recovery never reads their content — so they cost
+// nothing; the baseline's pool claims every dirty frame page-granular,
+// so it never gets this discount. The returned duration is the fence
+// as the tenant loop observes it — the induced latency spike.
+func (f *ockFence) run(c *sim.CPU, peers []*sim.CPU) sim.Time {
+	t0 := c.Now()
+	f.machine.OrderedDomain(c, peers, func() {
+		frames := f.mem.DirtyFrames()
+		units := f.units(frames)
+		dead := make(map[mem.Frame]bool)
+		for _, fr := range ckpt.Uncovered(frames, units) {
+			dead[fr] = true
+		}
+		var copied uint64
+		for _, fr := range frames {
+			if !dead[fr] && fr < f.dram {
+				copied++
+			}
+		}
+		cost := f.params.JournalAppend +
+			sim.Time(len(units))*f.metaOp +
+			sim.Time(copied)*f.params.ZeroPage
+		c.Clock().Advance(cost)
+		f.mem.ResetDirty()
+		f.stats.checkpoints++
+		f.stats.dirtyPages += uint64(len(frames))
+		f.stats.liveUnits += uint64(len(units))
+		f.stats.deadPages += uint64(len(dead))
+		f.stats.copiedPages += copied
+	})
+	d := c.Now() - t0
+	f.stats.fence.Record(d)
+	return d
+}
+
+func onlineCkpt() (*Result, error) {
+	traces, err := workload.TenantTrace(workload.TenantConfig{
+		Tenants: ockTenants, Bursts: ockBursts, HeapPages: ockHeapPages, Seed: 23,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	latTable := metrics.NewTable(
+		fmt.Sprintf("per-op simulated latency over %d tenants × %d bursts, online checkpoints off vs on (ns)",
+			ockTenants, ockBursts),
+		"config", "ckpt", "ops", "mean_ns", "p50_ns", "p99_ns", "p99.9_ns", "max_ns")
+	scaleTable := metrics.NewTable(
+		"checkpoint scaling: what one epoch fence drains and what it costs",
+		"config", "checkpoints", "dirty_pages", "live_units", "pages_per_unit", "dead_pages", "copied_pages", "fence_mean_ns", "fence_max_ns")
+
+	for _, cfg := range []struct {
+		name string
+		run  func([][]workload.TenantOp, bool) (*tenantLats, *ockStats, error)
+	}{
+		{"baseline", ockBaseline},
+		{"fom", ockFOM},
+		{"pbm", func(tr [][]workload.TenantOp, ck bool) (*tenantLats, *ockStats, error) {
+			return ockCore(tr, core.SharedPT, ck)
+		}},
+		{"ranges", func(tr [][]workload.TenantOp, ck bool) (*tenantLats, *ockStats, error) {
+			return ockCore(tr, core.Ranges, ck)
+		}},
+		{"usermode", ockUsermode},
+	} {
+		for _, ck := range []bool{false, true} {
+			lat, stats, err := cfg.run(traces, ck)
+			if err != nil {
+				return nil, fmt.Errorf("online-ckpt %s (ckpt=%v): %w", cfg.name, ck, err)
+			}
+			mode := "off"
+			if ck {
+				mode = "on"
+			}
+			l := &lat.total
+			latTable.AddRow(cfg.name, mode, fmt.Sprint(l.Count()), fmt.Sprintf("%.1f", l.Mean()),
+				fmt.Sprint(int64(l.Quantile(0.50))), fmt.Sprint(int64(l.Quantile(0.99))),
+				fmt.Sprint(int64(l.Quantile(0.999))), fmt.Sprint(int64(l.Max())))
+			if ck {
+				perUnit := 0.0
+				if stats.liveUnits > 0 {
+					perUnit = float64(stats.dirtyPages-stats.deadPages) / float64(stats.liveUnits)
+				}
+				scaleTable.AddRow(cfg.name,
+					fmt.Sprint(stats.checkpoints), fmt.Sprint(stats.dirtyPages),
+					fmt.Sprint(stats.liveUnits), fmt.Sprintf("%.1f", perUnit),
+					fmt.Sprint(stats.deadPages), fmt.Sprint(stats.copiedPages),
+					fmt.Sprintf("%.1f", stats.fence.Mean()), fmt.Sprint(int64(stats.fence.Max())))
+			}
+		}
+	}
+
+	return &Result{
+		ID:     "online-ckpt",
+		Title:  "online incremental checkpointing under tenant churn",
+		Paper:  "§4 persistence as a first-class memory-system service",
+		Tables: []*metrics.Table{latTable, scaleTable},
+		Notes: []string{
+			"every CPU runs its own memory + subsystem and fences every 24 locally completed tenants: an ordered section over the pair sync domain captures the dirty set, appends one journal record, writes per-unit metadata, copies DRAM-resident dirty pages, and opens the next epoch — the fence is recorded as one more op, so the on-rows' tails show the induced jitter",
+			"the baseline checkpoints anonymous DRAM pages: its pool claims every dirty frame as its own page-granular unit (pages_per_unit = 1, dead_pages = 0 — per-page metadata can't tell live from dead without a page-table walk) and every one must be copied out of DRAM, so the fence is O(dirty pages) in both metadata and data",
+			"extent-structured configurations (fom, pbm, ranges, usermode) map the same dirty frames onto whole extents or grants: metadata is O(live dirty extents), frames whose extent was already freed are dead (the journaled allocator metadata records them as free, recovery never reads them), and file data lives in NVM — so fom/pbm/ranges copy nothing at a fence",
+			"usermode's grant pool is DRAM-resident, so it pays the copy like the baseline but the metadata like the extent worlds — the O(grants) vs O(pages) split the paper's user-mode story predicts",
+			"the fence runs inside Machine.OrderedDomain over the tenant pair, so checkpoints serialize only against the partner CPU, never the whole machine — online checkpointing inherits the sharded-sync-domain scaling",
+		},
+	}, nil
+}
+
+// ockBaseline replays the tenant trace against per-CPU baseline VM
+// kernels (populate mode) with dirty tracking, fencing every
+// ockFenceEvery tenants when ck is set.
+func ockBaseline(traces [][]workload.TenantOp, ck bool) (*tenantLats, *ockStats, error) {
+	const cpuPoolFrames = uint64(256) << 20 >> mem.FrameShift
+	params := machineParams()
+	machine := newSimMachine(&params, benchCPUs)
+	n := machine.NumCPUs()
+	machine.SetSyncGroups(tenantPairGroups(n))
+	defer machine.SetSyncGroups(nil)
+
+	kerns := make([]*vm.Kernel, n)
+	fences := make([]*ockFence, n)
+	stats := newOckStats(n)
+	for i := 0; i < n; i++ {
+		c := machine.CPU(i)
+		cpuMem, err := mem.New(c.Clock(), &params, mem.Config{DRAMFrames: cpuPoolFrames})
+		if err != nil {
+			return nil, nil, err
+		}
+		kerns[i], err = vm.NewKernel(c.Clock(), &params, cpuMem, vm.Config{
+			PoolBase: 0, PoolFrames: cpuPoolFrames,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if ck {
+			cpuMem.SetDirtyTracking(true)
+		}
+		k := kerns[i]
+		fences[i] = &ockFence{
+			machine: machine, params: &params, mem: cpuMem,
+			units:  k.DirtyUnits,
+			metaOp: params.PageMetaOp,
+			dram:   mem.Frame(cpuPoolFrames),
+			stats:  stats[i],
+		}
+	}
+
+	lats := newTenantLats(n)
+	err := machine.RunParallel(func(c *sim.CPU) error {
+		lat := lats[c.ID()]
+		partner := tenantPartner(c.ID(), n)
+		peers := ockPeers(machine, partner)
+		var one [1]byte
+		tmpl, err := kerns[c.ID()].NewAddressSpaceOn(c)
+		if err != nil {
+			return err
+		}
+		tmplVA, err := tmpl.Mmap(vm.MmapRequest{
+			Pages: ockTmplPages, Prot: ro, Anon: true, Private: true, Populate: true,
+		})
+		if err != nil {
+			return err
+		}
+		done := 0
+		for ti := c.ID(); ti < len(traces); ti += n {
+			fenceDue := ck && done%ockFenceEvery == 0
+			var space *vm.AddressSpace
+			var heapVA mem.VirtAddr
+			var heapPages uint64
+			for _, op := range traces[ti] {
+				t0 := c.Now()
+				switch op.Kind {
+				case workload.TenantSpawn:
+					space, err = tmpl.ForkOn(c)
+					if err != nil {
+						return err
+					}
+					if ti%2 == 1 && partner >= 0 {
+						space.MarkRanOn(machine.CPU(partner))
+					}
+				case workload.TenantMapShared:
+					for p := uint64(0); p < ockSharedHot; p++ {
+						if err := space.Touch(tmplVA+mem.VirtAddr(p*mem.FrameSize), false); err != nil {
+							return err
+						}
+					}
+				case workload.TenantAlloc:
+					heapPages = op.Pages
+					heapVA, err = space.Mmap(vm.MmapRequest{
+						Pages: op.Pages, Prot: rw, Anon: true, Private: true, Populate: true,
+					})
+					if err != nil {
+						return err
+					}
+				case workload.TenantTouch:
+					for p := uint64(0); p < op.Pages; p++ {
+						if err := space.WriteBuf(heapVA+mem.VirtAddr(p*mem.FrameSize), one[:]); err != nil {
+							return err
+						}
+					}
+				case workload.TenantFree:
+					if err := space.Munmap(heapVA, heapPages); err != nil {
+						return err
+					}
+				case workload.TenantExit:
+					if err := space.Destroy(); err != nil {
+						return err
+					}
+				}
+				lat.record(op.Kind, c.Now()-t0)
+				if fenceDue && op.Kind == workload.TenantTouch {
+					lat.total.Record(fences[c.ID()].run(c, peers))
+					fenceDue = false
+				}
+			}
+			done++
+		}
+		if ck {
+			lat.total.Record(fences[c.ID()].run(c, peers))
+		}
+		return tmpl.Destroy()
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mergeTenantLats(lats), mergeOckStats(stats), nil
+}
+
+// ockFOM replays the tenant trace against per-CPU extent file systems
+// accessed purely through the file interface: a tenant is a file, its
+// heap is the file's extent, and touches are one-byte writes — the
+// file-only-memory world with no mapping hardware at all.
+func ockFOM(traces [][]workload.TenantOp, ck bool) (*tenantLats, *ockStats, error) {
+	const (
+		cpuDRAMFrames = uint64(16)
+		cpuNVMFrames  = uint64(1) << 30 >> mem.FrameShift
+	)
+	params := machineParams()
+	machine := newSimMachine(&params, benchCPUs)
+	n := machine.NumCPUs()
+	machine.SetSyncGroups(tenantPairGroups(n))
+	defer machine.SetSyncGroups(nil)
+
+	fss := make([]*memfs.FS, n)
+	shared := make([]*memfs.File, n)
+	fences := make([]*ockFence, n)
+	stats := newOckStats(n)
+	for i := 0; i < n; i++ {
+		c := machine.CPU(i)
+		cpuMem, err := mem.New(c.Clock(), &params, mem.Config{
+			DRAMFrames: cpuDRAMFrames, NVMFrames: cpuNVMFrames,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		fss[i], err = memfs.New("ock", memfs.Extent, c.Clock(), &params, cpuMem,
+			mem.Frame(cpuDRAMFrames), cpuNVMFrames)
+		if err != nil {
+			return nil, nil, err
+		}
+		shared[i], err = fss[i].Create("/shared", memfs.CreateOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := shared[i].Truncate(ockTmplPages * mem.FrameSize); err != nil {
+			return nil, nil, err
+		}
+		if ck {
+			cpuMem.SetDirtyTracking(true)
+		}
+		fs := fss[i]
+		fences[i] = &ockFence{
+			machine: machine, params: &params, mem: cpuMem,
+			units:  fs.DirtyUnits,
+			metaOp: params.ExtentOp,
+			dram:   mem.Frame(cpuDRAMFrames),
+			stats:  stats[i],
+		}
+	}
+
+	lats := newTenantLats(n)
+	err := machine.RunParallel(func(c *sim.CPU) error {
+		lat := lats[c.ID()]
+		peers := ockPeers(machine, tenantPartner(c.ID(), n))
+		fs, sh := fss[c.ID()], shared[c.ID()]
+		var one [1]byte
+		done := 0
+		for ti := c.ID(); ti < len(traces); ti += n {
+			fenceDue := ck && done%ockFenceEvery == 0
+			path := fmt.Sprintf("/t%d", ti)
+			var f *memfs.File
+			for _, op := range traces[ti] {
+				t0 := c.Now()
+				switch op.Kind {
+				case workload.TenantSpawn:
+					var err error
+					f, err = fs.OpenFile(path, memfs.OCreate|memfs.OExcl, memfs.CreateOptions{})
+					if err != nil {
+						return err
+					}
+				case workload.TenantMapShared:
+					for pg := uint64(0); pg < ockSharedHot; pg++ {
+						if _, err := sh.Seek(int64(pg*mem.FrameSize), io.SeekStart); err != nil {
+							return err
+						}
+						if _, err := sh.Read(one[:]); err != nil {
+							return err
+						}
+					}
+				case workload.TenantAlloc:
+					if err := f.Truncate(op.Pages * mem.FrameSize); err != nil {
+						return err
+					}
+				case workload.TenantTouch:
+					for pg := uint64(0); pg < op.Pages; pg++ {
+						if _, err := f.WriteAt(one[:], pg*mem.FrameSize); err != nil {
+							return err
+						}
+					}
+				case workload.TenantFree:
+					if err := f.Truncate(0); err != nil {
+						return err
+					}
+				case workload.TenantExit:
+					if err := f.Close(); err != nil {
+						return err
+					}
+					if err := fs.Unlink(path); err != nil {
+						return err
+					}
+				}
+				lat.record(op.Kind, c.Now()-t0)
+				if fenceDue && op.Kind == workload.TenantTouch {
+					lat.total.Record(fences[c.ID()].run(c, peers))
+					fenceDue = false
+				}
+			}
+			done++
+		}
+		if ck {
+			lat.total.Record(fences[c.ID()].run(c, peers))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mergeTenantLats(lats), mergeOckStats(stats), nil
+}
+
+// ockCore replays the tenant trace against per-CPU PBM systems in the
+// given translation mode, fencing via the system's extent/page-table
+// dirty units.
+func ockCore(traces [][]workload.TenantOp, mode core.TranslationMode, ck bool) (*tenantLats, *ockStats, error) {
+	const (
+		cpuDRAMFrames = uint64(256) << 20 >> mem.FrameShift
+		cpuNVMFrames  = uint64(1) << 30 >> mem.FrameShift
+	)
+	params := machineParams()
+	machine := newSimMachine(&params, benchCPUs)
+	n := machine.NumCPUs()
+	machine.SetSyncGroups(tenantPairGroups(n))
+	defer machine.SetSyncGroups(nil)
+
+	syss := make([]*core.System, n)
+	shared := make([]*memfs.File, n)
+	fences := make([]*ockFence, n)
+	stats := newOckStats(n)
+	for i := 0; i < n; i++ {
+		c := machine.CPU(i)
+		cpuMem, err := mem.New(c.Clock(), &params, mem.Config{
+			DRAMFrames: cpuDRAMFrames, NVMFrames: cpuNVMFrames,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		syss[i], err = core.NewSystem(c.Clock(), &params, cpuMem, core.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		shared[i], err = syss[i].CreateContiguousFile("/shared", ockTmplPages,
+			memfs.CreateOptions{Mode: ro}, mode == core.SharedPT)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ck {
+			cpuMem.SetDirtyTracking(true)
+		}
+		s := syss[i]
+		fences[i] = &ockFence{
+			machine: machine, params: &params, mem: cpuMem,
+			units:  s.DirtyUnits,
+			metaOp: params.ExtentOp,
+			dram:   mem.Frame(cpuDRAMFrames),
+			stats:  stats[i],
+		}
+	}
+
+	lats := newTenantLats(n)
+	err := machine.RunParallel(func(c *sim.CPU) error {
+		lat := lats[c.ID()]
+		partner := tenantPartner(c.ID(), n)
+		peers := ockPeers(machine, partner)
+		s := syss[c.ID()]
+		var one [1]byte
+		done := 0
+		for ti := c.ID(); ti < len(traces); ti += n {
+			fenceDue := ck && done%ockFenceEvery == 0
+			var p *core.Process
+			var heapM, sm *core.Mapping
+			for _, op := range traces[ti] {
+				t0 := c.Now()
+				switch op.Kind {
+				case workload.TenantSpawn:
+					var err error
+					p, err = s.NewProcessOn(c, mode)
+					if err != nil {
+						return err
+					}
+					if ti%2 == 1 && partner >= 0 {
+						p.MarkRanOn(machine.CPU(partner))
+					}
+				case workload.TenantMapShared:
+					var err error
+					sm, err = p.MapFile(shared[c.ID()], ro)
+					if err != nil {
+						return err
+					}
+					for pg := uint64(0); pg < ockSharedHot; pg++ {
+						if err := p.Touch(sm.Base()+mem.VirtAddr(pg*mem.FrameSize), false); err != nil {
+							return err
+						}
+					}
+				case workload.TenantAlloc:
+					var err error
+					heapM, err = p.AllocVolatile(op.Pages, rw)
+					if err != nil {
+						return err
+					}
+				case workload.TenantTouch:
+					for pg := uint64(0); pg < op.Pages; pg++ {
+						if err := p.WriteBuf(heapM.Base()+mem.VirtAddr(pg*mem.FrameSize), one[:]); err != nil {
+							return err
+						}
+					}
+				case workload.TenantFree:
+					if err := p.Unmap(heapM); err != nil {
+						return err
+					}
+				case workload.TenantExit:
+					if err := p.Exit(); err != nil {
+						return err
+					}
+				}
+				lat.record(op.Kind, c.Now()-t0)
+				if fenceDue && op.Kind == workload.TenantTouch {
+					lat.total.Record(fences[c.ID()].run(c, peers))
+					fenceDue = false
+				}
+			}
+			done++
+		}
+		if ck {
+			lat.total.Record(fences[c.ID()].run(c, peers))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mergeTenantLats(lats), mergeOckStats(stats), nil
+}
+
+// ockUsermode replays the tenant trace against per-CPU grant tables,
+// fencing via the table's grant dirty units.
+func ockUsermode(traces [][]workload.TenantOp, ck bool) (*tenantLats, *ockStats, error) {
+	const cpuPoolFrames = uint64(256) << 20 >> mem.FrameShift
+	params := machineParams()
+	machine := newSimMachine(&params, benchCPUs)
+	n := machine.NumCPUs()
+	machine.SetSyncGroups(tenantPairGroups(n))
+	defer machine.SetSyncGroups(nil)
+
+	gts := make([]*usermode.GrantTable, n)
+	segs := make([]*usermode.SharedSeg, n)
+	fences := make([]*ockFence, n)
+	stats := newOckStats(n)
+	for i := 0; i < n; i++ {
+		c := machine.CPU(i)
+		cpuMem, err := mem.New(c.Clock(), &params, mem.Config{DRAMFrames: cpuPoolFrames})
+		if err != nil {
+			return nil, nil, err
+		}
+		gts[i], err = usermode.NewGrantTable(c.Clock(), &params, cpuMem, usermode.Config{
+			PoolBase: 0, PoolFrames: cpuPoolFrames,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		tmpl, err := gts[i].NewProcessOn(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		segs[i], err = gts[i].NewShared(tmpl, ockTmplPages)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ck {
+			cpuMem.SetDirtyTracking(true)
+		}
+		gt := gts[i]
+		fences[i] = &ockFence{
+			machine: machine, params: &params, mem: cpuMem,
+			units:  gt.DirtyUnits,
+			metaOp: params.ExtentOp,
+			dram:   mem.Frame(cpuPoolFrames),
+			stats:  stats[i],
+		}
+	}
+
+	lats := newTenantLats(n)
+	err := machine.RunParallel(func(c *sim.CPU) error {
+		lat := lats[c.ID()]
+		peers := ockPeers(machine, tenantPartner(c.ID(), n))
+		gt, seg := gts[c.ID()], segs[c.ID()]
+		var one [1]byte
+		done := 0
+		for ti := c.ID(); ti < len(traces); ti += n {
+			fenceDue := ck && done%ockFenceEvery == 0
+			var p *usermode.Process
+			var hr heap.Region
+			for _, op := range traces[ti] {
+				t0 := c.Now()
+				switch op.Kind {
+				case workload.TenantSpawn:
+					var err error
+					p, err = gt.NewProcessOn(c)
+					if err != nil {
+						return err
+					}
+				case workload.TenantMapShared:
+					if err := p.MapShared(seg); err != nil {
+						return err
+					}
+					for pg := uint64(0); pg < ockSharedHot; pg++ {
+						if err := p.ReadBuf(seg.Base()+mem.VirtAddr(pg*mem.FrameSize), one[:]); err != nil {
+							return err
+						}
+					}
+				case workload.TenantAlloc:
+					var err error
+					hr, err = p.AllocPages(op.Pages)
+					if err != nil {
+						return err
+					}
+				case workload.TenantTouch:
+					for pg := uint64(0); pg < op.Pages; pg++ {
+						if err := p.WriteBuf(hr.Base()+mem.VirtAddr(pg*mem.FrameSize), one[:1]); err != nil {
+							return err
+						}
+					}
+				case workload.TenantFree:
+					if err := p.FreeRegion(hr); err != nil {
+						return err
+					}
+				case workload.TenantExit:
+					if err := p.Exit(); err != nil {
+						return err
+					}
+				}
+				lat.record(op.Kind, c.Now()-t0)
+				if fenceDue && op.Kind == workload.TenantTouch {
+					lat.total.Record(fences[c.ID()].run(c, peers))
+					fenceDue = false
+				}
+			}
+			done++
+		}
+		if ck {
+			lat.total.Record(fences[c.ID()].run(c, peers))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mergeTenantLats(lats), mergeOckStats(stats), nil
+}
+
+// ockPeers returns the fence's sync-domain peers: the pair partner, or
+// nothing for an unpaired CPU.
+func ockPeers(machine *sim.Machine, partner int) []*sim.CPU {
+	if partner < 0 {
+		return nil
+	}
+	return []*sim.CPU{machine.CPU(partner)}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestOnlineCkptShape asserts the paper's checkpoint asymmetry on the
+// E20 scaling table: the baseline's units and copies are the dirty
+// pages themselves, while extent-structured worlds coalesce units and
+// NVM-backed worlds copy nothing.
+func TestOnlineCkptShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tenant churn x 10 runs")
+	}
+	r := runExp(t, "online-ckpt")
+	if len(r.Tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(r.Tables))
+	}
+	scale := r.Tables[1]
+	rows := map[string][]string{}
+	for _, row := range scale.Rows {
+		rows[row[0]] = row
+	}
+	num := func(row []string, i int) float64 {
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			t.Fatalf("cell %q not numeric: %v", row[i], err)
+		}
+		return v
+	}
+	const (
+		colDirty  = 2
+		colUnits  = 3
+		colCopied = 6
+	)
+	base, ok := rows["baseline"]
+	if !ok {
+		t.Fatalf("no baseline row in %v", scale.Rows)
+	}
+	if num(base, colDirty) == 0 {
+		t.Fatal("baseline fenced zero dirty pages; the workload writes nothing?")
+	}
+	// Per-page metadata: every dirty page is its own unit and is copied.
+	if num(base, colUnits) != num(base, colDirty) || num(base, colCopied) != num(base, colDirty) {
+		t.Fatalf("baseline not O(dirty pages): %v", base)
+	}
+	for _, cfg := range []string{"fom", "pbm", "ranges", "usermode"} {
+		row, ok := rows[cfg]
+		if !ok {
+			t.Fatalf("no %s row", cfg)
+		}
+		if num(row, colUnits) >= num(row, colDirty) {
+			t.Fatalf("%s units %v not coalesced below dirty pages %v",
+				cfg, row[colUnits], row[colDirty])
+		}
+	}
+	// NVM-resident file data needs no copy at a fence.
+	for _, cfg := range []string{"fom", "pbm", "ranges"} {
+		if num(rows[cfg], colCopied) != 0 {
+			t.Fatalf("%s copied %v pages; file data should be NVM-resident", cfg, rows[cfg][colCopied])
+		}
+	}
+	// The grant pool is DRAM: usermode pays the copy but not the metadata.
+	um := rows["usermode"]
+	if num(um, colCopied) == 0 {
+		t.Fatal("usermode copied nothing; grant pool should be DRAM-resident")
+	}
+	if num(um, colUnits) >= num(um, colDirty)/4 {
+		t.Fatalf("usermode units %v not grant-granular vs %v dirty pages", um[colUnits], um[colDirty])
+	}
+}

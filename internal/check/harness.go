@@ -30,8 +30,12 @@ type Options struct {
 	// Migrations must preserve byte contents (the readback and final
 	// comparisons prove it), TLB freshness (the TLB invariants prove
 	// it), and per-tier accounting (the tier invariants prove it).
-	// Incompatible with CrashRecover: hotness state is volatile and
-	// outside snapshot scope.
+	// Composes with CrashRecover: hotness state is volatile, but the
+	// tier engine is deterministic, so restore-by-reexecution rebuilds
+	// it — the snapshot records the tier flag and the recovery replay
+	// drives the same tier steps. Migrations dirty their destination
+	// frames like any other write, so incremental checkpoints capture
+	// them.
 	Tier bool
 	// Shrink reduces a failing trace to a minimal reproducer.
 	Shrink bool
@@ -48,6 +52,12 @@ type Options struct {
 	// demand the recovered timeline be bit-identical to an uncrashed
 	// control (see persist.go).
 	CrashRecover bool
+	// Incremental switches the crash-recover stage to incremental
+	// checkpointing: a base snapshot plus dirty-extent deltas, with the
+	// journal compacted at each delta, and a differential-image proof
+	// that base + deltas reconstruct memory bit-exactly (see
+	// persist_incr.go). Requires CrashRecover.
+	Incremental bool
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +106,10 @@ type Report struct {
 	// CrashReports describes the crash-and-recover stage (with
 	// Opts.CrashRecover, when the stage ran to completion).
 	CrashReports []*CrashRecoverReport
+
+	// ChainReports describes the incremental crash-and-recover stage
+	// (with Opts.Incremental, when the stage ran to completion).
+	ChainReports []*ChainReport
 }
 
 // Format renders the report for humans: the failure, the (shrunk)
@@ -108,6 +122,11 @@ func (r *Report) Format() string {
 			cr := r.CrashReports[0]
 			s += fmt.Sprintf("\nok: crash-recover snap@%d crash@%d (torn=%v): all configs recovered bit-identical",
 				cr.SnapAt, cr.CrashAt, cr.CrashAt != cr.RecoveredAt)
+		}
+		if len(r.ChainReports) > 0 {
+			cr := r.ChainReports[0]
+			s += fmt.Sprintf("\nok: incremental crash-recover base@%d deltas@%v crash@%d (torn=%v): all configs recovered bit-identical, differential images exact",
+				cr.BaseAt, cr.DeltaAts, cr.CrashAt, cr.TornBytes > 0)
 		}
 		return s
 	}
@@ -127,6 +146,9 @@ func (r *Report) Format() string {
 	if r.Opts.CrashRecover {
 		extra = " -crash-recover"
 	}
+	if r.Opts.Incremental {
+		extra += " -incremental"
+	}
 	if r.Opts.Tier {
 		extra += " -tier"
 	}
@@ -141,8 +163,8 @@ func (r *Report) Format() string {
 // reports setup problems only; test outcomes are in the Report.
 func Run(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
-	if opts.Tier && opts.CrashRecover {
-		return nil, fmt.Errorf("check: -tier and -crash-recover are incompatible (hotness state is volatile, outside snapshot scope)")
+	if opts.Incremental && !opts.CrashRecover {
+		return nil, fmt.Errorf("check: -incremental requires -crash-recover")
 	}
 	for _, cfg := range opts.Configs {
 		if _, err := newWorld(cfg, 1, 0, opts.Tier); err != nil {
@@ -152,7 +174,21 @@ func Run(opts Options) (*Report, error) {
 	trace := generate(opts.Seed, opts.Ops, opts.CPUs)
 	report := &Report{Opts: opts, Trace: trace}
 	report.Failure = replay(trace, opts)
-	if report.Failure == nil && opts.CrashRecover {
+	if report.Failure == nil && opts.CrashRecover && opts.Incremental {
+		baseAt, deltaAts, crashAt, torn := incrementalStage(opts, len(trace))
+		crs, f, err := CrashRecoverIncremental(opts, baseAt, deltaAts, crashAt, torn)
+		if err != nil {
+			return nil, err
+		}
+		report.ChainReports = crs
+		if f != nil {
+			// Crash-recover failures are not shrinkable: the shrink
+			// predicate replays without the persistence stage.
+			f.Reason = "incremental crash-recover: " + f.Reason
+			report.Failure = f
+			return report, nil
+		}
+	} else if report.Failure == nil && opts.CrashRecover {
 		snapAt, crashAt, torn := crashRecoverStage(opts, len(trace))
 		crs, f, err := CrashRecover(opts, snapAt, crashAt, torn)
 		if err != nil {

@@ -173,11 +173,13 @@ func replaySpan(w world, mdl *model, trace []Op, from, to int) *Failure {
 				return &Failure{OpIndex: i, World: w.name(),
 					Reason: fmt.Sprintf("%s: read %#02x, model says %#02x", op, got, want)}
 			}
-			continue
-		}
-		if err := w.apply(op); err != nil {
+		} else if err := w.apply(op); err != nil {
 			return &Failure{OpIndex: i, World: w.name(), Reason: fmt.Sprintf("%s: %v", op, err)}
 		}
+		// Drive the tier engine exactly as the differential replay does,
+		// so a tiered world's reconstruction follows the same migration
+		// schedule (no-op without tiering).
+		w.tierStep(i)
 	}
 	return nil
 }
@@ -198,7 +200,7 @@ func BuildSnapshot(config string, opts Options, at int) (*snapshot.Snapshot, err
 	if at < 0 || at > len(trace) {
 		return nil, fmt.Errorf("check: snapshot point %d outside trace [0,%d]", at, len(trace))
 	}
-	w, err := newWorld(config, opts.CPUs, opts.Seed, false)
+	w, err := newWorld(config, opts.CPUs, opts.Seed, opts.Tier)
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +215,7 @@ func BuildSnapshot(config string, opts Options, at int) (*snapshot.Snapshot, err
 			Seed:     opts.Seed,
 			SnapAt:   at,
 			TraceOps: len(trace),
+			Tier:     opts.Tier,
 		},
 		Machine:     st,
 		Trace:       EncodeTrace(trace),
@@ -236,7 +239,7 @@ func restoreWorld(snap *snapshot.Snapshot) (world, *model, []Op, error) {
 	if snap.Meta.SnapAt < 0 || snap.Meta.SnapAt > len(trace) {
 		return nil, nil, nil, fmt.Errorf("check: snapshot point %d outside trace [0,%d]", snap.Meta.SnapAt, len(trace))
 	}
-	w, err := newWorld(snap.Meta.Config, snap.Meta.CPUs, snap.Meta.Seed, false)
+	w, err := newWorld(snap.Meta.Config, snap.Meta.CPUs, snap.Meta.Seed, snap.Meta.Tier)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -334,7 +337,7 @@ func CrashRecover(opts Options, snapAt, crashAt int, torn bool) ([]*CrashRecover
 
 func crashRecoverOne(cfg string, opts Options, trace []Op, snapAt, crashAt int, torn bool) (*CrashRecoverReport, *Failure, error) {
 	// Control timeline: no crash, full trace.
-	control, err := newWorld(cfg, opts.CPUs, opts.Seed, false)
+	control, err := newWorld(cfg, opts.CPUs, opts.Seed, opts.Tier)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -351,7 +354,7 @@ func crashRecoverOne(cfg string, opts Options, trace []Op, snapAt, crashAt int, 
 	finalState, finalSum := capture(control)
 
 	// Crashed timeline: run to snapAt, checkpoint, journal, crash.
-	crashed, err := newWorld(cfg, opts.CPUs, opts.Seed, false)
+	crashed, err := newWorld(cfg, opts.CPUs, opts.Seed, opts.Tier)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -364,7 +367,7 @@ func crashRecoverOne(cfg string, opts Options, trace []Op, snapAt, crashAt int, 
 	snap := &snapshot.Snapshot{
 		Meta: snapshot.Meta{
 			Config: cfg, CPUs: opts.CPUs, Seed: opts.Seed,
-			SnapAt: snapAt, TraceOps: len(trace),
+			SnapAt: snapAt, TraceOps: len(trace), Tier: opts.Tier,
 		},
 		Machine:     snapState,
 		Trace:       EncodeTrace(trace),

@@ -1,0 +1,257 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestIncrementalRequiresCrashRecover pins the option contract.
+func TestIncrementalRequiresCrashRecover(t *testing.T) {
+	_, err := Run(Options{Seed: 1, Ops: 100, Incremental: true})
+	if err == nil {
+		t.Fatal("-incremental without -crash-recover accepted")
+	}
+	if !strings.Contains(err.Error(), "requires") {
+		t.Errorf("error does not explain the requirement: %v", err)
+	}
+}
+
+// TestIncrementalRecoverAllConfigs is the core property test: across
+// random crash points — torn and clean, one to three deltas — every
+// configuration's base+deltas restore must be bit-identical to full
+// replay, the assembled differential image must match memory exactly,
+// and the compacted journal must carry precisely the uncheckpointed
+// suffix.
+func TestIncrementalRecoverAllConfigs(t *testing.T) {
+	ops := 1200
+	if testing.Short() {
+		ops = 400
+	}
+	rng := sim.NewRNG(0xfeedface)
+	for trial := 0; trial < 4; trial++ {
+		seed := 100 + uint64(trial)
+		crashAt := 1 + int(rng.Uint64n(uint64(ops)))
+		baseAt := crashAt / 3
+		nDeltas := 1 + int(rng.Uint64n(3))
+		var deltaAts []int
+		last := baseAt
+		for i := 1; i <= nDeltas; i++ {
+			at := baseAt + (crashAt-baseAt)*i/(nDeltas+1)
+			if at > last {
+				deltaAts = append(deltaAts, at)
+				last = at
+			}
+		}
+		torn := crashAt > last && trial%2 == 1
+		reports, f, err := CrashRecoverIncremental(
+			Options{Seed: seed, Ops: ops, CPUs: 2}, baseAt, deltaAts, crashAt, torn)
+		if err != nil {
+			t.Fatalf("trial %d (base@%d deltas@%v crash@%d torn=%v): %v",
+				trial, baseAt, deltaAts, crashAt, torn, err)
+		}
+		if f != nil {
+			t.Fatalf("trial %d (base@%d deltas@%v crash@%d torn=%v): %v",
+				trial, baseAt, deltaAts, crashAt, torn, f)
+		}
+		if len(reports) != len(AllConfigs) {
+			t.Fatalf("trial %d: %d reports, want %d", trial, len(reports), len(AllConfigs))
+		}
+		for _, rep := range reports {
+			wantRecovered := crashAt
+			if torn {
+				wantRecovered--
+			}
+			if rep.RecoveredAt != wantRecovered {
+				t.Errorf("trial %d %s: recovered to %d, want %d", trial, rep.Config, rep.RecoveredAt, wantRecovered)
+			}
+			if len(rep.DirtyFrames) != len(deltaAts) {
+				t.Errorf("trial %d %s: %d deltas captured, want %d", trial, rep.Config, len(rep.DirtyFrames), len(deltaAts))
+			}
+			lastAt := baseAt
+			if len(deltaAts) > 0 {
+				lastAt = deltaAts[len(deltaAts)-1]
+			}
+			if rep.Watermark != uint64(lastAt-baseAt) {
+				t.Errorf("trial %d %s: watermark %d, want %d", trial, rep.Config, rep.Watermark, lastAt-baseAt)
+			}
+			if rep.JournalRecords != wantRecovered-lastAt {
+				t.Errorf("trial %d %s: %d journal records, want %d", trial, rep.Config, rep.JournalRecords, wantRecovered-lastAt)
+			}
+			if torn && rep.TornBytes == 0 {
+				t.Errorf("trial %d %s: torn run reported no torn bytes", trial, rep.Config)
+			}
+		}
+	}
+}
+
+// TestIncrementalEdgePoints covers the degenerate chain shapes: no
+// deltas (base-only chain, journal from the base), a delta exactly at
+// the crash (empty journal suffix), and a base at op 0.
+func TestIncrementalEdgePoints(t *testing.T) {
+	cases := []struct {
+		name     string
+		baseAt   int
+		deltaAts []int
+		crashAt  int
+		torn     bool
+	}{
+		{"no-deltas", 100, nil, 220, false},
+		{"no-deltas-torn", 100, nil, 220, true},
+		{"delta-at-crash", 80, []int{160, 240}, 240, false},
+		{"base-at-zero", 0, []int{90}, 180, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reports, f, err := CrashRecoverIncremental(
+				Options{Seed: 42, Ops: 300, CPUs: 2}, tc.baseAt, tc.deltaAts, tc.crashAt, tc.torn)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			if f != nil {
+				t.Fatalf("%v", f)
+			}
+			if len(reports) != len(AllConfigs) {
+				t.Fatalf("%d reports, want %d", len(reports), len(AllConfigs))
+			}
+		})
+	}
+}
+
+// TestIncrementalTornNeedsSuffix pins the precondition: tearing the
+// journal requires at least one record past the last delta.
+func TestIncrementalTornNeedsSuffix(t *testing.T) {
+	_, _, err := CrashRecoverIncremental(
+		Options{Seed: 1, Ops: 300, CPUs: 2}, 50, []int{100}, 100, true)
+	if err == nil {
+		t.Fatal("torn crash with empty journal suffix accepted")
+	}
+}
+
+// TestBuildVerifyChain exercises the o1snap-facing API: build a chain
+// over the full trace (uncompacted journal), verify it, compact the
+// journal to the last delta, and verify again — both must replay the
+// journal to the end of the trace and land on the model's final state.
+func TestBuildVerifyChain(t *testing.T) {
+	for _, cfg := range AllConfigs {
+		opts := Options{Seed: 9, Ops: 300, CPUs: 2}
+		chain, err := BuildChain(cfg, opts, 100, []int{160, 220})
+		if err != nil {
+			t.Fatalf("%s: build: %v", cfg, err)
+		}
+		if chain.Journal.Watermark() != 0 {
+			t.Fatalf("%s: fresh chain journal already compacted (watermark %d)", cfg, chain.Journal.Watermark())
+		}
+		if got, want := chain.Journal.Len(), 300-100; got != want {
+			t.Fatalf("%s: journal holds %d records, want %d", cfg, got, want)
+		}
+		if err := VerifyChain(chain); err != nil {
+			t.Fatalf("%s: verify uncompacted: %v", cfg, err)
+		}
+		if err := chain.Journal.Compact(uint64(220 - 100)); err != nil {
+			t.Fatalf("%s: compact: %v", cfg, err)
+		}
+		if err := VerifyChain(chain); err != nil {
+			t.Fatalf("%s: verify compacted: %v", cfg, err)
+		}
+		// Over-compaction past the last capture point must be caught.
+		if err := chain.Journal.Compact(uint64(220 - 100 + 5)); err != nil {
+			t.Fatalf("%s: over-compact: %v", cfg, err)
+		}
+		if err := VerifyChain(chain); err == nil {
+			t.Fatalf("%s: over-compacted chain verified", cfg)
+		}
+	}
+}
+
+// TestChainDifferentialImageCatchesMissedDirt proves the acceptance
+// mechanism has teeth: corrupt one delta's captured frame data and the
+// differential-image proof must fail the restore.
+func TestChainDifferentialImageCatchesMissedDirt(t *testing.T) {
+	chain, err := BuildChain("fom", Options{Seed: 9, Ops: 300, CPUs: 2}, 100, []int{200})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	tampered := false
+	for _, d := range chain.Deltas {
+		for _, fi := range d.Frames {
+			if fi.Data != nil {
+				fi.Data[0] ^= 0xff
+				tampered = true
+				break
+			}
+		}
+		if tampered {
+			break
+		}
+	}
+	if !tampered {
+		t.Skip("no materialized delta frame to tamper with")
+	}
+	err = VerifyChain(chain)
+	if err == nil {
+		t.Fatal("tampered delta image verified")
+	}
+	if !strings.Contains(err.Error(), "differential image") && !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("unexpected diagnosis: %v", err)
+	}
+}
+
+// TestRunIncrementalStage drives the stage end-to-end through Run with
+// the randomized point selection, tier off and on.
+func TestRunIncrementalStage(t *testing.T) {
+	report, err := Run(Options{Seed: 13, Ops: 600, CPUs: 2, CrashRecover: true, Incremental: true})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if report.Failure != nil {
+		t.Fatalf("%s", report.Format())
+	}
+	if len(report.ChainReports) != len(AllConfigs) {
+		t.Fatalf("%d chain reports, want %d", len(report.ChainReports), len(AllConfigs))
+	}
+	if !strings.Contains(report.Format(), "incremental crash-recover") {
+		t.Errorf("report does not mention the incremental stage:\n%s", report.Format())
+	}
+}
+
+// TestIncrementalUnitsScaleWithConfig pins the paper's shape claim on
+// checkpoint metadata: the extent configs cover their dirty frames
+// with far fewer units than the page-granular baseline when the same
+// trace dirties the same logical state.
+func TestIncrementalUnitsScaleWithConfig(t *testing.T) {
+	opts := Options{Seed: 21, Ops: 800, CPUs: 2}
+	reports, f, err := CrashRecoverIncremental(opts, 200, []int{500}, 700, false)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if f != nil {
+		t.Fatalf("%v", f)
+	}
+	units := map[string]int{}
+	frames := map[string]int{}
+	for _, rep := range reports {
+		for i := range rep.DirtyUnits {
+			units[rep.Config] += rep.DirtyUnits[i]
+			frames[rep.Config] += rep.DirtyFrames[i]
+		}
+	}
+	for cfg, u := range units {
+		if frames[cfg] > 0 && u == 0 {
+			t.Errorf("%s: dirty frames but no units", cfg)
+		}
+		t.Logf("%s: %d dirty frames covered by %d units", cfg, frames[cfg], u)
+	}
+	// The baseline pays one unit per dirty page; extent configs must
+	// do strictly better on this trace (multi-page objects and files).
+	if frames["baseline"] > 0 && units["baseline"] != frames["baseline"] {
+		t.Errorf("baseline: %d units for %d dirty frames, want page-granular equality",
+			units["baseline"], frames["baseline"])
+	}
+	for _, cfg := range []string{"fom", "usermode"} {
+		if frames[cfg] > 8 && units[cfg] >= frames[cfg] {
+			t.Errorf("%s: %d units for %d dirty frames — extents bought nothing", cfg, units[cfg], frames[cfg])
+		}
+	}
+}

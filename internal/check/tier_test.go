@@ -1,7 +1,6 @@
 package check
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/tier"
@@ -121,15 +120,36 @@ func TestTieredReplayDeterminism(t *testing.T) {
 	}
 }
 
-// TestTierCrashRecoverRefused: hotness state is volatile and outside
-// snapshot scope, so the combination must be a setup error rather than
-// a silent divergence.
-func TestTierCrashRecoverRefused(t *testing.T) {
-	_, err := Run(Options{Seed: 1, Ops: 100, Tier: true, CrashRecover: true})
-	if err == nil {
-		t.Fatal("tier + crash-recover accepted")
+// TestTierCrashRecoverComposes: hotness state is volatile, but the
+// tier engine is deterministic, so restore-by-reexecution rebuilds it
+// — a tiered crash-and-recover run must recover bit-identical, with
+// migrations riding underneath the checkpoint and journal.
+func TestTierCrashRecoverComposes(t *testing.T) {
+	report, err := Run(Options{Seed: 7, Ops: 1500, CPUs: 2, Tier: true, CrashRecover: true})
+	if err != nil {
+		t.Fatalf("tier + crash-recover: %v", err)
 	}
-	if !strings.Contains(err.Error(), "incompatible") {
-		t.Errorf("error does not explain the incompatibility: %v", err)
+	if report.Failure != nil {
+		t.Fatalf("tier + crash-recover:\n%s", report.Format())
+	}
+	if len(report.CrashReports) != len(AllConfigs) {
+		t.Fatalf("crash stage covered %d configs, want %d", len(report.CrashReports), len(AllConfigs))
+	}
+}
+
+// TestTierIncrementalCrashRecoverComposes runs the full stack at once:
+// tier migrations, dirty tracking, base + deltas, journal compaction,
+// crash, differential restore. Migrations dirty their destination
+// frames, so the differential-image proof covers them too.
+func TestTierIncrementalCrashRecoverComposes(t *testing.T) {
+	report, err := Run(Options{Seed: 8, Ops: 1500, CPUs: 2, Tier: true, CrashRecover: true, Incremental: true})
+	if err != nil {
+		t.Fatalf("tier + incremental: %v", err)
+	}
+	if report.Failure != nil {
+		t.Fatalf("tier + incremental:\n%s", report.Format())
+	}
+	if len(report.ChainReports) != len(AllConfigs) {
+		t.Fatalf("incremental stage covered %d configs, want %d", len(report.ChainReports), len(AllConfigs))
 	}
 }

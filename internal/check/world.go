@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/ckpt"
 	"repro/internal/mem"
 	"repro/internal/pagetable"
 	"repro/internal/sim"
@@ -35,6 +36,12 @@ type world interface {
 	// memory exposes the world's physical memory (persistence
 	// checksums its content and injects crashes).
 	memory() *mem.Memory
+	// dirtyUnits maps a dirty-frame set onto checkpoint units by asking
+	// each subsystem to claim the frames it owns — extents for file
+	// stores, grants for usermode, single pages for the baseline. Every
+	// dirty frame must be covered; the incremental recovery stage fails
+	// on gaps (see persist_incr.go).
+	dirtyUnits(frames []mem.Frame) []ckpt.Unit
 }
 
 // Machine sizing shared by all worlds. The generator's capacity caps

@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/memfs"
@@ -274,3 +275,7 @@ func (w *coreWorld) tierStep(i int) {
 func (w *coreWorld) machine() *sim.Machine { return w.m }
 
 func (w *coreWorld) memory() *mem.Memory { return w.sys.Memory() }
+
+func (w *coreWorld) dirtyUnits(frames []mem.Frame) []ckpt.Unit {
+	return w.sys.DirtyUnits(frames)
+}

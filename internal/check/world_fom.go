@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/mem"
 	"repro/internal/memfs"
 	"repro/internal/sim"
@@ -243,3 +244,7 @@ func (w *fomWorld) tierStep(i int) {
 func (w *fomWorld) machine() *sim.Machine { return w.m }
 
 func (w *fomWorld) memory() *mem.Memory { return w.phy }
+
+func (w *fomWorld) dirtyUnits(frames []mem.Frame) []ckpt.Unit {
+	return w.fs.DirtyUnits(frames)
+}

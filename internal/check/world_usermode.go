@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/heap"
 	"repro/internal/mem"
 	"repro/internal/memfs"
@@ -278,3 +279,9 @@ func (w *usermodeWorld) tierStep(i int) {
 func (w *usermodeWorld) machine() *sim.Machine { return w.m }
 
 func (w *usermodeWorld) memory() *mem.Memory { return w.phy }
+
+func (w *usermodeWorld) dirtyUnits(frames []mem.Frame) []ckpt.Unit {
+	// Grants and shared segments claim the DRAM pool; the file store
+	// claims its NVM extents.
+	return append(w.gt.DirtyUnits(frames), w.fs.DirtyUnits(frames)...)
+}

@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/mem"
 	"repro/internal/memfs"
 	"repro/internal/sim"
@@ -223,6 +224,12 @@ func (w *vmWorld) tierStep(i int) {
 func (w *vmWorld) machine() *sim.Machine { return w.m }
 
 func (w *vmWorld) memory() *mem.Memory { return w.k.Memory }
+
+func (w *vmWorld) dirtyUnits(frames []mem.Frame) []ckpt.Unit {
+	// Anonymous pool pages are page-granular; tmpfs frames coalesce
+	// into the store's (per-page policy) extents.
+	return append(w.k.DirtyUnits(frames), w.fs.DirtyUnits(frames)...)
+}
 
 // reclaimWant is how many frames one OpReclaim asks the baseline
 // page-out scanner to free.

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"repro/internal/ckpt"
+	"repro/internal/mem"
+)
+
+// DirtyUnits maps the system's dirty frames onto checkpoint units:
+// file-store frames coalesce into the extents that own them (the
+// O(dirty extents) story), while page-table pool frames — 4 KiB
+// metadata nodes — are claimed page-granular.
+func (s *System) DirtyUnits(frames []mem.Frame) []ckpt.Unit {
+	units := s.fs.DirtyUnits(frames)
+	var pt []mem.Frame
+	for _, f := range frames {
+		if s.ptPool != nil && f >= s.ptPool.bud.Base() && f < s.ptPool.bud.Base()+mem.Frame(s.ptPool.bud.Size()) {
+			pt = append(pt, f)
+		}
+	}
+	return append(units, ckpt.UnitsBySpan(pt, nil)...)
+}

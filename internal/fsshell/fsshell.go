@@ -7,6 +7,7 @@ package fsshell
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -29,7 +30,8 @@ func New(policy memfs.AllocPolicy, frames uint64, out io.Writer) (*Shell, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Shell{clock: clock, memory: memory, fs: fs, out: out}, nil
+	return &Shell{clock: clock, memory: memory, fs: fs, out: out,
+		handles: make(map[string]*memfs.File)}, nil
 }
 
 // Shell interprets o1fs commands against one simulated machine.
@@ -38,6 +40,40 @@ type Shell struct {
 	memory *mem.Memory
 	fs     *memfs.FS
 	out    io.Writer
+
+	// handles maps hN tokens from `open` to live file handles, each
+	// carrying its own position for seek/read/write. Remount
+	// invalidates them all (their inode references die with the old
+	// metadata generation).
+	handles map[string]*memfs.File
+	nextH   int
+}
+
+// handle resolves an hN token; ok is false if tok is not handle-shaped
+// (callers then treat it as a path).
+func (sh *Shell) handle(tok string) (*memfs.File, bool, error) {
+	if len(tok) < 2 || tok[0] != 'h' {
+		return nil, false, nil
+	}
+	if _, err := strconv.Atoi(tok[1:]); err != nil {
+		return nil, false, nil
+	}
+	f, ok := sh.handles[tok]
+	if !ok {
+		return nil, true, fmt.Errorf("no open handle %q", tok)
+	}
+	return f, true, nil
+}
+
+// closeHandles force-drops every open handle (remount).
+func (sh *Shell) closeHandles() int {
+	n := 0
+	for tok, f := range sh.handles {
+		f.Close()
+		delete(sh.handles, tok)
+		n++
+	}
+	return n
 }
 
 func (sh *Shell) ExecLine(line string) {
@@ -85,9 +121,121 @@ func (sh *Shell) exec(cmd string, args []string) error {
 			return err
 		}
 		return f.Close()
+	case "open":
+		if err := need(1); err != nil {
+			return err
+		}
+		var flags memfs.OpenFlag
+		opts := memfs.CreateOptions{}
+		for _, a := range args[1:] {
+			switch a {
+			case "create":
+				flags |= memfs.OCreate
+			case "excl":
+				flags |= memfs.OExcl
+			case "trunc":
+				flags |= memfs.OTrunc
+			case "append":
+				flags |= memfs.OAppend
+			case "persistent":
+				opts.Durability = memfs.Persistent
+			case "volatile":
+				opts.Durability = memfs.Volatile
+			case "discardable":
+				opts.Discardable = true
+			default:
+				return fmt.Errorf("unknown open option %q", a)
+			}
+		}
+		f, err := sh.fs.OpenFile(args[0], flags, opts)
+		if err != nil {
+			return err
+		}
+		tok := fmt.Sprintf("h%d", sh.nextH)
+		sh.nextH++
+		sh.handles[tok] = f
+		fmt.Fprintf(sh.out, "%s = %s\n", tok, args[0])
+		return nil
+	case "close":
+		if err := need(1); err != nil {
+			return err
+		}
+		f, isH, err := sh.handle(args[0])
+		if err != nil {
+			return err
+		}
+		if !isH {
+			return fmt.Errorf("close takes a handle (h0, h1, ...), got %q", args[0])
+		}
+		delete(sh.handles, args[0])
+		return f.Close()
+	case "seek":
+		if err := need(2); err != nil {
+			return err
+		}
+		f, isH, err := sh.handle(args[0])
+		if err != nil {
+			return err
+		}
+		if !isH {
+			return fmt.Errorf("seek takes a handle (h0, h1, ...), got %q", args[0])
+		}
+		off, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		whence := io.SeekStart
+		if len(args) > 2 {
+			switch args[2] {
+			case "set":
+				whence = io.SeekStart
+			case "cur":
+				whence = io.SeekCurrent
+			case "end":
+				whence = io.SeekEnd
+			default:
+				return fmt.Errorf("seek whence must be set, cur or end, got %q", args[2])
+			}
+		}
+		pos, err := f.Seek(off, whence)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "pos %d\n", pos)
+		return nil
+	case "handles":
+		toks := make([]string, 0, len(sh.handles))
+		for tok := range sh.handles {
+			toks = append(toks, tok)
+		}
+		sort.Strings(toks)
+		for _, tok := range toks {
+			f := sh.handles[tok]
+			fmt.Fprintf(sh.out, "%s ino=%d pos=%d size=%d\n", tok, f.Inode().Ino(), f.Pos(), f.Inode().Size())
+		}
+		return nil
 	case "write", "append":
 		if err := need(2); err != nil {
 			return err
+		}
+		text := strings.Join(args[1:], " ")
+		if f, isH, err := sh.handle(args[0]); isH {
+			// Handle form: write at the handle position (or at EOF for
+			// an append-mode handle), advancing it.
+			if err != nil {
+				return err
+			}
+			if cmd == "append" {
+				if _, err := f.Seek(0, io.SeekEnd); err != nil {
+					return err
+				}
+			}
+			n, err := f.Write([]byte(text))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(sh.out, "wrote %d bytes, pos %d\n", n, f.Pos())
+			return nil
 		}
 		f, err := sh.fs.Open(args[0])
 		if err != nil {
@@ -98,7 +246,6 @@ func (sh *Shell) exec(cmd string, args []string) error {
 		if cmd == "append" {
 			off = f.Inode().Size()
 		}
-		text := strings.Join(args[1:], " ")
 		n, err := f.WriteAt([]byte(text), off)
 		if err != nil {
 			return err
@@ -113,18 +260,82 @@ func (sh *Shell) exec(cmd string, args []string) error {
 		if err != nil {
 			return err
 		}
+		buf := make([]byte, n)
+		if f, isH, err := sh.handle(args[0]); isH {
+			// Handle form: sequential read from the handle position.
+			if err != nil {
+				return err
+			}
+			got, err := f.Read(buf)
+			if err == io.EOF {
+				fmt.Fprintf(sh.out, "%q (eof)\n", buf[:got])
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(sh.out, "%q\n", buf[:got])
+			return nil
+		}
 		f, err := sh.fs.Open(args[0])
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		buf := make([]byte, n)
 		got, err := f.ReadAt(buf, 0)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(sh.out, "%q\n", buf[:got])
 		return nil
+	case "read-at":
+		if err := need(3); err != nil {
+			return err
+		}
+		off, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(args[2])
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, n)
+		if f, isH, herr := sh.handle(args[0]); isH {
+			if herr != nil {
+				return herr
+			}
+			got, err := f.ReadAt(buf, off)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(sh.out, "%q\n", buf[:got])
+			return nil
+		}
+		f, err := sh.fs.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		got, err := f.ReadAt(buf, off)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "%q\n", buf[:got])
+		return nil
+	case "walk":
+		path := "/"
+		if len(args) > 0 {
+			path = args[0]
+		}
+		return sh.fs.WalkDir(path, func(p string, ino *memfs.Inode) error {
+			kind := "f"
+			if ino.IsDir() {
+				kind = "d"
+			}
+			fmt.Fprintf(sh.out, "%s %10d  %s\n", kind, ino.Size(), p)
+			return nil
+		})
 	case "truncate":
 		if err := need(2); err != nil {
 			return err
@@ -132,6 +343,12 @@ func (sh *Shell) exec(cmd string, args []string) error {
 		pages, err := strconv.ParseUint(args[1], 10, 64)
 		if err != nil {
 			return err
+		}
+		if f, isH, herr := sh.handle(args[0]); isH {
+			if herr != nil {
+				return herr
+			}
+			return f.Truncate(pages * mem.FrameSize)
 		}
 		f, err := sh.fs.Open(args[0])
 		if err != nil {
@@ -228,6 +445,11 @@ func (sh *Shell) exec(cmd string, args []string) error {
 		fmt.Fprintln(sh.out, "power failure")
 		return nil
 	case "remount":
+		// Remount rebuilds metadata from scratch: every open handle
+		// references the pre-crash generation and must die with it.
+		if n := sh.closeHandles(); n > 0 {
+			fmt.Fprintf(sh.out, "%d stale handle(s) invalidated\n", n)
+		}
 		dropped, err := sh.fs.Remount()
 		if err != nil {
 			return err

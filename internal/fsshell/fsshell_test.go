@@ -130,6 +130,88 @@ func TestScriptCheck(t *testing.T) {
 	}
 }
 
+func TestScriptHandles(t *testing.T) {
+	out := run(t, memfs.Extent, `
+		open /f create
+		write h0 hello-world
+		seek h0 0
+		read h0 5
+		seek h0 2 cur
+		read h0 5
+		seek h0 -5 end
+		write h0 earth
+		read-at /f 0 12
+		handles
+		close h0
+		read h0 1
+	`)
+	for _, want := range []string{
+		"h0 = /f",
+		"wrote 11 bytes, pos 11",
+		"pos 0",
+		`"hello"`,
+		"pos 7",
+		`"orld" (eof)`,
+		"pos 6",
+		`"hello-earth"`,
+		"h0 ino=",
+		"no open handle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScriptHandleFlagsAndTruncate(t *testing.T) {
+	out := run(t, memfs.Extent, `
+		open /log create append
+		write h0 one
+		seek h0 0
+		write h0 two
+		read-at /log 0 6
+		open /log excl
+		open /log create excl
+		truncate h0 0
+		stat /log
+		open /fresh create trunc
+		close h1
+		close h0
+	`)
+	for _, want := range []string{
+		`"onetwo"`,              // append-mode handle writes land at EOF despite the seek
+		"OExcl without OCreate", // excl alone refused
+		"exists",                // OCreate|OExcl on an existing file refused
+		"size=0",                // handle-based truncate took effect
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScriptWalkAndRemountInvalidatesHandles(t *testing.T) {
+	out := run(t, memfs.Extent, `
+		mkdir /d
+		create /d/inner persistent
+		open /d/inner
+		walk /
+		crash
+		remount
+		read h0 1
+	`)
+	for _, want := range []string{
+		"d          0  /d",
+		"  /d/inner",
+		"1 stale handle(s) invalidated",
+		"no open handle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestScriptAppendAndTime(t *testing.T) {
 	out := run(t, memfs.Extent, `
 		create /log

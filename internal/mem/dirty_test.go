@@ -1,0 +1,99 @@
+package mem
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDirtyTrackingOffByDefault(t *testing.T) {
+	m, _, _ := newTestMemory(t)
+	if m.DirtyTracking() {
+		t.Fatal("tracking on by default")
+	}
+	m.WriteByteAt(Frame(3).Addr(), 0xaa)
+	if n := m.DirtyCount(); n != 0 {
+		t.Fatalf("DirtyCount = %d with tracking off", n)
+	}
+	if fr := m.DirtyFrames(); len(fr) != 0 {
+		t.Fatalf("DirtyFrames = %v with tracking off", fr)
+	}
+}
+
+func TestDirtyTrackingWritesAndDrops(t *testing.T) {
+	m, _, _ := newTestMemory(t)
+	// Content present before the epoch starts is not dirty.
+	m.WriteByteAt(Frame(1).Addr(), 0x11)
+	m.SetDirtyTracking(true)
+	if !m.DirtyTracking() {
+		t.Fatal("tracking did not turn on")
+	}
+	if n := m.DirtyCount(); n != 0 {
+		t.Fatalf("DirtyCount = %d right after enabling", n)
+	}
+
+	// A write dirties its frame, including rewrites of materialized
+	// frames and multi-frame spans.
+	m.WriteByteAt(Frame(1).Addr(), 0x22)
+	buf := make([]byte, 2*FrameSize)
+	m.WriteAt(Frame(5).Addr(), buf)
+	// Reads do not dirty.
+	m.ReadByteAt(Frame(9).Addr())
+	want := []Frame{1, 5, 6}
+	if got := m.DirtyFrames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("DirtyFrames = %v, want %v", got, want)
+	}
+
+	// Zeroing a materialized frame dirties it; erasing a huge range of
+	// absent frames dirties nothing extra.
+	m.ResetDirty()
+	m.ZeroFrames(1, 1)
+	m.EraseRangeEpoch(100, 900)
+	if got := m.DirtyFrames(); !reflect.DeepEqual(got, []Frame{1}) {
+		t.Fatalf("DirtyFrames after erase = %v, want [1]", got)
+	}
+
+	// Copies dirty the destination (and, via drop, destinations whose
+	// source reads as zero).
+	m.ResetDirty()
+	m.WriteByteAt(Frame(20).Addr(), 0x33)
+	m.ResetDirty()
+	m.CopyFrames(30, 20, 1) // materialized source
+	m.WriteByteAt(Frame(31).Addr(), 1)
+	m.ResetDirty()
+	m.CopyFrames(31, 40, 1) // absent source: 31 drops to zero
+	if got := m.DirtyFrames(); !reflect.DeepEqual(got, []Frame{31}) {
+		t.Fatalf("DirtyFrames after zero-copy = %v, want [31]", got)
+	}
+
+	m.SetDirtyTracking(false)
+	if m.DirtyTracking() {
+		t.Fatal("tracking did not turn off")
+	}
+}
+
+func TestDirtyTrackingCrashDirtiesDRAMOnly(t *testing.T) {
+	m, _, _ := newTestMemory(t)
+	dram, _ := m.Region(DRAM)
+	nvm, _ := m.Region(NVM)
+	m.SetDirtyTracking(true)
+	m.WriteByteAt(dram.Start.Addr(), 1)
+	m.WriteByteAt(nvm.Start.Addr(), 2)
+	m.ResetDirty()
+	m.Crash()
+	if got := m.DirtyFrames(); !reflect.DeepEqual(got, []Frame{dram.Start}) {
+		t.Fatalf("DirtyFrames after crash = %v, want [%d]", got, dram.Start)
+	}
+}
+
+func TestMaterializedFrameList(t *testing.T) {
+	m, _, _ := newTestMemory(t)
+	if got := m.MaterializedFrameList(); len(got) != 0 {
+		t.Fatalf("MaterializedFrameList = %v on fresh memory", got)
+	}
+	m.WriteByteAt(Frame(7).Addr(), 1)
+	m.WriteByteAt(Frame(2).Addr(), 1)
+	m.ReadByteAt(Frame(9).Addr()) // reads do not materialize
+	if got := m.MaterializedFrameList(); !reflect.DeepEqual(got, []Frame{2, 7}) {
+		t.Fatalf("MaterializedFrameList = %v, want [2 7]", got)
+	}
+}

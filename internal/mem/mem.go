@@ -140,6 +140,12 @@ type Memory struct {
 	// that erased a huge range once does not stay at its peak.
 	spare []*frameArray
 
+	// dirty records frames whose observable contents may have changed
+	// since the last ResetDirty, when tracking is on (see dirty.go).
+	// Guarded by mu; nil while tracking is off so the hot paths pay one
+	// nil check.
+	dirty map[Frame]struct{}
+
 	stats *metrics.Set
 	// Cached counters for the hot paths (also pre-created so their
 	// report order never depends on which CPU context records first).
@@ -241,6 +247,9 @@ func (m *Memory) Stats() *metrics.Set { return m.stats }
 func (m *Memory) frame(f Frame, write bool) *frameArray {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if write && m.dirty != nil {
+		m.dirty[f] = struct{}{}
+	}
 	if d, ok := m.data[f]; ok {
 		return d
 	}
@@ -274,6 +283,12 @@ func (m *Memory) dropFrameLocked(f Frame) {
 	d, ok := m.data[f]
 	if !ok {
 		return
+	}
+	if m.dirty != nil {
+		// Dropping a materialized frame changes its observable contents
+		// to zero; an absent frame stays zero and is not dirtied, which
+		// keeps sparse epoch erases O(materialized).
+		m.dirty[f] = struct{}{}
 	}
 	delete(m.data, f)
 	if len(m.spare) < maxSpareFrames {

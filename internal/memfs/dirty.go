@@ -1,0 +1,41 @@
+package memfs
+
+import (
+	"repro/internal/ckpt"
+	"repro/internal/mem"
+)
+
+// DirtyUnits maps the dirty frames owned by the file store onto
+// checkpoint units at extent granularity: each live extent containing
+// at least one dirty frame becomes one unit, so checkpoint metadata
+// cost is O(dirty extents) — with contiguous allocation, typically far
+// fewer than dirty pages. Dirty frames inside the store's pools but no
+// longer inside any live extent (freed since the last epoch, now
+// reading zero) fall back to single-page units.
+func (fs *FS) DirtyUnits(frames []mem.Frame) []ckpt.Unit {
+	var spans []ckpt.Unit
+	for _, ino := range fs.inodes {
+		for _, e := range ino.extents {
+			spans = append(spans, ckpt.Unit{Start: e.Start, Count: e.Count})
+		}
+	}
+	var mine []mem.Frame
+	for _, f := range frames {
+		if fs.ownsFrame(f) {
+			mine = append(mine, f)
+		}
+	}
+	return ckpt.UnitsBySpan(mine, spans)
+}
+
+// ownsFrame reports whether f belongs to the store's frame pool or its
+// optional fast (tiering) pool.
+func (fs *FS) ownsFrame(f mem.Frame) bool {
+	if f >= fs.bud.Base() && f < fs.bud.Base()+mem.Frame(fs.bud.Size()) {
+		return true
+	}
+	if fs.fastBud != nil && f >= fs.fastBud.Base() && f < fs.fastBud.Base()+mem.Frame(fs.fastBud.Size()) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package memfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file grows the handle layer into a usable file interface: open
+// flags, per-handle positions with sequential read/write/seek, and
+// recursive directory walks. The positional primitives (ReadAt,
+// WriteAt, Truncate) stay in memfs.go; everything here composes them.
+
+// OpenFlag selects OpenFile behavior, modeled on the POSIX open(2)
+// flags the paper's file-only memory interface needs.
+type OpenFlag uint32
+
+const (
+	// OCreate creates the file if it does not exist.
+	OCreate OpenFlag = 1 << iota
+	// OExcl, with OCreate, fails if the file already exists.
+	OExcl
+	// OTrunc truncates an existing file to zero length on open.
+	OTrunc
+	// OAppend forces every Write to land at end-of-file.
+	OAppend
+)
+
+// OpenFile opens path with the given flags; opts apply only when the
+// call creates the file. A zero flags value is a plain Open.
+func (fs *FS) OpenFile(path string, flags OpenFlag, opts CreateOptions) (*File, error) {
+	if flags&OExcl != 0 && flags&OCreate == 0 {
+		return nil, fmt.Errorf("memfs %s: OExcl without OCreate", fs.name)
+	}
+	f, err := fs.Open(path)
+	switch {
+	case err == nil:
+		if flags&(OCreate|OExcl) == OCreate|OExcl {
+			cerr := f.Close()
+			if cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("memfs %s: %q exists", fs.name, path)
+		}
+		if flags&OTrunc != 0 {
+			if terr := f.Truncate(0); terr != nil {
+				f.Close()
+				return nil, terr
+			}
+		}
+	case flags&OCreate != 0:
+		f, err = fs.Create(path, opts)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+	f.append = flags&OAppend != 0
+	return f, nil
+}
+
+// Pos returns the handle's current file position.
+func (f *File) Pos() uint64 { return f.pos }
+
+// Read reads from the handle position, advancing it. It returns io.EOF
+// at end-of-file (possibly after a short read), matching io.Reader.
+func (f *File) Read(buf []byte) (int, error) {
+	n, err := f.ReadAt(buf, f.pos)
+	f.pos += uint64(n)
+	if err != nil {
+		return n, err
+	}
+	if n < len(buf) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Write writes at the handle position (end-of-file under OAppend),
+// advancing it and extending the file as needed.
+func (f *File) Write(buf []byte) (int, error) {
+	if f.append {
+		f.pos = f.inode.size
+	}
+	n, err := f.WriteAt(buf, f.pos)
+	f.pos += uint64(n)
+	return n, err
+}
+
+// Seek repositions the handle, interpreting whence as io.SeekStart,
+// io.SeekCurrent, or io.SeekEnd (the io.Seeker contract). Seeking
+// past end-of-file is legal: reads there hit EOF, writes extend the
+// file (the gap reads as zeros). It returns the new position.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = int64(f.pos)
+	case io.SeekEnd:
+		base = int64(f.inode.size)
+	default:
+		return int64(f.pos), fmt.Errorf("memfs: bad seek whence %d", whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return int64(f.pos), fmt.Errorf("memfs: seek to negative offset %d", pos)
+	}
+	f.pos = uint64(pos)
+	return pos, nil
+}
+
+// WalkDir walks the tree rooted at path depth-first, children in
+// sorted name order, calling fn for every inode including the root of
+// the walk. Each directory visited charges one directory operation —
+// a walk reads real metadata.
+func (fs *FS) WalkDir(path string, fn func(path string, ino *Inode) error) error {
+	ino, err := fs.lookup(path)
+	if err != nil {
+		return err
+	}
+	comps, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	clean := "/"
+	for i, c := range comps {
+		if i > 0 {
+			clean += "/"
+		}
+		clean += c
+	}
+	return fs.walkDir(clean, ino, fn)
+}
+
+func (fs *FS) walkDir(path string, ino *Inode, fn func(string, *Inode) error) error {
+	if err := fn(path, ino); err != nil {
+		return err
+	}
+	if !ino.dir {
+		return nil
+	}
+	fs.clock.Advance(fs.params.DirOp)
+	names := make([]string, 0, len(ino.children))
+	for name := range ino.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		child := path + "/" + name
+		if path == "/" {
+			child = "/" + name
+		}
+		if err := fs.walkDir(child, ino.children[name], fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

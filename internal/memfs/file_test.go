@@ -1,0 +1,265 @@
+package memfs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func newFileTestFS(t *testing.T, policy AllocPolicy) *FS {
+	t.Helper()
+	fs, _, _ := newFS(t, policy)
+	return fs
+}
+
+func TestOpenFileFlags(t *testing.T) {
+	fs := newFileTestFS(t, Extent)
+
+	// OCreate makes a missing file; plain open of it then works.
+	f, err := fs.OpenFile("/a", OCreate, CreateOptions{})
+	if err != nil {
+		t.Fatalf("OCreate: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// OCreate on an existing file opens it (no truncation).
+	f, err = fs.OpenFile("/a", OCreate, CreateOptions{})
+	if err != nil {
+		t.Fatalf("OCreate existing: %v", err)
+	}
+	if got := f.Inode().Size(); got != 5 {
+		t.Fatalf("OCreate truncated: size %d, want 5", got)
+	}
+
+	// OExcl refuses the existing file.
+	if _, err := fs.OpenFile("/a", OCreate|OExcl, CreateOptions{}); err == nil {
+		t.Fatal("OCreate|OExcl opened an existing file")
+	}
+	// OExcl without OCreate is a usage error.
+	if _, err := fs.OpenFile("/a", OExcl, CreateOptions{}); err == nil {
+		t.Fatal("OExcl without OCreate accepted")
+	}
+	// Plain open of a missing file fails.
+	if _, err := fs.OpenFile("/missing", 0, CreateOptions{}); err == nil {
+		t.Fatal("opened a missing file without OCreate")
+	}
+
+	// OTrunc zeroes the length.
+	g, err := fs.OpenFile("/a", OTrunc, CreateOptions{})
+	if err != nil {
+		t.Fatalf("OTrunc: %v", err)
+	}
+	if got := g.Inode().Size(); got != 0 {
+		t.Fatalf("OTrunc left size %d", got)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileReadWriteSeek(t *testing.T) {
+	for _, policy := range []AllocPolicy{PerPage, Extent} {
+		fs := newFileTestFS(t, policy)
+		f, err := fs.OpenFile("/f", OCreate, CreateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := f.Write([]byte("hello, world")); err != nil || n != 12 {
+			t.Fatalf("%s: write: n=%d err=%v", policy, n, err)
+		}
+		if f.Pos() != 12 {
+			t.Fatalf("%s: pos %d after write, want 12", policy, f.Pos())
+		}
+
+		// Rewind and read it back sequentially.
+		if pos, err := f.Seek(0, io.SeekStart); err != nil || pos != 0 {
+			t.Fatalf("%s: seek start: pos=%d err=%v", policy, pos, err)
+		}
+		buf := make([]byte, 5)
+		if n, err := f.Read(buf); err != nil || n != 5 {
+			t.Fatalf("%s: read: n=%d err=%v", policy, n, err)
+		}
+		if string(buf) != "hello" {
+			t.Fatalf("%s: read %q", policy, buf)
+		}
+
+		// Relative seek over ", ", then read to EOF.
+		if pos, err := f.Seek(2, io.SeekCurrent); err != nil || pos != 7 {
+			t.Fatalf("%s: seek cur: pos=%d err=%v", policy, pos, err)
+		}
+		rest := make([]byte, 16)
+		n, err := f.Read(rest)
+		if n != 5 || err != io.EOF {
+			t.Fatalf("%s: short read at EOF: n=%d err=%v", policy, n, err)
+		}
+		if string(rest[:n]) != "world" {
+			t.Fatalf("%s: read %q", policy, rest[:n])
+		}
+		// At exact EOF, reads return 0, io.EOF.
+		if n, err := f.Read(buf); n != 0 || err != io.EOF {
+			t.Fatalf("%s: read at EOF: n=%d err=%v", policy, n, err)
+		}
+
+		// SeekEnd with negative offset; overwrite the tail.
+		if pos, err := f.Seek(-5, io.SeekEnd); err != nil || pos != 7 {
+			t.Fatalf("%s: seek end: pos=%d err=%v", policy, pos, err)
+		}
+		if _, err := f.Write([]byte("earth")); err != nil {
+			t.Fatalf("%s: overwrite: %v", policy, err)
+		}
+		got := make([]byte, 12)
+		if _, err := f.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "hello, earth" {
+			t.Fatalf("%s: content %q", policy, got)
+		}
+
+		// Seek past EOF: read hits EOF; write extends with a zero gap
+		// spanning a page boundary.
+		if _, err := f.Seek(mem.FrameSize+3, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		if n, err := f.Read(buf); n != 0 || err != io.EOF {
+			t.Fatalf("%s: read past EOF: n=%d err=%v", policy, n, err)
+		}
+		if _, err := f.Write([]byte("far")); err != nil {
+			t.Fatalf("%s: write past EOF: %v", policy, err)
+		}
+		if got := f.Inode().Size(); got != mem.FrameSize+6 {
+			t.Fatalf("%s: size %d after gap write", policy, got)
+		}
+		gap := make([]byte, 3)
+		if _, err := f.ReadAt(gap, 20); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gap, []byte{0, 0, 0}) {
+			t.Fatalf("%s: gap holds %v, want zeros", policy, gap)
+		}
+
+		// Negative absolute position and bad whence are refused, and the
+		// position is unchanged.
+		before := f.Pos()
+		if _, err := f.Seek(-1, io.SeekStart); err == nil {
+			t.Fatalf("%s: negative seek accepted", policy)
+		}
+		if _, err := f.Seek(0, 99); err == nil {
+			t.Fatalf("%s: bad whence accepted", policy)
+		}
+		if f.Pos() != before {
+			t.Fatalf("%s: failed seek moved the position", policy)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFileAppend(t *testing.T) {
+	fs := newFileTestFS(t, Extent)
+	f, err := fs.OpenFile("/log", OCreate|OAppend, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{"one\n", "two\n"} {
+		if _, err := f.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second appending handle interleaves at EOF regardless of its
+	// own position; a seek on it does not change where writes land.
+	g, err := fs.OpenFile("/log", OAppend, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("three\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("four\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, _ := f.ReadAt(buf, 0)
+	if string(buf[:n]) != "one\ntwo\nthree\nfour\n" {
+		t.Fatalf("append stream: %q", buf[:n])
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkDir(t *testing.T) {
+	fs := newFileTestFS(t, Extent)
+	for _, dir := range []string{"/b", "/b/sub", "/a"} {
+		if err := fs.Mkdir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, path := range []string{"/b/sub/deep", "/b/x", "/a/y", "/top"} {
+		f, err := fs.Create(path, CreateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := fs.WalkDir("/", func(path string, ino *Inode) error {
+		kind := "f"
+		if ino.IsDir() {
+			kind = "d"
+		}
+		got = append(got, kind+" "+path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"d /", "d /a", "f /a/y", "d /b", "d /b/sub", "f /b/sub/deep", "f /b/x", "f /top",
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("walk order:\n got %v\nwant %v", got, want)
+	}
+
+	// Walk of a subtree uses the subtree root's path.
+	got = got[:0]
+	if err := fs.WalkDir("/b", func(path string, _ *Inode) error {
+		got = append(got, path)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"/b", "/b/sub", "/b/sub/deep", "/b/x"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("subtree walk:\n got %v\nwant %v", got, want)
+	}
+
+	// Walking a file visits just the file; errors propagate.
+	count := 0
+	if err := fs.WalkDir("/top", func(string, *Inode) error { count++; return nil }); err != nil || count != 1 {
+		t.Fatalf("file walk: count=%d err=%v", count, err)
+	}
+	wantErr := io.ErrUnexpectedEOF
+	if err := fs.WalkDir("/", func(string, *Inode) error { return wantErr }); err != wantErr {
+		t.Fatalf("walk error not propagated: %v", err)
+	}
+}

@@ -740,9 +740,14 @@ func (ino *Inode) insertExtent(run ExtentRun) {
 }
 
 // File is an open handle. Handles are not safe for concurrent use.
+// Every handle carries its own file position for the sequential
+// Read/Write/Seek interface (file.go); the positional ReadAt/WriteAt
+// ignore it, as in POSIX.
 type File struct {
 	inode  *Inode
 	closed bool
+	pos    uint64
+	append bool // every Write lands at EOF (O_APPEND)
 }
 
 // Inode returns the file's inode.

@@ -28,7 +28,7 @@ import (
 // a future incompatible layout is rejected, not misparsed.
 const (
 	magic   = "O1MSNAP\x00"
-	version = 1
+	version = 2 // v2: meta gained the tier flag
 )
 
 // Section tags.
@@ -178,3 +178,17 @@ func readSection(r io.Reader) (tag string, payload []byte, err error) {
 // maxSectionBytes bounds a section so a corrupted length field cannot
 // provoke a giant allocation (64 MiB is far above any real snapshot).
 const maxSectionBytes = 64 << 20
+
+// WriteSection emits one tagged, CRC-protected section. It is the
+// on-media framing primitive shared with layered formats (the
+// incremental-checkpoint chains of internal/ckpt): 4-byte tag, u32
+// little-endian payload length, payload, CRC32 (IEEE) of the payload.
+func WriteSection(w io.Writer, tag string, payload []byte) error {
+	return writeSection(w, tag, payload)
+}
+
+// ReadSection reads one section written by WriteSection, verifying its
+// CRC. It returns io.EOF at a clean end of stream.
+func ReadSection(r io.Reader) (tag string, payload []byte, err error) {
+	return readSection(r)
+}

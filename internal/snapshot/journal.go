@@ -1,6 +1,9 @@
 package snapshot
 
-import "hash/crc32"
+import (
+	"fmt"
+	"hash/crc32"
+)
 
 // Journal is a write-ahead log of opaque metadata records appended
 // after a checkpoint. On media it is a pure record stream — no header,
@@ -14,9 +17,28 @@ import "hash/crc32"
 //
 // A record is durable exactly when its trailing CRC is fully on media
 // and matches — the classic WAL commit rule.
+//
+// Compaction: once a checkpoint supersedes a log prefix, Compact drops
+// those records and advances the watermark — the sequence number of the
+// first retained record. A non-zero watermark is encoded as a special
+// first record (see watermarkTag), so a compacted log still starts at a
+// record boundary and the torn-tail rule is unchanged: rewriting the
+// compacted log is a whole-file replace (old media stays valid until
+// the new log is durable), and tears hit only the appended tail.
 type Journal struct {
 	recs [][]byte
+	// watermark is the sequence number of recs[0]; records before it
+	// were superseded by a checkpoint and compacted away. Sequence
+	// numbers count from 0 at the journal's creation.
+	watermark uint64
 }
+
+// watermarkTag prefixes the payload of the reserved watermark record. A
+// data record payload never collides with it: the tag is only honoured
+// in the first record of a stream, and producers whose first data
+// record could start with these 8 bytes simply must not compact (ours,
+// encoded ops, start with a one-byte op kind < 0x4f).
+const watermarkTag = "O1WMARK\x00"
 
 // Append adds one record to the journal's in-memory tail.
 func (j *Journal) Append(rec []byte) {
@@ -32,13 +54,46 @@ func (j *Journal) Len() int { return len(j.recs) }
 // do not modify.
 func (j *Journal) Records() [][]byte { return j.recs }
 
-// Encode serializes the journal as a record stream.
+// Watermark returns the sequence number of the first retained record:
+// the number of records dropped by compaction over the journal's life.
+func (j *Journal) Watermark() uint64 { return j.watermark }
+
+// Compact drops every record with sequence number below upTo — they
+// are superseded by a checkpoint that captured their effects — and
+// advances the watermark. Compacting at or below the current watermark
+// is a no-op; compacting past the end is an error (the checkpoint
+// would claim records that were never written).
+func (j *Journal) Compact(upTo uint64) error {
+	if upTo <= j.watermark {
+		return nil
+	}
+	if upTo > j.watermark+uint64(len(j.recs)) {
+		return fmt.Errorf("snapshot: compact to %d, but journal ends at %d", upTo, j.watermark+uint64(len(j.recs)))
+	}
+	drop := upTo - j.watermark
+	j.recs = append([][]byte(nil), j.recs[drop:]...)
+	j.watermark = upTo
+	return nil
+}
+
+// Encode serializes the journal as a record stream. A compacted
+// journal (non-zero watermark) starts with the reserved watermark
+// record.
 func (j *Journal) Encode() []byte {
 	var e enc
-	for _, rec := range j.recs {
+	emit := func(rec []byte) {
 		e.u32(uint32(len(rec)))
 		e.b = append(e.b, rec...)
 		e.u32(crc32.ChecksumIEEE(rec))
+	}
+	if j.watermark != 0 {
+		var w enc
+		w.b = append(w.b, watermarkTag...)
+		w.u64(j.watermark)
+		emit(w.b)
+	}
+	for _, rec := range j.recs {
+		emit(rec)
 	}
 	return e.b
 }
@@ -51,6 +106,7 @@ func (j *Journal) Encode() []byte {
 func DecodeJournal(data []byte) (*Journal, int) {
 	j := &Journal{}
 	off := 0
+	first := true
 	for {
 		if len(data)-off < 4 {
 			break
@@ -65,7 +121,13 @@ func DecodeJournal(data []byte) (*Journal, int) {
 		if crc32.ChecksumIEEE(payload) != want {
 			break // bit rot or a cut that landed inside the CRC
 		}
-		j.Append(payload)
+		if first && len(payload) == len(watermarkTag)+8 && string(payload[:len(watermarkTag)]) == watermarkTag {
+			d := &dec{b: payload[len(watermarkTag):]}
+			j.watermark = d.u64()
+		} else {
+			j.Append(payload)
+		}
+		first = false
 		off = c + 4
 	}
 	return j, len(data) - off

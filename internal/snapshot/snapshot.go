@@ -22,6 +22,9 @@ type Meta struct {
 	SnapAt int
 	// TraceOps is the total operation count of the embedded trace.
 	TraceOps int
+	// Tier records whether the world ran with a tier migration engine
+	// attached; restore-by-reexecution must rebuild the same world.
+	Tier bool
 }
 
 // Snapshot is one whole-machine checkpoint. Trace is opaque to this
@@ -52,6 +55,11 @@ func (s *Snapshot) Save(w io.Writer) error {
 	m.u64(s.Meta.Seed)
 	m.u64(uint64(s.Meta.SnapAt))
 	m.u64(uint64(s.Meta.TraceOps))
+	tier := byte(0)
+	if s.Meta.Tier {
+		tier = 1
+	}
+	m.u8(tier)
 	if err := writeSection(w, secMeta, m.b); err != nil {
 		return err
 	}
@@ -103,6 +111,7 @@ func Load(r io.Reader) (*Snapshot, error) {
 			s.Meta.Seed = d.u64()
 			s.Meta.SnapAt = int(d.u64())
 			s.Meta.TraceOps = int(d.u64())
+			s.Meta.Tier = d.u8() != 0
 			if !d.done() {
 				return nil, &ErrCorrupt{What: "meta section"}
 			}
@@ -132,6 +141,17 @@ func Load(r io.Reader) (*Snapshot, error) {
 		}
 	}
 	return s, nil
+}
+
+// EncodeMachineState serializes a sim.MachineState capture in the
+// snapshot wire format, for layered formats (internal/ckpt deltas).
+func EncodeMachineState(st *sim.MachineState) []byte {
+	return encodeMachineState(st)
+}
+
+// DecodeMachineState parses an EncodeMachineState payload.
+func DecodeMachineState(b []byte) (*sim.MachineState, error) {
+	return decodeMachineState(b)
 }
 
 // encodeMachineState serializes a sim.MachineState capture.

@@ -1,0 +1,43 @@
+package usermode
+
+import (
+	"repro/internal/ckpt"
+	"repro/internal/mem"
+)
+
+// DirtyUnits maps the dirty frames owned by the grant table's pools
+// onto checkpoint units at grant granularity: each granted extent or
+// shared segment containing a dirty frame becomes one unit, so
+// checkpoint metadata cost is O(dirty grants). Dirty frames inside the
+// pools but outside every live grant (returned and erased since the
+// last epoch) fall back to single-page units.
+func (gt *GrantTable) DirtyUnits(frames []mem.Frame) []ckpt.Unit {
+	var spans []ckpt.Unit
+	for _, p := range gt.procs {
+		for _, g := range p.grants {
+			spans = append(spans, ckpt.Unit{Start: g.run.Start, Count: g.run.Count})
+		}
+	}
+	for _, s := range gt.shared {
+		spans = append(spans, ckpt.Unit{Start: s.run.Start, Count: s.run.Count})
+	}
+	var mine []mem.Frame
+	for _, f := range frames {
+		if gt.ownsFrame(f) {
+			mine = append(mine, f)
+		}
+	}
+	return ckpt.UnitsBySpan(mine, spans)
+}
+
+// ownsFrame reports whether f belongs to the grant table's primary or
+// fast pool.
+func (gt *GrantTable) ownsFrame(f mem.Frame) bool {
+	if f >= gt.pool.Base() && f < gt.pool.Base()+mem.Frame(gt.pool.Size()) {
+		return true
+	}
+	if gt.fast != nil && f >= gt.fast.Base() && f < gt.fast.Base()+mem.Frame(gt.fast.Size()) {
+		return true
+	}
+	return false
+}

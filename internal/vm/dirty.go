@@ -1,0 +1,35 @@
+package vm
+
+import (
+	"repro/internal/ckpt"
+	"repro/internal/mem"
+)
+
+// DirtyUnits maps the dirty frames owned by the kernel's anonymous
+// pools onto checkpoint units. The baseline kernel manages memory at
+// page granularity — per-frame metadata, per-page mappings — so every
+// dirty frame is its own unit: incremental-checkpoint metadata cost is
+// O(dirty pages), the linear obstacle the paper's extent-based
+// configurations sidestep. Frames outside the kernel's pools (e.g. a
+// file store sharing the machine) are left for their owner to claim.
+func (k *Kernel) DirtyUnits(frames []mem.Frame) []ckpt.Unit {
+	var mine []mem.Frame
+	for _, f := range frames {
+		if k.ownsFrame(f) {
+			mine = append(mine, f)
+		}
+	}
+	return ckpt.UnitsBySpan(mine, nil)
+}
+
+// ownsFrame reports whether f belongs to the kernel's anonymous pool
+// or its optional slow pool.
+func (k *Kernel) ownsFrame(f mem.Frame) bool {
+	if f >= k.pool.Base() && f < k.pool.Base()+mem.Frame(k.pool.Size()) {
+		return true
+	}
+	if k.slowPool != nil && f >= k.slowPool.Base() && f < k.slowPool.Base()+mem.Frame(k.slowPool.Size()) {
+		return true
+	}
+	return false
+}
